@@ -1,0 +1,60 @@
+//! Criterion bench backing Figures 18/19: role assignment and forward-only
+//! gradient estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flux_core::assignment::{
+    initial_utilities, DynamicEpsilon, ForwardGradEstimator, RoleAssigner,
+};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{ExpertKey, MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+fn assignment(c: &mut Criterion) {
+    let mut rng = SeededRng::new(7);
+    let model = MoeModel::new(MoeConfig::small(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Piqa, 128)
+            .with_num_samples(12)
+            .with_mean_seq_len(8),
+    )
+    .generate(&mut rng);
+    let profile = model.profile(&data);
+    let mut assigner = RoleAssigner::new(DynamicEpsilon::paper_default());
+    assigner.report_utilities(0, &initial_utilities(&profile));
+    let all = model.expert_keys();
+
+    c.bench_function("fig19_role_assignment_128_experts", |b| {
+        b.iter(|| assigner.assign(0, &all, 24, 3, &mut SeededRng::new(8)));
+    });
+
+    let tiny_model = MoeModel::new(MoeConfig::tiny(), &mut rng);
+    let tiny_data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Dolly, 64)
+            .with_num_samples(4)
+            .with_mean_seq_len(8),
+    )
+    .generate(&mut rng);
+    let estimator = ForwardGradEstimator {
+        sigma: 0.02,
+        num_perturbations: 2,
+        samples_per_eval: 1,
+    };
+    c.bench_function("fig18_forward_gradient_estimate", |b| {
+        b.iter(|| {
+            estimator.estimate(
+                &tiny_model,
+                ExpertKey::new(0, 0),
+                &tiny_data.samples,
+                &mut SeededRng::new(9),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = assignment
+}
+criterion_main!(benches);

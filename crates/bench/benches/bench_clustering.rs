@@ -1,0 +1,45 @@
+//! Criterion bench backing Figure 16: per-layer versus fused clustering of
+//! 128 non-tuning experts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flux_core::merging::{cluster_non_tuning_experts, ClusteringMode};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+fn clustering(c: &mut Criterion) {
+    let config = MoeConfig::small();
+    let mut rng = SeededRng::new(2);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let non_tuning: Vec<Vec<usize>> = (0..config.num_layers)
+        .map(|l| (0..config.experts_in_layer(l)).collect())
+        .collect();
+    let budgets = vec![4usize; config.num_layers];
+
+    let mut group = c.benchmark_group("fig16_clustering");
+    for (label, mode) in [
+        ("per_layer", ClusteringMode::PerLayer),
+        ("fused", ClusteringMode::Fused),
+    ] {
+        group.bench_with_input(BenchmarkId::new("cluster_128", label), &mode, |b, &mode| {
+            b.iter(|| {
+                cluster_non_tuning_experts(
+                    &model,
+                    &non_tuning,
+                    &budgets,
+                    mode,
+                    8,
+                    &mut SeededRng::new(3),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench backing Figure 1: pricing a fine-tuning round for
+//! different numbers of tuned experts, plus a real scaled-model training
+//! step so the compute path itself is measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_fl::{CostModel, DeviceClass};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+fn cost_model_pricing(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let device = DeviceClass::ServerL20.profile();
+    let config = MoeConfig::llama_moe_sim();
+    let mut group = c.benchmark_group("fig01_cost_model");
+    for experts in [8usize, 32, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("price_round", experts), &experts, |b, &e| {
+            b.iter(|| cost.fine_tune_time_s(&device, &config, 28_800, e, 512));
+        });
+    }
+    group.finish();
+}
+
+fn scaled_model_train_step(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let mut model = MoeModel::new(MoeConfig::tiny().with_classes(4), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Mmlu, 64)
+            .with_num_samples(8)
+            .with_mean_seq_len(8),
+    )
+    .generate(&mut rng);
+    c.bench_function("tiny_model_train_step", |b| {
+        b.iter(|| model.train_step(&data.samples, None, 0.01));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = cost_model_pricing, scaled_model_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench backing Figures 15/17: building and applying a compact
+//! model plan (budgets + clustering + merging + gate re-routing).
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flux_core::baselines::top_frequency_experts;
+use flux_core::merging::{CompactModelPlan, MergeStrategy, MergingConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+fn merging(c: &mut Criterion) {
+    let config = MoeConfig::tiny();
+    let mut rng = SeededRng::new(5);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Dolly, 64)
+            .with_num_samples(12)
+            .with_mean_seq_len(10),
+    )
+    .generate(&mut rng);
+    let profile = model.profile(&data);
+    let tuning: HashSet<_> = top_frequency_experts(&profile, 8);
+
+    let mut group = c.benchmark_group("fig17_merging");
+    for strategy in MergeStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::new("plan_build_apply", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let plan = CompactModelPlan::build(
+                        &model,
+                        &profile,
+                        &tuning,
+                        8,
+                        MergingConfig::default().with_strategy(strategy),
+                        &mut SeededRng::new(6),
+                    );
+                    plan.apply(&model, &profile)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = merging
+}
+criterion_main!(benches);

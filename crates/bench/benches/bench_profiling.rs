@@ -1,0 +1,44 @@
+//! Criterion bench backing Figures 5/14: quantized versus full-precision
+//! activation profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flux_core::profiling::{LocalProfiler, ProfilingConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_quant::BitWidth;
+use flux_tensor::SeededRng;
+
+fn profiling(c: &mut Criterion) {
+    let mut rng = SeededRng::new(4);
+    let model = MoeModel::new(MoeConfig::tiny(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Gsm8k, 64)
+            .with_num_samples(16)
+            .with_mean_seq_len(10),
+    )
+    .generate(&mut rng);
+
+    let mut group = c.benchmark_group("fig05_profiling");
+    for width in BitWidth::all() {
+        group.bench_with_input(
+            BenchmarkId::new("quantized_profile", format!("{width:?}")),
+            &width,
+            |b, &w| {
+                let profiler = LocalProfiler::new(ProfilingConfig::default().with_width(w));
+                b.iter(|| profiler.profile(&model, &data));
+            },
+        );
+    }
+    group.bench_function("full_precision_profile", |b| {
+        b.iter(|| model.profile(&data));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = profiling
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 1: one-round fine-tuning cost versus the number of experts.
+//!
+//! The paper measures LLaMA-MoE with 8/32/128/256 experts on an NVIDIA L20
+//! over 60 Dolly samples and reports 62.85 / 103.73 / 163.57 / 394.16
+//! seconds. The reproduction prices the same workload with the analytic cost
+//! model; the shape (monotone growth, ~6× from 8 to 256 experts) is the
+//! reproduction target.
+
+use flux_bench::{fmt, print_header};
+use flux_data::DatasetKind;
+use flux_fl::{CostModel, DeviceClass};
+use flux_moe::MoeConfig;
+
+fn main() {
+    let cost = CostModel::default();
+    let device = DeviceClass::ServerL20.profile();
+    let config = MoeConfig::llama_moe_sim();
+    // 60 Dolly samples at the Dolly mean sequence length (the Fig. 1
+    // micro-benchmark workload the cost model was calibrated against).
+    let tokens = 60 * DatasetKind::Dolly.mean_seq_len();
+    let paper = [(8usize, 62.85), (32, 103.73), (128, 163.57), (256, 394.16)];
+
+    print_header(
+        "Figure 1: one-round fine-tuning cost vs #experts (L20, 60 Dolly samples)",
+        &["#Experts", "Measured (s)", "Paper (s)"],
+    );
+    for (experts, paper_seconds) in paper {
+        let measured = cost.fine_tune_time_s(&device, &config, tokens, experts, config.total_experts());
+        println!("{experts}\t{}\t{paper_seconds}", fmt(measured));
+    }
+}

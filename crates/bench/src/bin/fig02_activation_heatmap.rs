@@ -1,0 +1,49 @@
+//! Figure 2: expert activation frequencies and per-layer variances on GSM8K
+//! and MMLU.
+//!
+//! The paper observes (1) strongly skewed activation within layers (some
+//! experts see >30% of tokens, others <5%) and (2) large differences in the
+//! per-layer variance of activation frequencies. Both properties should
+//! appear in the scaled model's profile.
+
+use flux_bench::{fmt, llama_config, print_header, Scale, EXPERIMENT_SEED};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::MoeModel;
+use flux_tensor::SeededRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = llama_config(scale);
+    let mut rng = SeededRng::new(EXPERIMENT_SEED);
+    let model = MoeModel::new(config.clone(), &mut rng);
+
+    for kind in [DatasetKind::Gsm8k, DatasetKind::Mmlu] {
+        let data_cfg = DatasetConfig::for_kind(kind, config.vocab_size).with_num_samples(64);
+        let data = DatasetGenerator::new(data_cfg).generate(&mut rng.derive(kind as u64));
+        let profile = model.profile(&data);
+
+        print_header(
+            &format!("Figure 2: activation frequencies on {} ({})", kind.name(), scale.label()),
+            &["Layer", "min freq", "max freq", "variance"],
+        );
+        for layer in 0..profile.num_layers() {
+            let freqs = &profile.frequencies[layer];
+            let min = freqs.iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = freqs.iter().cloned().fold(0.0f32, f32::max);
+            println!(
+                "{layer}\t{}\t{}\t{:.5}",
+                fmt(min as f64),
+                fmt(max as f64),
+                profile.layer_variance(layer)
+            );
+        }
+        let variances = profile.layer_variances();
+        let spread = variances.iter().cloned().fold(0.0f32, f32::max)
+            / variances
+                .iter()
+                .cloned()
+                .fold(f32::INFINITY, f32::min)
+                .max(1e-9);
+        println!("variance spread across layers (max/min): {}", fmt(spread as f64));
+    }
+}

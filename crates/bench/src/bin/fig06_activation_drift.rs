@@ -1,0 +1,73 @@
+//! Figure 6: drift of expert activation frequencies across fine-tuning
+//! rounds, and the CDF of per-round frequency change.
+//!
+//! The paper tracks four experts over 20 rounds (frequencies move a few
+//! percentage points) and shows that the per-round change is small — the
+//! justification for stale profiling.
+
+use flux_bench::{fmt, llama_config, print_header, Scale, EXPERIMENT_SEED};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{ExpertKey, MoeModel};
+use flux_tensor::{stats, SeededRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = llama_config(scale).with_classes(8);
+    let mut rng = SeededRng::new(EXPERIMENT_SEED);
+    let data_cfg = DatasetConfig::for_kind(DatasetKind::Gsm8k, config.vocab_size)
+        .with_num_samples(if scale == Scale::Quick { 40 } else { 120 });
+    let data = DatasetGenerator::new(data_cfg).generate(&mut rng);
+    let mut model = MoeModel::new(config.clone(), &mut rng);
+
+    let rounds = if scale == Scale::Quick { 10 } else { 20 };
+    // Track the four most active experts of layer 0.
+    let initial = model.profile(&data);
+    let tracked: Vec<ExpertKey> = stats::top_k_indices(&initial.frequencies[0], 4)
+        .into_iter()
+        .map(|e| ExpertKey::new(0, e))
+        .collect();
+
+    let mut histories: Vec<Vec<f32>> = vec![Vec::new(); tracked.len()];
+    let mut per_round_changes: Vec<f32> = Vec::new();
+    let mut previous = initial;
+    for _ in 0..rounds {
+        model.train_step(&data.samples[..data.len().min(16)], None, 0.02);
+        let profile = model.profile(&data);
+        for (history, key) in histories.iter_mut().zip(&tracked) {
+            history.push(profile.frequency(*key) * 100.0);
+        }
+        // Per-round absolute change in percentage points across all experts.
+        for layer in 0..profile.num_layers() {
+            for (a, b) in profile.frequencies[layer]
+                .iter()
+                .zip(previous.frequencies[layer].iter())
+            {
+                per_round_changes.push((a - b).abs() * 100.0);
+            }
+        }
+        previous = profile;
+    }
+
+    print_header(
+        &format!("Figure 6a: activation frequency (%) over rounds ({})", scale.label()),
+        &["Round", "Expert-1", "Expert-2", "Expert-3", "Expert-4"],
+    );
+    for round in 0..rounds {
+        println!(
+            "{round}\t{}\t{}\t{}\t{}",
+            fmt(histories[0][round] as f64),
+            fmt(histories[1][round] as f64),
+            fmt(histories[2][round] as f64),
+            fmt(histories[3][round] as f64)
+        );
+    }
+
+    print_header(
+        "Figure 6b: CDF of per-round activation frequency change (pct points)",
+        &["Change", "CDF"],
+    );
+    let points = [0.1f32, 0.25, 0.5, 1.0, 1.5, 2.0];
+    for (p, cdf) in stats::empirical_cdf(&per_round_changes, &points) {
+        println!("{}\t{}", fmt(p as f64), fmt(cdf as f64));
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 11: convergence (relative accuracy vs simulated time) on the
+//! DeepSeek-MoE family, four datasets × four methods.
+
+use flux_bench::{deepseek_config, fmt, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::driver::{FederatedRun, Method};
+use flux_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    for kind in DatasetKind::all() {
+        print_header(
+            &format!("Figure 11: convergence on {} (DeepSeek-MoE family, {})", kind.name(), scale.label()),
+            &["Method", "Round", "Elapsed (h)", "Score", "Relative accuracy"],
+        );
+        for method in Method::all() {
+            let config = run_config(scale, deepseek_config(scale), kind);
+            let result = FederatedRun::new(config, EXPERIMENT_SEED).run(method);
+            for point in result.tracker.points() {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}",
+                    method.label(),
+                    point.round,
+                    fmt(point.elapsed_hours),
+                    fmt(point.score as f64),
+                    fmt(point.relative_accuracy as f64)
+                );
+            }
+        }
+    }
+    println!("\npaper shape: same ordering as Fig. 10, with longer absolute times (larger model).");
+}

@@ -1,0 +1,67 @@
+//! Figure 12: time-to-accuracy versus the number of participants (10–30) on
+//! the LLaMA-MoE family, four datasets × four methods.
+//!
+//! The targets the paper uses are unreachable for the scaled models trained
+//! from random initialization, so each (dataset, participant-count) cell
+//! calibrates its target to 90% of the best score any method reaches and
+//! reports the simulated hours each method needs to get there.
+
+use flux_bench::{fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::driver::{FederatedRun, Method, RunResult};
+use flux_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let participant_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 8],
+        _ => vec![10, 15, 20, 25, 30],
+    };
+    for kind in DatasetKind::all() {
+        print_header(
+            &format!("Figure 12: time-to-accuracy vs participants on {} (LLaMA-MoE family, {})", kind.name(), scale.label()),
+            &["Participants", "FMD (h)", "FMQ (h)", "FMES (h)", "FLUX (h)", "speedup vs best baseline"],
+        );
+        for &n in &participant_counts {
+            let results: Vec<RunResult> = Method::all()
+                .iter()
+                .map(|&method| {
+                    let config =
+                        run_config(scale, llama_config(scale), kind).with_participants(n);
+                    FederatedRun::new(config, EXPERIMENT_SEED).run(method)
+                })
+                .collect();
+            let best = results
+                .iter()
+                .map(|r| r.best_score())
+                .fold(0.0f32, f32::max);
+            let target = best * 0.9;
+            let times: Vec<Option<f64>> =
+                results.iter().map(|r| r.time_to_score(target)).collect();
+            let flux_time = times[3];
+            let best_baseline = times[..3]
+                .iter()
+                .filter_map(|t| *t)
+                .fold(f64::INFINITY, f64::min);
+            let speedup = match (flux_time, best_baseline.is_finite()) {
+                (Some(f), true) if f > 0.0 => format!("{:.2}x", best_baseline / f),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{n}\t{}\t{}\t{}\t{}\t{}",
+                fmt_opt(times[0]),
+                fmt_opt(times[1]),
+                fmt_opt(times[2]),
+                fmt_opt(times[3]),
+                speedup
+            );
+        }
+    }
+    println!("\npaper shape: times shrink with more participants; FLUX is fastest everywhere (~5x).");
+}
+
+fn fmt_opt(t: Option<f64>) -> String {
+    match t {
+        Some(v) => fmt(v),
+        None => "n/r".to_string(),
+    }
+}

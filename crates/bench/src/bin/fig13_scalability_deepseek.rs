@@ -1,0 +1,44 @@
+//! Figure 13: time-to-accuracy versus the number of participants (10–30) on
+//! the DeepSeek-MoE family, four datasets × four methods.
+
+use flux_bench::{deepseek_config, fmt, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::driver::{FederatedRun, Method, RunResult};
+use flux_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let participant_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 8],
+        _ => vec![10, 15, 20, 25, 30],
+    };
+    for kind in DatasetKind::all() {
+        print_header(
+            &format!("Figure 13: time-to-accuracy vs participants on {} (DeepSeek-MoE family, {})", kind.name(), scale.label()),
+            &["Participants", "FMD (h)", "FMQ (h)", "FMES (h)", "FLUX (h)"],
+        );
+        for &n in &participant_counts {
+            let results: Vec<RunResult> = Method::all()
+                .iter()
+                .map(|&method| {
+                    let config =
+                        run_config(scale, deepseek_config(scale), kind).with_participants(n);
+                    FederatedRun::new(config, EXPERIMENT_SEED).run(method)
+                })
+                .collect();
+            let best = results
+                .iter()
+                .map(|r| r.best_score())
+                .fold(0.0f32, f32::max);
+            let target = best * 0.9;
+            let cells: Vec<String> = results
+                .iter()
+                .map(|r| match r.time_to_score(target) {
+                    Some(t) => fmt(t),
+                    None => "n/r".to_string(),
+                })
+                .collect();
+            println!("{n}\t{}", cells.join("\t"));
+        }
+    }
+    println!("\npaper shape: same ordering as Fig. 12 with larger absolute times (~4x FLUX speedup).");
+}

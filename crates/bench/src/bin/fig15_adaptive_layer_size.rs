@@ -1,0 +1,86 @@
+//! Figure 15: impact of the adaptive per-layer merging budget.
+//!
+//! Compares three budget policies — a single merged expert per layer, a
+//! uniform split, and Flux's adaptive allocation (Eq. 1) — on forward-pass
+//! output error and time-to-accuracy.
+
+use std::collections::HashSet;
+
+use flux_bench::{fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::baselines::top_frequency_experts;
+use flux_core::driver::{FederatedRun, Method};
+use flux_core::merging::{BudgetPolicy, CompactModelPlan, MergingConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::MoeModel;
+use flux_tensor::{stats, SeededRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    let model_config = llama_config(scale);
+    let policies = [
+        ("single n.t. exp.", BudgetPolicy::SinglePerLayer),
+        ("uniform layer size", BudgetPolicy::Uniform),
+        ("adaptive layer size", BudgetPolicy::Adaptive),
+    ];
+
+    // Part 1: forward-pass output error of the merged model.
+    print_header(
+        &format!("Figure 15a: output error by budget policy ({})", scale.label()),
+        &["Dataset", "single", "uniform", "adaptive"],
+    );
+    for kind in DatasetKind::all() {
+        let mut rng = SeededRng::new(EXPERIMENT_SEED + kind as u64);
+        let model = MoeModel::new(model_config.clone(), &mut rng);
+        let data_cfg = DatasetConfig::for_kind(kind, model_config.vocab_size).with_num_samples(24);
+        let data = DatasetGenerator::new(data_cfg).generate(&mut rng);
+        let profile = model.profile(&data);
+        let tuning: HashSet<_> = top_frequency_experts(&profile, model_config.total_experts() / 4);
+        let budget = model_config.total_experts() / 4;
+        let mut cells = Vec::new();
+        for (_, policy) in policies {
+            let plan = CompactModelPlan::build(
+                &model,
+                &profile,
+                &tuning,
+                budget,
+                MergingConfig::default().with_budget_policy(policy),
+                &mut rng.derive(policy as u64),
+            );
+            let merged = plan.apply(&model, &profile);
+            let mut error = 0.0f32;
+            for sample in data.samples.iter().take(10) {
+                error += stats::cosine_distance(
+                    &model.final_embedding(sample),
+                    &merged.final_embedding(sample),
+                );
+            }
+            cells.push(fmt((error / 10.0) as f64));
+        }
+        println!("{}\t{}", kind.name(), cells.join("\t"));
+    }
+
+    // Part 2: time to the calibrated target under each policy.
+    print_header(
+        "Figure 15b: time to 90%-of-best score (h) by budget policy",
+        &["Dataset", "single", "uniform", "adaptive"],
+    );
+    for kind in DatasetKind::all() {
+        let mut results = Vec::new();
+        for (_, policy) in policies {
+            let config = run_config(scale, model_config.clone(), kind)
+                .with_merging(MergingConfig::default().with_budget_policy(policy));
+            results.push(FederatedRun::new(config, EXPERIMENT_SEED).run(Method::Flux));
+        }
+        let best = results.iter().map(|r| r.best_score()).fold(0.0f32, f32::max);
+        let target = best * 0.9;
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| match r.time_to_score(target) {
+                Some(t) => fmt(t),
+                None => "n/r".to_string(),
+            })
+            .collect();
+        println!("{}\t{}", kind.name(), cells.join("\t"));
+    }
+    println!("\npaper: adaptive allocation reduces output error (e.g. -65.6% vs single on GSM8K) and time.");
+}

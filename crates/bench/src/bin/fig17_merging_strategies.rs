@@ -1,0 +1,76 @@
+//! Figure 17: efficiency of the merging strategies — plain averaging,
+//! frequency-weighted, and Flux's attention+frequency weighting (Eq. 2).
+
+use std::collections::HashSet;
+
+use flux_bench::{fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::baselines::top_frequency_experts;
+use flux_core::driver::{FederatedRun, Method};
+use flux_core::merging::{CompactModelPlan, MergeStrategy, MergingConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::MoeModel;
+use flux_tensor::{stats, SeededRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    let model_config = llama_config(scale);
+
+    print_header(
+        &format!("Figure 17a: output error by merging strategy ({})", scale.label()),
+        &["Dataset", "avg", "weighted(freq)", "weighted(att+freq)"],
+    );
+    for kind in DatasetKind::all() {
+        let mut rng = SeededRng::new(EXPERIMENT_SEED + kind as u64);
+        let model = MoeModel::new(model_config.clone(), &mut rng);
+        let data_cfg = DatasetConfig::for_kind(kind, model_config.vocab_size).with_num_samples(24);
+        let data = DatasetGenerator::new(data_cfg).generate(&mut rng);
+        let profile = model.profile(&data);
+        let tuning: HashSet<_> = top_frequency_experts(&profile, model_config.total_experts() / 4);
+        let budget = model_config.total_experts() / 4;
+        let mut cells = Vec::new();
+        for strategy in MergeStrategy::all() {
+            let plan = CompactModelPlan::build(
+                &model,
+                &profile,
+                &tuning,
+                budget,
+                MergingConfig::default().with_strategy(strategy),
+                &mut rng.derive(strategy as u64),
+            );
+            let merged = plan.apply(&model, &profile);
+            let mut error = 0.0f32;
+            for sample in data.samples.iter().take(10) {
+                error += stats::cosine_distance(
+                    &model.final_embedding(sample),
+                    &merged.final_embedding(sample),
+                );
+            }
+            cells.push(fmt((error / 10.0) as f64));
+        }
+        println!("{}\t{}", kind.name(), cells.join("\t"));
+    }
+
+    print_header(
+        "Figure 17b: time to 90%-of-best score (h) by merging strategy",
+        &["Dataset", "avg", "weighted(freq)", "weighted(att+freq)"],
+    );
+    for kind in DatasetKind::all() {
+        let mut results = Vec::new();
+        for strategy in MergeStrategy::all() {
+            let config = run_config(scale, model_config.clone(), kind)
+                .with_merging(MergingConfig::default().with_strategy(strategy));
+            results.push(FederatedRun::new(config, EXPERIMENT_SEED).run(Method::Flux));
+        }
+        let best = results.iter().map(|r| r.best_score()).fold(0.0f32, f32::max);
+        let target = best * 0.9;
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| match r.time_to_score(target) {
+                Some(t) => fmt(t),
+                None => "n/r".to_string(),
+            })
+            .collect();
+        println!("{}\t{}", kind.name(), cells.join("\t"));
+    }
+    println!("\npaper: att+freq weighting cuts output error by up to 34% vs plain averaging.");
+}

@@ -1,0 +1,32 @@
+//! Table 2: final achieved score per model family × dataset × method.
+//!
+//! The paper's finding: FMD and FLUX reach essentially the same final
+//! quality, while FMQ and FMES land noticeably lower (quantization noise and
+//! discarded experts respectively).
+
+use flux_bench::{deepseek_config, fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_core::driver::{FederatedRun, Method};
+use flux_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    for (family, model) in [
+        ("LLaMA-MoE", llama_config(scale)),
+        ("DeepSeek-MoE", deepseek_config(scale)),
+    ] {
+        print_header(
+            &format!("Table 2: final scores ({family}, {})", scale.label()),
+            &["Method", "Dolly", "GSM8K", "MMLU", "PIQA"],
+        );
+        for method in Method::all() {
+            let mut cells = Vec::new();
+            for kind in DatasetKind::all() {
+                let config = run_config(scale, model.clone(), kind);
+                let result = FederatedRun::new(config, EXPERIMENT_SEED).run(method);
+                cells.push(fmt(result.best_score() as f64));
+            }
+            println!("{}\t{}", method.label(), cells.join("\t"));
+        }
+    }
+    println!("\npaper shape: FLUX ~= FMD > FMES > FMQ on every dataset.");
+}

@@ -1,0 +1,674 @@
+//! End-to-end federated fine-tuning driver.
+//!
+//! [`FederatedRun`] wires the substrate together: it synthesizes the
+//! dataset, partitions it non-IID across a heterogeneous device fleet,
+//! initializes the global MoE model on the parameter server, and then runs
+//! federated rounds with one of the four [`Method`]s (Flux or a baseline).
+//! Convergence comes from really training the scaled model; per-round time
+//! comes from the `flux-fl` cost model; both feed the
+//! [`flux_metrics::TimeToAccuracyTracker`] that the experiment harness uses
+//! to regenerate the paper's convergence and time-to-accuracy figures.
+
+use std::collections::{BTreeSet, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind, Sample};
+use flux_fl::{
+    build_fleet, CostModel, ExpertUpdate, ParameterServer, Participant, PhaseTimes,
+    RoundCostBreakdown, SimClock,
+};
+use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
+use flux_moe::{ActivationProfile, ExpertKey, MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+use crate::assignment::{
+    expert_utility, initial_utilities, DynamicEpsilon, ExpertUtility, ForwardGradEstimator,
+    RoleAssigner,
+};
+use crate::baselines::{
+    fmd_local_round, fmes_local_round, fmq_local_round, local_train, LocalRoundOutput,
+};
+use crate::merging::{CompactModelPlan, MergingConfig};
+use crate::profiling::{ProfilingConfig, StaleProfiler};
+
+/// Federated fine-tuning methods compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// The paper's system.
+    Flux,
+    /// Full-model fine-tuning with expert offloading.
+    Fmd,
+    /// INT4-quantized fine-tuning.
+    Fmq,
+    /// Activation-frequency expert selection with discarded non-tuning
+    /// experts.
+    Fmes,
+}
+
+impl Method {
+    /// All methods in the order the paper's figures list them.
+    pub fn all() -> [Method; 4] {
+        [Method::Fmd, Method::Fmq, Method::Fmes, Method::Flux]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Flux => "FLUX",
+            Method::Fmd => "FMD",
+            Method::Fmq => "FMQ",
+            Method::Fmes => "FMES",
+        }
+    }
+}
+
+/// Configuration of one federated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Model topology to fine-tune (scaled preset).
+    pub model_config: MoeConfig,
+    /// Which benchmark dataset analogue to use.
+    pub dataset_kind: DatasetKind,
+    /// Total synthetic samples generated (80/20 train/test split).
+    pub num_samples: usize,
+    /// Number of federated participants.
+    pub num_participants: usize,
+    /// Number of federated rounds to run.
+    pub rounds: usize,
+    /// Local mini-batch size (the paper uses 16).
+    pub batch_size: usize,
+    /// Local learning rate.
+    pub learning_rate: f32,
+    /// Dirichlet concentration of the non-IID split.
+    pub non_iid_alpha: f32,
+    /// Target score for time-to-accuracy; `None` uses the paper's per-dataset
+    /// target, which the scaled models cannot always reach from random
+    /// initialization — experiments typically set a calibrated target.
+    pub target_score: Option<f32>,
+    /// Exploration/exploitation schedule for the Flux role assigner.
+    pub epsilon: DynamicEpsilon,
+    /// Merging configuration for Flux.
+    pub merging: MergingConfig,
+    /// Profiling configuration for Flux.
+    pub profiling: ProfilingConfig,
+    /// Maximum test samples used for the per-round evaluation.
+    pub eval_samples: usize,
+    /// Factor translating the scaled dataset's token counts into the
+    /// full-scale workload the cost model and `B_tune_i` derivation assume
+    /// (the synthetic datasets are ~50× smaller and ~10× shorter than the
+    /// real ones).
+    pub reference_token_scale: usize,
+}
+
+impl RunConfig {
+    /// A configuration that finishes in seconds on one CPU core: the tiny
+    /// model preset, a few dozen samples, a handful of rounds.
+    pub fn quick_demo(model_config: MoeConfig, dataset_kind: DatasetKind) -> Self {
+        Self {
+            model_config,
+            dataset_kind,
+            num_samples: 48,
+            num_participants: 4,
+            rounds: 3,
+            batch_size: 4,
+            learning_rate: 0.02,
+            non_iid_alpha: 0.5,
+            target_score: Some(0.2),
+            epsilon: DynamicEpsilon::paper_default(),
+            merging: MergingConfig::default(),
+            profiling: ProfilingConfig::default(),
+            eval_samples: 12,
+            reference_token_scale: 500,
+        }
+    }
+
+    /// The configuration used by the experiment harness for the convergence
+    /// and scalability figures: the `small` model preset with a moderate
+    /// sample count, balancing fidelity against single-core runtime.
+    pub fn experiment(model_config: MoeConfig, dataset_kind: DatasetKind) -> Self {
+        Self {
+            num_samples: 160,
+            num_participants: 10,
+            rounds: 12,
+            batch_size: 8,
+            learning_rate: 0.03,
+            eval_samples: 24,
+            target_score: None,
+            ..Self::quick_demo(model_config, dataset_kind)
+        }
+    }
+
+    /// Overrides the number of participants.
+    pub fn with_participants(mut self, n: usize) -> Self {
+        self.num_participants = n;
+        self
+    }
+
+    /// Overrides the number of rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Overrides the time-to-accuracy target score.
+    pub fn with_target(mut self, target: f32) -> Self {
+        self.target_score = Some(target);
+        self
+    }
+
+    /// Overrides the ε schedule.
+    pub fn with_epsilon(mut self, epsilon: DynamicEpsilon) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the merging configuration.
+    pub fn with_merging(mut self, merging: MergingConfig) -> Self {
+        self.merging = merging;
+        self
+    }
+
+    /// Overrides the profiling configuration.
+    pub fn with_profiling(mut self, profiling: ProfilingConfig) -> Self {
+        self.profiling = profiling;
+        self
+    }
+
+    /// The evaluation metric (with target) for this run.
+    pub fn metric(&self) -> TargetMetric {
+        let target = self
+            .target_score
+            .unwrap_or_else(|| self.dataset_kind.target_score());
+        if self.dataset_kind.uses_rouge() {
+            TargetMetric::RougeL { target }
+        } else {
+            TargetMetric::Accuracy { target }
+        }
+    }
+}
+
+/// Record of one federated round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Simulated time at the end of the round, in hours.
+    pub elapsed_hours: f64,
+    /// Global-model evaluation score after aggregation.
+    pub score: f32,
+    /// Mean local training loss across participants.
+    pub train_loss: f32,
+    /// Simulated duration of this round in seconds.
+    pub round_seconds: f64,
+    /// Critical-path participant's per-phase breakdown.
+    pub breakdown: RoundCostBreakdown,
+}
+
+/// Result of a complete federated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The method that produced this run.
+    pub method: Method,
+    /// Convergence tracker (relative accuracy vs simulated time).
+    pub tracker: TimeToAccuracyTracker,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+    /// Accumulated per-phase times (critical-path participant per round).
+    pub phase_times: PhaseTimes,
+    /// Final evaluation score.
+    pub final_score: f32,
+}
+
+impl RunResult {
+    /// Simulated hours until `target` was first reached, if ever.
+    pub fn time_to_score(&self, target: f32) -> Option<f64> {
+        self.rounds
+            .iter()
+            .find(|r| r.score >= target)
+            .map(|r| r.elapsed_hours)
+    }
+
+    /// Best score reached during the run.
+    pub fn best_score(&self) -> f32 {
+        self.rounds.iter().map(|r| r.score).fold(0.0, f32::max)
+    }
+}
+
+/// Per-participant state the Flux method keeps across rounds.
+struct FluxState {
+    profiler: StaleProfiler,
+}
+
+/// A federated fine-tuning run.
+pub struct FederatedRun {
+    config: RunConfig,
+    seed: u64,
+}
+
+impl FederatedRun {
+    /// Creates a run with the given configuration and seed.
+    pub fn new(config: RunConfig, seed: u64) -> Self {
+        Self { config, seed }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Executes the full federated fine-tuning process with one method.
+    pub fn run(&self, method: Method) -> RunResult {
+        let cfg = &self.config;
+        let root = SeededRng::new(self.seed);
+        let mut data_rng = root.derive(1);
+        let mut fleet_rng = root.derive(2);
+        let mut model_rng = root.derive(3);
+        let round_rng = root.derive(4);
+
+        // Dataset and fleet.
+        let model_config = match cfg.dataset_kind.num_classes() {
+            Some(classes) => cfg.model_config.clone().with_classes(classes),
+            None => cfg.model_config.clone(),
+        };
+        let data_config = DatasetConfig::for_kind(cfg.dataset_kind, model_config.vocab_size)
+            .with_num_samples(cfg.num_samples);
+        let dataset = DatasetGenerator::new(data_config).generate(&mut data_rng);
+        let (train, test) = dataset.train_test_split(0.8);
+        let eval_indices: Vec<usize> = (0..test.len().min(cfg.eval_samples)).collect();
+        let eval_set = test.subset(&eval_indices);
+        let fleet = build_fleet(&train, cfg.num_participants, cfg.non_iid_alpha, &mut fleet_rng);
+
+        // Server-side state.
+        let global = MoeModel::new(model_config, &mut model_rng);
+        let server = ParameterServer::new(global);
+        let cost = CostModel::default();
+        let mut clock = SimClock::new();
+        let mut phases = PhaseTimes::default();
+        let mut tracker = TimeToAccuracyTracker::new(cfg.metric());
+        let mut assigner = RoleAssigner::new(cfg.epsilon);
+        let mut flux_states: Vec<FluxState> = fleet
+            .iter()
+            .map(|_| FluxState {
+                profiler: StaleProfiler::new(cfg.profiling),
+            })
+            .collect();
+        let mut fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
+        let mut records = Vec::new();
+
+        for round in 0..cfg.rounds {
+            let global = server.global_model();
+            let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
+            let mut head_updates = Vec::new();
+            let mut critical_path = RoundCostBreakdown::default();
+            let mut loss_sum = 0.0;
+
+            for participant in &fleet {
+                let mut participant_rng = round_rng.derive((round * 1000 + participant.id) as u64);
+                let reference_tokens = participant
+                    .tokens_per_round()
+                    .saturating_mul(cfg.reference_token_scale)
+                    .max(1);
+                let out = match method {
+                    Method::Fmd => fmd_local_round(
+                        participant,
+                        &global,
+                        &cost,
+                        reference_tokens,
+                        cfg.learning_rate,
+                        cfg.batch_size,
+                    ),
+                    Method::Fmq => fmq_local_round(
+                        participant,
+                        &global,
+                        &cost,
+                        reference_tokens,
+                        cfg.learning_rate,
+                        cfg.batch_size,
+                    ),
+                    Method::Fmes => {
+                        let profile = fmes_profiles[participant.id]
+                            .get_or_insert_with(|| global.profile(&participant.train_data));
+                        fmes_local_round(
+                            participant,
+                            &global,
+                            profile,
+                            &cost,
+                            reference_tokens,
+                            cfg.learning_rate,
+                            cfg.batch_size,
+                        )
+                    }
+                    Method::Flux => self.flux_local_round(
+                        participant,
+                        &global,
+                        &cost,
+                        round,
+                        &mut assigner,
+                        &mut flux_states[participant.id],
+                        &mut participant_rng,
+                    ),
+                };
+                loss_sum += out.train_loss;
+                expert_updates.extend(out.expert_updates);
+                if let Some(head) = out.head_update {
+                    head_updates.push(head);
+                }
+                if out.cost.total_s() > critical_path.total_s() {
+                    critical_path = out.cost;
+                }
+            }
+
+            server.aggregate(&expert_updates, &head_updates);
+            // Server-side aggregation latency (constant, small).
+            let aggregation_s = 1.0;
+            let round_seconds = critical_path.total_s() + aggregation_s;
+            clock.advance_s(round_seconds);
+            phases.accumulate(&critical_path);
+
+            let eval = server.global_model().evaluate(&eval_set);
+            tracker.record(round, clock.elapsed_hours(), eval.score);
+            records.push(RoundRecord {
+                round,
+                elapsed_hours: clock.elapsed_hours(),
+                score: eval.score,
+                train_loss: loss_sum / fleet.len().max(1) as f32,
+                round_seconds,
+                breakdown: critical_path,
+            });
+        }
+
+        let final_score = records.last().map(|r| r.score).unwrap_or(0.0);
+        RunResult {
+            method,
+            tracker,
+            rounds: records,
+            phase_times: phases,
+            final_score,
+        }
+    }
+
+    /// One Flux participant round: stale profiling, role assignment,
+    /// adaptive merging, local fine-tuning of exploitation experts, utility
+    /// reporting and cost accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn flux_local_round(
+        &self,
+        participant: &Participant,
+        global: &MoeModel,
+        cost: &CostModel,
+        round: usize,
+        assigner: &mut RoleAssigner,
+        state: &mut FluxState,
+        rng: &mut SeededRng,
+    ) -> LocalRoundOutput {
+        let cfg = &self.config;
+        let config = &global.config;
+        let device = &participant.device;
+        let tokens = participant.tokens_per_round();
+        let reference_tokens = tokens.saturating_mul(cfg.reference_token_scale).max(1);
+        let width = participant.profile_width;
+
+        // Profiling (§4): stale profiles come for free (they were refreshed
+        // during the previous round's aggregation window); a cold start or
+        // the non-stale ablation pays quantization + profiling on the
+        // critical path.
+        let mut profiling_s = 0.0;
+        let profile = if cfg.profiling.stale {
+            match state.profiler.stale_profile().cloned() {
+                Some(stale) => {
+                    state.profiler.refresh(global, &participant.train_data);
+                    stale
+                }
+                None => {
+                    profiling_s += cost.quantize_time_s(device, config, width)
+                        + cost.profile_time_s(device, config, reference_tokens, width);
+                    state
+                        .profiler
+                        .refresh_blocking(global, &participant.train_data)
+                }
+            }
+        } else {
+            profiling_s += cost.quantize_time_s(device, config, width)
+                + cost.profile_time_s(device, config, reference_tokens, width);
+            state
+                .profiler
+                .refresh_blocking(global, &participant.train_data)
+        };
+
+        // Bootstrap utilities from activation frequencies in the first round.
+        if assigner.utilities_of(participant.id).is_none() {
+            assigner.report_utilities(participant.id, &initial_utilities(&profile));
+        }
+
+        // Role assignment (§6).
+        let capacity = participant.expert_capacity(config);
+        let tuning_budget = device
+            .tuning_capacity(config, reference_tokens)
+            .min(capacity);
+        let non_tuning_budget = capacity.saturating_sub(tuning_budget).max(1);
+        let all_keys = global.expert_keys();
+        let assignment = assigner.assign(participant.id, &all_keys, tuning_budget, round, rng);
+        let tuning_set = assignment.tuning_set();
+
+        // Adaptive merging (§5).
+        let plan = CompactModelPlan::build(
+            global,
+            &profile,
+            &tuning_set,
+            non_tuning_budget,
+            cfg.merging,
+            rng,
+        );
+        let mut compact = plan.apply(global, &profile);
+        let key_map = plan.tuning_key_map();
+
+        // Data selection: train on the samples routed through the
+        // exploitation experts (falling back to the full shard).
+        let mut selected: BTreeSet<usize> = BTreeSet::new();
+        for key in &assignment.exploitation {
+            for &sample in profile.samples_of(*key) {
+                selected.insert(sample);
+            }
+        }
+        let train_samples: Vec<Sample> = if selected.is_empty() {
+            participant.train_data.samples.clone()
+        } else {
+            selected
+                .iter()
+                .filter_map(|&i| participant.train_data.samples.get(i).cloned())
+                .collect()
+        };
+
+        // Local fine-tuning of the exploitation experts.
+        let exploitation_compact: HashSet<ExpertKey> = assignment
+            .exploitation
+            .iter()
+            .filter_map(|k| key_map.get(k).copied())
+            .collect();
+        let (loss, last_grads) = local_train(
+            &mut compact,
+            &train_samples,
+            Some(&exploitation_compact),
+            cfg.learning_rate,
+            cfg.batch_size,
+        );
+
+        // Utility refresh: true gradients for exploitation experts,
+        // forward-only estimates for (a few) exploration experts.
+        let mut utilities: Vec<ExpertUtility> = Vec::new();
+        if let Some(grads) = &last_grads {
+            for (compact_key, grad) in &grads.expert_grads {
+                if let Some(original) = plan.original_of_compact(*compact_key) {
+                    utilities.push(expert_utility(
+                        original,
+                        grad,
+                        profile.samples_of(original).len(),
+                    ));
+                }
+            }
+        }
+        let estimator = ForwardGradEstimator {
+            sigma: 0.02,
+            num_perturbations: 1,
+            samples_per_eval: 1,
+        };
+        let explored = assignment.exploration.iter().take(4);
+        let mut exploration_estimates = 0usize;
+        for original in explored {
+            if let Some(compact_key) = key_map.get(original) {
+                let mut estimate = estimator.estimate_utility(
+                    &compact,
+                    *compact_key,
+                    &train_samples,
+                    profile.samples_of(*original).len(),
+                    rng,
+                );
+                estimate.key = *original;
+                utilities.push(estimate);
+                exploration_estimates += 1;
+            }
+        }
+        assigner.report_utilities(participant.id, &utilities);
+
+        // Upload the exploitation experts' updated parameters.
+        let weight = train_samples.len().max(1) as f32;
+        let expert_updates: Vec<ExpertUpdate> = assignment
+            .exploitation
+            .iter()
+            .filter_map(|original| {
+                key_map.get(original).map(|compact_key| ExpertUpdate {
+                    key: *original,
+                    expert: compact.expert(*compact_key).clone(),
+                    weight,
+                })
+            })
+            .collect();
+        let head = match &compact.cls_head {
+            Some(h) => h.clone(),
+            None => compact.lm_head.clone(),
+        };
+
+        // Cost accounting.
+        let train_tokens: usize = train_samples.iter().map(|s| s.tokens.len()).sum();
+        let reference_train_tokens = train_tokens.saturating_mul(cfg.reference_token_scale);
+        let non_tuning_total = config.total_experts().saturating_sub(tuning_set.len());
+        let fused = matches!(cfg.merging.clustering, crate::merging::ClusteringMode::Fused);
+        // Exploration gradient estimation: two forward passes per
+        // perturbation over one reference-scale sample.
+        let estimation_tokens = exploration_estimates
+            * 2
+            * estimator.num_perturbations
+            * cfg.reference_token_scale
+            * participant
+                .train_data
+                .samples
+                .first()
+                .map(|s| s.tokens.len())
+                .unwrap_or(16);
+        let breakdown = RoundCostBreakdown {
+            profiling_s,
+            merging_s: cost.merge_time_s(non_tuning_total, fused),
+            assignment_s: cost.assignment_time_s(config.total_experts())
+                + cost.forward_time_s(device, config, estimation_tokens, config.top_k),
+            fine_tuning_s: cost.fine_tune_time_s(
+                device,
+                config,
+                reference_train_tokens,
+                assignment.exploitation.len().max(1),
+                capacity,
+            ),
+            offloading_s: 0.0,
+            communication_s: cost.communication_time_s(
+                device,
+                config,
+                expert_updates.len().max(1),
+            ),
+        };
+        LocalRoundOutput {
+            expert_updates,
+            head_update: Some((head, weight)),
+            train_loss: loss,
+            cost: breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunConfig {
+        RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
+    }
+
+    #[test]
+    fn flux_run_produces_records_and_advancing_clock() {
+        let result = FederatedRun::new(quick_config(), 7).run(Method::Flux);
+        assert_eq!(result.rounds.len(), 3);
+        assert!(result.rounds[0].elapsed_hours > 0.0);
+        assert!(result.rounds[2].elapsed_hours > result.rounds[0].elapsed_hours);
+        assert_eq!(result.tracker.points().len(), 3);
+        assert!(result.phase_times.total_s() > 0.0);
+    }
+
+    #[test]
+    fn all_methods_complete_a_quick_run() {
+        let run = FederatedRun::new(quick_config(), 11);
+        for method in Method::all() {
+            let result = run.run(method);
+            assert_eq!(result.method, method);
+            assert_eq!(result.rounds.len(), 3);
+            assert!(result.final_score >= 0.0);
+            assert!(result.rounds.iter().all(|r| r.round_seconds > 0.0));
+        }
+    }
+
+    #[test]
+    fn flux_rounds_are_cheaper_than_fmd_rounds() {
+        let run = FederatedRun::new(quick_config(), 13);
+        let flux = run.run(Method::Flux);
+        let fmd = run.run(Method::Fmd);
+        let flux_round = flux.rounds.iter().map(|r| r.round_seconds).sum::<f64>();
+        let fmd_round = fmd.rounds.iter().map(|r| r.round_seconds).sum::<f64>();
+        assert!(
+            flux_round < fmd_round,
+            "Flux total round time {flux_round} should undercut FMD {fmd_round}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_given_seed() {
+        let a = FederatedRun::new(quick_config(), 17).run(Method::Flux);
+        let b = FederatedRun::new(quick_config(), 17).run(Method::Flux);
+        for (x, y) in a.rounds.iter().zip(b.rounds.iter()) {
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.round_seconds, y.round_seconds);
+        }
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(Method::Flux.label(), "FLUX");
+        assert_eq!(Method::all().len(), 4);
+    }
+
+    #[test]
+    fn run_config_metric_uses_dataset_target_by_default() {
+        let cfg = RunConfig {
+            target_score: None,
+            ..quick_config()
+        };
+        assert_eq!(cfg.metric().target(), DatasetKind::Gsm8k.target_score());
+        let with_target = quick_config().with_target(0.33);
+        assert!((with_target.metric().target() - 0.33).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_to_score_and_best_score() {
+        let result = FederatedRun::new(quick_config(), 23).run(Method::Flux);
+        let best = result.best_score();
+        assert!(result.time_to_score(best).is_some());
+        assert!(result.time_to_score(best + 1.0).is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! Similarity-based expert clustering (§5.2).
+//!
+//! Non-tuning experts are represented by PCA-reduced versions of their
+//! flattened parameters and grouped with K-Means so that similar experts are
+//! merged together. Flux fuses the per-layer clustering problems into one:
+//! every centroid carries a layer label and experts may only join centroids
+//! of their own layer, which removes the per-layer setup overhead (the 40×
+//! speedup of Fig. 16) without changing the layer-local semantics.
+
+use serde::{Deserialize, Serialize};
+
+use flux_moe::{ExpertKey, MoeModel};
+use flux_tensor::kmeans::KMeans;
+use flux_tensor::pca::Pca;
+use flux_tensor::{Matrix, SeededRng};
+
+/// Whether the clustering problems of different layers are fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusteringMode {
+    /// One constrained K-Means over all layers (the Flux design).
+    Fused,
+    /// Independent K-Means per layer (the ablation baseline of Fig. 16).
+    PerLayer,
+}
+
+/// Result of clustering the non-tuning experts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpertClusters {
+    /// `clusters[layer]` is a list of clusters; each cluster is a list of
+    /// *original* expert ids in that layer.
+    pub clusters: Vec<Vec<Vec<usize>>>,
+}
+
+impl ExpertClusters {
+    /// Total number of clusters across layers.
+    pub fn total_clusters(&self) -> usize {
+        self.clusters.iter().map(|layer| layer.len()).sum()
+    }
+
+    /// All experts covered by the clustering, as keys.
+    pub fn covered_experts(&self) -> Vec<ExpertKey> {
+        let mut keys = Vec::new();
+        for (layer, groups) in self.clusters.iter().enumerate() {
+            for group in groups {
+                for &expert in group {
+                    keys.push(ExpertKey::new(layer, expert));
+                }
+            }
+        }
+        keys
+    }
+}
+
+/// Clusters the non-tuning experts of every layer.
+///
+/// * `non_tuning[layer]` lists the original expert ids to cluster.
+/// * `budgets[layer]` is the number of clusters for that layer (0 for layers
+///   with nothing to merge).
+/// * `pca_dims` bounds the feature dimensionality (clamped to the number of
+///   experts being clustered).
+///
+/// Layers whose budget is zero or that have no non-tuning experts produce an
+/// empty cluster list. A layer with fewer non-tuning experts than its budget
+/// gets one singleton cluster per expert.
+pub fn cluster_non_tuning_experts(
+    model: &MoeModel,
+    non_tuning: &[Vec<usize>],
+    budgets: &[usize],
+    mode: ClusteringMode,
+    pca_dims: usize,
+    rng: &mut SeededRng,
+) -> ExpertClusters {
+    assert_eq!(non_tuning.len(), budgets.len(), "one budget per layer");
+    assert_eq!(
+        non_tuning.len(),
+        model.layers.len(),
+        "one expert list per model layer"
+    );
+    match mode {
+        ClusteringMode::Fused => cluster_fused(model, non_tuning, budgets, pca_dims, rng),
+        ClusteringMode::PerLayer => cluster_per_layer(model, non_tuning, budgets, pca_dims, rng),
+    }
+}
+
+/// Builds the PCA-reduced feature matrix for a set of experts.
+fn expert_features(
+    model: &MoeModel,
+    keys: &[ExpertKey],
+    pca_dims: usize,
+    rng: &mut SeededRng,
+) -> Matrix {
+    let rows: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|&k| model.expert(k).flatten_params())
+        .collect();
+    let raw = Matrix::from_rows(&rows);
+    let dims = pca_dims.clamp(1, raw.cols().min(raw.rows()).max(1));
+    if raw.rows() < 2 || dims >= raw.cols() {
+        return raw;
+    }
+    Pca::fit_transform(&raw, dims, rng).unwrap_or(raw)
+}
+
+fn cluster_fused(
+    model: &MoeModel,
+    non_tuning: &[Vec<usize>],
+    budgets: &[usize],
+    pca_dims: usize,
+    rng: &mut SeededRng,
+) -> ExpertClusters {
+    // Collect every non-tuning expert (across all layers) into one point set.
+    let mut keys: Vec<ExpertKey> = Vec::new();
+    let mut point_labels: Vec<usize> = Vec::new();
+    let mut centroid_labels: Vec<usize> = Vec::new();
+    for (layer, experts) in non_tuning.iter().enumerate() {
+        let budget = budgets[layer].min(experts.len());
+        if experts.is_empty() || budget == 0 {
+            continue;
+        }
+        for &e in experts {
+            keys.push(ExpertKey::new(layer, e));
+            point_labels.push(layer);
+        }
+        centroid_labels.extend(std::iter::repeat(layer).take(budget));
+    }
+    let mut clusters = vec![Vec::new(); non_tuning.len()];
+    if keys.is_empty() {
+        return ExpertClusters { clusters };
+    }
+    let features = expert_features(model, &keys, pca_dims, rng);
+    let result = KMeans::new(centroid_labels.len())
+        .fit_constrained(&features, &point_labels, &centroid_labels, rng)
+        .expect("constrained clustering inputs are validated above");
+    // Convert centroid-indexed assignments back into per-layer groups.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); centroid_labels.len()];
+    for (point, &cluster) in result.assignments.iter().enumerate() {
+        groups[cluster].push(point);
+    }
+    for (cluster, members) in groups.into_iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let layer = centroid_labels[cluster];
+        let experts: Vec<usize> = members.iter().map(|&p| keys[p].expert).collect();
+        clusters[layer].push(experts);
+    }
+    ExpertClusters { clusters }
+}
+
+fn cluster_per_layer(
+    model: &MoeModel,
+    non_tuning: &[Vec<usize>],
+    budgets: &[usize],
+    pca_dims: usize,
+    rng: &mut SeededRng,
+) -> ExpertClusters {
+    let mut clusters = vec![Vec::new(); non_tuning.len()];
+    for (layer, experts) in non_tuning.iter().enumerate() {
+        let budget = budgets[layer].min(experts.len());
+        if experts.is_empty() || budget == 0 {
+            continue;
+        }
+        let keys: Vec<ExpertKey> = experts.iter().map(|&e| ExpertKey::new(layer, e)).collect();
+        let features = expert_features(model, &keys, pca_dims, rng);
+        let result = KMeans::new(budget)
+            .fit(&features, rng)
+            .expect("layer clustering inputs are validated above");
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); result.centroids.rows()];
+        for (point, &cluster) in result.assignments.iter().enumerate() {
+            groups[cluster].push(experts[point]);
+        }
+        clusters[layer] = groups.into_iter().filter(|g| !g.is_empty()).collect();
+    }
+    ExpertClusters { clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_moe::MoeConfig;
+
+    fn model() -> MoeModel {
+        let mut rng = SeededRng::new(1);
+        MoeModel::new(MoeConfig::tiny(), &mut rng)
+    }
+
+    fn all_experts_non_tuning(model: &MoeModel) -> Vec<Vec<usize>> {
+        model
+            .experts_per_layer()
+            .iter()
+            .map(|&n| (0..n).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fused_clustering_covers_every_non_tuning_expert() {
+        let model = model();
+        let mut rng = SeededRng::new(2);
+        let non_tuning = all_experts_non_tuning(&model);
+        let budgets = vec![3, 2, 2, 1];
+        let clusters = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::Fused,
+            4,
+            &mut rng,
+        );
+        let covered = clusters.covered_experts();
+        assert_eq!(covered.len(), 4 * 8);
+        // Each layer has at most its budget of clusters, and at least one.
+        for (layer, groups) in clusters.clusters.iter().enumerate() {
+            assert!(!groups.is_empty());
+            assert!(groups.len() <= budgets[layer]);
+        }
+    }
+
+    #[test]
+    fn per_layer_clustering_matches_budget() {
+        let model = model();
+        let mut rng = SeededRng::new(3);
+        let non_tuning = all_experts_non_tuning(&model);
+        let budgets = vec![2; 4];
+        let clusters = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::PerLayer,
+            4,
+            &mut rng,
+        );
+        assert_eq!(clusters.covered_experts().len(), 32);
+        for groups in &clusters.clusters {
+            assert!(groups.len() <= 2 && !groups.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_layers_produce_empty_clusters() {
+        let model = model();
+        let mut rng = SeededRng::new(4);
+        let mut non_tuning = all_experts_non_tuning(&model);
+        non_tuning[1].clear();
+        let budgets = vec![2, 2, 0, 2];
+        let clusters = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::Fused,
+            4,
+            &mut rng,
+        );
+        assert!(clusters.clusters[1].is_empty());
+        assert!(clusters.clusters[2].is_empty());
+        assert!(!clusters.clusters[0].is_empty());
+    }
+
+    #[test]
+    fn budget_larger_than_experts_gives_singletons() {
+        let model = model();
+        let mut rng = SeededRng::new(5);
+        let mut non_tuning = vec![Vec::new(); 4];
+        non_tuning[0] = vec![1, 5];
+        let budgets = vec![10, 0, 0, 0];
+        let clusters = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::Fused,
+            4,
+            &mut rng,
+        );
+        assert_eq!(clusters.clusters[0].len(), 2);
+        assert_eq!(clusters.total_clusters(), 2);
+    }
+
+    #[test]
+    fn fused_and_per_layer_cover_identical_expert_sets() {
+        let model = model();
+        let non_tuning = all_experts_non_tuning(&model);
+        let budgets = vec![2, 3, 2, 3];
+        let fused = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::Fused,
+            4,
+            &mut SeededRng::new(6),
+        );
+        let layered = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::PerLayer,
+            4,
+            &mut SeededRng::new(6),
+        );
+        let mut a = fused.covered_experts();
+        let mut b = layered.covered_experts();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_experts_cluster_together() {
+        let mut model = model();
+        // Make experts 2 and 3 of layer 0 identical; with a budget of 2 over
+        // experts {1,2,3,4} they must land in the same cluster.
+        let clone = model.expert(ExpertKey::new(0, 2)).clone();
+        model.set_expert(ExpertKey::new(0, 3), clone);
+        let mut non_tuning = vec![Vec::new(); 4];
+        non_tuning[0] = vec![1, 2, 3, 4];
+        let budgets = vec![2, 0, 0, 0];
+        let clusters = cluster_non_tuning_experts(
+            &model,
+            &non_tuning,
+            &budgets,
+            ClusteringMode::Fused,
+            4,
+            &mut SeededRng::new(7),
+        );
+        let together = clusters.clusters[0]
+            .iter()
+            .any(|group| group.contains(&2) && group.contains(&3));
+        assert!(together, "identical experts should share a cluster: {:?}", clusters.clusters[0]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Quantization-based local expert-activation profiling (§4).
+//!
+//! Running the full-precision model over local data just to measure which
+//! experts fire is unaffordable on a constrained participant. Flux instead
+//! profiles with a low-bit quantized copy, whose *routing decisions* closely
+//! track the full model even though its outputs are too noisy to train on.
+//! [`LocalProfiler`] implements that measurement; [`StaleProfiler`]
+//! implements the stale-profiling pipeline of §4.2, where round `r` uses the
+//! profile computed during round `r-1`'s aggregation window so the profiling
+//! cost is hidden behind server-side work.
+
+use serde::{Deserialize, Serialize};
+
+use flux_data::Dataset;
+use flux_moe::{ActivationProfile, MoeModel};
+use flux_quant::BitWidth;
+
+/// Configuration of the local profiling module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingConfig {
+    /// Quantization width used for the profiling copy. Weaker devices pick
+    /// lower widths (cheaper, less accurate).
+    pub width: BitWidth,
+    /// Whether to use stale profiling (profile from the previous round) so
+    /// profiling overlaps with aggregation.
+    pub stale: bool,
+    /// Largest number of samples to profile per round; profiling the whole
+    /// shard is unnecessary once frequencies stabilize.
+    pub max_samples: usize,
+}
+
+impl Default for ProfilingConfig {
+    fn default() -> Self {
+        Self {
+            width: BitWidth::Int4,
+            stale: true,
+            max_samples: 64,
+        }
+    }
+}
+
+impl ProfilingConfig {
+    /// Uses the given quantization width.
+    pub fn with_width(mut self, width: BitWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Enables or disables stale profiling.
+    pub fn with_stale(mut self, stale: bool) -> Self {
+        self.stale = stale;
+        self
+    }
+}
+
+/// Profiles expert activation with a quantized model copy.
+#[derive(Debug, Clone)]
+pub struct LocalProfiler {
+    config: ProfilingConfig,
+}
+
+impl LocalProfiler {
+    /// Creates a profiler with the given configuration.
+    pub fn new(config: ProfilingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The profiling configuration.
+    pub fn config(&self) -> &ProfilingConfig {
+        &self.config
+    }
+
+    /// Profiles `dataset` using a quantized copy of `model`.
+    ///
+    /// Only the first `max_samples` samples are used; the quantized copy is
+    /// built fresh from the given model so the profile reflects the latest
+    /// downloaded parameters.
+    pub fn profile(&self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
+        let quantized = model.quantized_copy(self.config.width);
+        let subset = limit_samples(dataset, self.config.max_samples);
+        quantized.profile(&subset)
+    }
+
+    /// Profiles with the *full-precision* model. Used as ground truth when
+    /// measuring the estimation error of quantized profiling (Fig. 5/14).
+    pub fn profile_full_precision(&self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
+        let subset = limit_samples(dataset, self.config.max_samples);
+        model.profile(&subset)
+    }
+
+    /// Estimation error (percent) of quantized profiling against the
+    /// full-precision ground truth on the same data.
+    pub fn estimation_error_pct(&self, model: &MoeModel, dataset: &Dataset) -> f32 {
+        let estimated = self.profile(model, dataset);
+        let truth = self.profile_full_precision(model, dataset);
+        estimated.estimation_error_pct(&truth)
+    }
+}
+
+/// Stale-profiling pipeline (§4.2).
+///
+/// Holds the most recent completed profile. At the start of round `r` the
+/// participant *uses* the stale profile (computed from the round `r-1`
+/// model) for merging and data selection, then refreshes the profile from
+/// the newly downloaded model while the server is busy aggregating — hiding
+/// the profiling latency.
+#[derive(Debug, Clone)]
+pub struct StaleProfiler {
+    profiler: LocalProfiler,
+    current: Option<ActivationProfile>,
+    refreshes: usize,
+}
+
+impl StaleProfiler {
+    /// Creates an empty stale profiler.
+    pub fn new(config: ProfilingConfig) -> Self {
+        Self {
+            profiler: LocalProfiler::new(config),
+            current: None,
+            refreshes: 0,
+        }
+    }
+
+    /// The profile available for use this round (stale), if any. The first
+    /// round has no stale profile and must call
+    /// [`StaleProfiler::refresh_blocking`] instead.
+    pub fn stale_profile(&self) -> Option<&ActivationProfile> {
+        self.current.as_ref()
+    }
+
+    /// Number of refreshes performed so far.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Refreshes the profile from the given model/data; in the real system
+    /// this runs concurrently with server aggregation, so its cost is not on
+    /// the participant's critical path (the driver accounts for it that way).
+    pub fn refresh(&mut self, model: &MoeModel, dataset: &Dataset) {
+        self.current = Some(self.profiler.profile(model, dataset));
+        self.refreshes += 1;
+    }
+
+    /// Profiles synchronously and returns the result (used in round 0, when
+    /// no stale profile exists yet, and by the non-stale ablation).
+    pub fn refresh_blocking(&mut self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
+        self.refresh(model, dataset);
+        self.current.clone().expect("refresh just populated the profile")
+    }
+}
+
+fn limit_samples(dataset: &Dataset, max: usize) -> Dataset {
+    if dataset.len() <= max {
+        return dataset.clone();
+    }
+    let indices: Vec<usize> = (0..max).collect();
+    dataset.subset(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_data::{DatasetGenerator, DatasetKind};
+    use flux_moe::MoeConfig;
+    use flux_tensor::SeededRng;
+
+    fn model_and_data() -> (MoeModel, Dataset) {
+        let mut rng = SeededRng::new(1);
+        let model = MoeModel::new(MoeConfig::tiny().with_classes(8), &mut rng);
+        let cfg = flux_data::DatasetConfig::for_kind(DatasetKind::Gsm8k, 64)
+            .with_num_samples(20)
+            .with_mean_seq_len(10);
+        let data = DatasetGenerator::new(cfg).generate(&mut rng);
+        (model, data)
+    }
+
+    #[test]
+    fn quantized_profile_has_model_shape() {
+        let (model, data) = model_and_data();
+        let profiler = LocalProfiler::new(ProfilingConfig::default());
+        let profile = profiler.profile(&model, &data);
+        assert_eq!(profile.num_layers(), 4);
+        assert_eq!(profile.frequencies[0].len(), 8);
+    }
+
+    #[test]
+    fn estimation_error_decreases_with_precision() {
+        let (model, data) = model_and_data();
+        let err = |width| {
+            LocalProfiler::new(ProfilingConfig::default().with_width(width))
+                .estimation_error_pct(&model, &data)
+        };
+        let e2 = err(BitWidth::Int2);
+        let e8 = err(BitWidth::Int8);
+        assert!(
+            e2 >= e8,
+            "2-bit profiling should not beat 8-bit: {e2} vs {e8}"
+        );
+        // INT8 routing should be close to the full-precision routing.
+        assert!(e8 < 30.0, "int8 error unexpectedly high: {e8}");
+    }
+
+    #[test]
+    fn estimation_error_is_nonzero_for_low_bits() {
+        let (model, data) = model_and_data();
+        let e2 = LocalProfiler::new(ProfilingConfig::default().with_width(BitWidth::Int2))
+            .estimation_error_pct(&model, &data);
+        assert!(e2 > 0.0);
+    }
+
+    #[test]
+    fn max_samples_limits_work() {
+        let (model, data) = model_and_data();
+        let small = LocalProfiler::new(ProfilingConfig {
+            width: BitWidth::Int8,
+            stale: true,
+            max_samples: 3,
+        });
+        // Should run (on only 3 samples) and still produce a full-shape profile.
+        let profile = small.profile(&model, &data);
+        assert_eq!(profile.num_layers(), 4);
+    }
+
+    #[test]
+    fn stale_profiler_lags_one_round_behind() {
+        let (model, data) = model_and_data();
+        let mut stale = StaleProfiler::new(ProfilingConfig::default());
+        assert!(stale.stale_profile().is_none());
+        let first = stale.refresh_blocking(&model, &data);
+        assert_eq!(stale.refreshes(), 1);
+        // The stale profile now equals the first profile even if the model
+        // changes afterwards.
+        let mut rng = SeededRng::new(99);
+        let newer_model = MoeModel::new(MoeConfig::tiny().with_classes(8), &mut rng);
+        let stale_view = stale.stale_profile().unwrap().clone();
+        assert_eq!(stale_view, first);
+        stale.refresh(&newer_model, &data);
+        assert_eq!(stale.refreshes(), 2);
+        assert_ne!(stale.stale_profile().unwrap(), &first);
+    }
+
+    #[test]
+    fn stale_profile_error_is_modest_across_one_update_step() {
+        // The justification for stale profiling (Fig. 6/14): one round of
+        // fine-tuning changes activation frequencies only slightly.
+        let (mut model, data) = model_and_data();
+        let profiler = LocalProfiler::new(ProfilingConfig::default().with_width(BitWidth::Int8));
+        let before = profiler.profile(&model, &data);
+        // One small training step.
+        model.train_step(&data.samples[..4], None, 1e-3);
+        let after = profiler.profile(&model, &data);
+        let drift = before.estimation_error_pct(&after);
+        assert!(drift < 25.0, "one-step drift too large: {drift}%");
+    }
+}

@@ -1,0 +1,207 @@
+//! FedAvg aggregation of expert parameters and task heads.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use flux_moe::{Expert, ExpertKey};
+use flux_tensor::Matrix;
+
+/// One participant's update for a single expert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpertUpdate {
+    /// Which global (original) expert this update targets.
+    pub key: ExpertKey,
+    /// The updated expert parameters after local fine-tuning.
+    pub expert: Expert,
+    /// Aggregation weight (the paper uses FedAvg, weighting by the number of
+    /// local samples/tokens that contributed).
+    pub weight: f32,
+}
+
+/// Aggregates expert updates with FedAvg.
+///
+/// Updates targeting the same [`ExpertKey`] are averaged with their weights;
+/// experts no participant updated are absent from the result (the server
+/// keeps its previous parameters for those).
+pub fn fedavg_experts(updates: &[ExpertUpdate]) -> HashMap<ExpertKey, Expert> {
+    let mut grouped: HashMap<ExpertKey, Vec<&ExpertUpdate>> = HashMap::new();
+    for update in updates {
+        grouped.entry(update.key).or_default().push(update);
+    }
+    let mut out = HashMap::new();
+    for (key, group) in grouped {
+        let experts: Vec<&Expert> = group.iter().map(|u| &u.expert).collect();
+        let weights: Vec<f32> = group.iter().map(|u| u.weight.max(0.0)).collect();
+        let total: f32 = weights.iter().sum();
+        let weights = if total > 0.0 {
+            weights
+        } else {
+            vec![1.0; experts.len()]
+        };
+        out.insert(key, Expert::weighted_merge(&experts, &weights));
+    }
+    out
+}
+
+/// FedAvg over matrices (task heads): weighted element-wise average.
+///
+/// Returns `None` when the input is empty. Entries with mismatched shapes
+/// are skipped (a participant running a different head cannot be averaged).
+pub fn fedavg_matrices(updates: &[(Matrix, f32)]) -> Option<Matrix> {
+    let (first, _) = updates.first()?;
+    let shape = first.shape();
+    let mut acc = Matrix::zeros(shape.0, shape.1);
+    let mut total_weight = 0.0f32;
+    for (m, w) in updates {
+        if m.shape() != shape || *w <= 0.0 {
+            continue;
+        }
+        acc.add_scaled(m, *w).expect("same shape");
+        total_weight += *w;
+    }
+    if total_weight <= 0.0 {
+        return Some(first.clone());
+    }
+    acc.scale_in_place(1.0 / total_weight);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_tensor::SeededRng;
+
+    fn expert(seed: u64) -> Expert {
+        let mut rng = SeededRng::new(seed);
+        Expert::new(4, 8, &mut rng)
+    }
+
+    #[test]
+    fn single_update_passes_through() {
+        let e = expert(1);
+        let updates = vec![ExpertUpdate {
+            key: ExpertKey::new(0, 3),
+            expert: e.clone(),
+            weight: 5.0,
+        }];
+        let agg = fedavg_experts(&updates);
+        assert_eq!(agg.len(), 1);
+        let merged = &agg[&ExpertKey::new(0, 3)];
+        for (a, b) in merged.w1.as_slice().iter().zip(e.w1.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_average_of_two_updates() {
+        let a = expert(2);
+        let b = expert(3);
+        let updates = vec![
+            ExpertUpdate {
+                key: ExpertKey::new(1, 0),
+                expert: a.clone(),
+                weight: 3.0,
+            },
+            ExpertUpdate {
+                key: ExpertKey::new(1, 0),
+                expert: b.clone(),
+                weight: 1.0,
+            },
+        ];
+        let agg = fedavg_experts(&updates);
+        let merged = &agg[&ExpertKey::new(1, 0)];
+        for ((m, x), y) in merged
+            .w1
+            .as_slice()
+            .iter()
+            .zip(a.w1.as_slice())
+            .zip(b.w1.as_slice())
+        {
+            assert!((m - (0.75 * x + 0.25 * y)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn different_keys_stay_separate() {
+        let updates = vec![
+            ExpertUpdate {
+                key: ExpertKey::new(0, 0),
+                expert: expert(4),
+                weight: 1.0,
+            },
+            ExpertUpdate {
+                key: ExpertKey::new(2, 5),
+                expert: expert(5),
+                weight: 1.0,
+            },
+        ];
+        let agg = fedavg_experts(&updates);
+        assert_eq!(agg.len(), 2);
+        assert!(agg.contains_key(&ExpertKey::new(0, 0)));
+        assert!(agg.contains_key(&ExpertKey::new(2, 5)));
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let a = expert(6);
+        let b = expert(7);
+        let updates = vec![
+            ExpertUpdate {
+                key: ExpertKey::new(0, 1),
+                expert: a.clone(),
+                weight: 0.0,
+            },
+            ExpertUpdate {
+                key: ExpertKey::new(0, 1),
+                expert: b.clone(),
+                weight: 0.0,
+            },
+        ];
+        let agg = fedavg_experts(&updates);
+        let merged = &agg[&ExpertKey::new(0, 1)];
+        for ((m, x), y) in merged
+            .w2
+            .as_slice()
+            .iter()
+            .zip(a.w2.as_slice())
+            .zip(b.w2.as_slice())
+        {
+            assert!((m - 0.5 * (x + y)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_updates_give_empty_map() {
+        assert!(fedavg_experts(&[]).is_empty());
+    }
+
+    #[test]
+    fn matrix_fedavg_weighted() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        let avg = fedavg_matrices(&[(a, 1.0), (b, 1.0)]).unwrap();
+        assert!(avg.as_slice().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn matrix_fedavg_skips_mismatched_shapes() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(3, 3, 9.0);
+        let avg = fedavg_matrices(&[(a, 1.0), (b, 1.0)]).unwrap();
+        assert_eq!(avg.shape(), (2, 2));
+        assert!(avg.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn matrix_fedavg_empty_is_none() {
+        assert!(fedavg_matrices(&[]).is_none());
+    }
+
+    #[test]
+    fn matrix_fedavg_all_zero_weights_returns_first() {
+        let a = Matrix::filled(1, 2, 4.0);
+        let avg = fedavg_matrices(&[(a.clone(), 0.0)]).unwrap();
+        assert_eq!(avg, a);
+    }
+}

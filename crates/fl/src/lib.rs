@@ -1,0 +1,36 @@
+//! Federated-learning substrate: devices, cost model, clock, aggregation.
+//!
+//! The paper evaluates Flux on a physical testbed (NVIDIA L20 servers acting
+//! as resource-constrained participants) and reports *time-to-accuracy*.
+//! This crate replaces the testbed with an explicit simulation substrate:
+//!
+//! * [`device::DeviceProfile`] describes a participant's GPU memory, compute
+//!   throughput, PCIe bandwidth and network bandwidth, and derives the
+//!   paper's per-participant budgets `B_i` (experts that fit in memory) and
+//!   `B_tune_i` (experts that can be tuned within the round deadline);
+//! * [`cost::CostModel`] converts work items (profiling a dataset with an
+//!   INT4 model, fine-tuning k experts on t tokens, offloading experts over
+//!   PCIe, uploading updates) into simulated seconds;
+//! * [`clock::SimClock`] and [`clock::PhaseTimes`] accumulate those seconds
+//!   into per-round and per-phase totals (the basis of Fig. 14/20 and all
+//!   time-to-accuracy numbers);
+//! * [`aggregate`] implements FedAvg over expert parameters and task heads;
+//! * [`participant::Participant`] bundles a device with its non-IID data
+//!   shard, and [`server::ParameterServer`] holds the global model.
+//!
+//! Convergence behaviour (rounds to target) comes from really training the
+//! scaled model; this crate only accounts for how long each round takes.
+
+pub mod aggregate;
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod participant;
+pub mod server;
+
+pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate};
+pub use clock::{PhaseTimes, SimClock};
+pub use cost::{CostModel, RoundCostBreakdown};
+pub use device::{DeviceClass, DeviceProfile};
+pub use participant::{build_fleet, Participant};
+pub use server::ParameterServer;

@@ -1,0 +1,173 @@
+//! Federated participants and fleet construction.
+
+use serde::{Deserialize, Serialize};
+
+use flux_data::{partition_non_iid, Dataset, PartitionConfig};
+use flux_moe::MoeConfig;
+use flux_quant::BitWidth;
+use flux_tensor::SeededRng;
+
+use crate::device::{sample_fleet, DeviceProfile};
+
+/// One federated participant: a device plus its local (private) data shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Participant {
+    /// Stable participant id.
+    pub id: usize,
+    /// Hardware profile.
+    pub device: DeviceProfile,
+    /// Local training shard (never leaves the participant).
+    pub train_data: Dataset,
+    /// Profiling bit width this participant can afford (weaker devices pick
+    /// lower widths, §4.1 "each participant flexibly chooses the appropriate
+    /// quantization level").
+    pub profile_width: BitWidth,
+}
+
+impl Participant {
+    /// Memory budget `B_i`: experts that fit on this device.
+    pub fn expert_capacity(&self, config: &MoeConfig) -> usize {
+        self.device.expert_capacity(config)
+    }
+
+    /// Compute budget `B_tune_i`: experts that can be tuned per round.
+    pub fn tuning_capacity(&self, config: &MoeConfig) -> usize {
+        self.device.tuning_capacity(config, self.tokens_per_round())
+    }
+
+    /// Non-tuning budget `B_non_i = B_i − B_tune_i`.
+    pub fn non_tuning_capacity(&self, config: &MoeConfig) -> usize {
+        self.expert_capacity(config)
+            .saturating_sub(self.tuning_capacity(config))
+            .max(1)
+    }
+
+    /// Tokens processed in one local round (all local samples, one epoch).
+    pub fn tokens_per_round(&self) -> usize {
+        self.train_data
+            .samples
+            .iter()
+            .map(|s| s.tokens.len())
+            .sum::<usize>()
+            .max(1)
+    }
+
+    /// Number of local samples.
+    pub fn num_samples(&self) -> usize {
+        self.train_data.len()
+    }
+}
+
+/// Builds a heterogeneous fleet of participants from a dataset.
+///
+/// The dataset is split non-IID across participants (Dirichlet topic skew)
+/// and each participant is paired with a sampled consumer-GPU profile. The
+/// profiling bit width is chosen per device: 8 GB cards use INT2, mid-range
+/// cards INT4, larger cards INT8.
+pub fn build_fleet(
+    dataset: &Dataset,
+    num_participants: usize,
+    alpha: f32,
+    rng: &mut SeededRng,
+) -> Vec<Participant> {
+    assert!(num_participants > 0, "need at least one participant");
+    let shards = partition_non_iid(
+        dataset,
+        &PartitionConfig::new(num_participants).with_alpha(alpha),
+        rng,
+    );
+    let devices = sample_fleet(num_participants, rng);
+    shards
+        .into_iter()
+        .zip(devices)
+        .enumerate()
+        .map(|(id, (train_data, device))| {
+            let profile_width = if device.gpu_memory_gb <= 8.0 {
+                BitWidth::Int2
+            } else if device.gpu_memory_gb <= 16.0 {
+                BitWidth::Int4
+            } else {
+                BitWidth::Int8
+            };
+            Participant {
+                id,
+                device,
+                train_data,
+                profile_width,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_data::{DatasetGenerator, DatasetKind};
+
+    fn dataset() -> Dataset {
+        let mut rng = SeededRng::new(1);
+        DatasetGenerator::for_kind(DatasetKind::Mmlu, 256).generate(&mut rng)
+    }
+
+    #[test]
+    fn fleet_covers_all_samples_and_ids() {
+        let ds = dataset();
+        let mut rng = SeededRng::new(2);
+        let fleet = build_fleet(&ds, 10, 0.5, &mut rng);
+        assert_eq!(fleet.len(), 10);
+        let total: usize = fleet.iter().map(|p| p.num_samples()).sum();
+        assert_eq!(total, ds.len());
+        for (i, p) in fleet.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn budgets_are_consistent() {
+        let ds = dataset();
+        let mut rng = SeededRng::new(3);
+        let cfg = MoeConfig::llama_moe_sim();
+        let fleet = build_fleet(&ds, 8, 0.5, &mut rng);
+        for p in &fleet {
+            let b = p.expert_capacity(&cfg);
+            let bt = p.tuning_capacity(&cfg);
+            let bn = p.non_tuning_capacity(&cfg);
+            assert!(bt <= b);
+            assert!(bn >= 1);
+            assert!(bt + bn >= b.min(bt + bn), "budgets must cover the device");
+        }
+    }
+
+    #[test]
+    fn profile_width_matches_device_size() {
+        let ds = dataset();
+        let mut rng = SeededRng::new(4);
+        let fleet = build_fleet(&ds, 30, 0.5, &mut rng);
+        for p in &fleet {
+            match p.profile_width {
+                BitWidth::Int2 => assert!(p.device.gpu_memory_gb <= 8.0),
+                BitWidth::Int4 => assert!(p.device.gpu_memory_gb > 8.0 && p.device.gpu_memory_gb <= 16.0),
+                BitWidth::Int8 => assert!(p.device.gpu_memory_gb > 16.0),
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_per_round_positive() {
+        let ds = dataset();
+        let mut rng = SeededRng::new(5);
+        let fleet = build_fleet(&ds, 5, 0.5, &mut rng);
+        assert!(fleet.iter().all(|p| p.tokens_per_round() > 0));
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let ds = dataset();
+        let a = build_fleet(&ds, 6, 0.5, &mut SeededRng::new(7));
+        let b = build_fleet(&ds, 6, 0.5, &mut SeededRng::new(7));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.train_data.samples.len(), y.train_data.samples.len());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The parameter server holding the global model.
+
+use parking_lot::RwLock;
+
+use flux_moe::{ExpertKey, MoeModel};
+use flux_tensor::Matrix;
+
+use crate::aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate};
+
+/// Central parameter server of the federated system.
+///
+/// Holds the global MoE model, aggregates expert updates with FedAvg, and
+/// hands out copies (or per-expert parameters) to participants. Interior
+/// mutability allows the participant simulation to run on worker threads
+/// while the server stays shared.
+#[derive(Debug)]
+pub struct ParameterServer {
+    global: RwLock<MoeModel>,
+    rounds_completed: RwLock<usize>,
+}
+
+impl ParameterServer {
+    /// Creates a server around an initial global model.
+    pub fn new(global_model: MoeModel) -> Self {
+        Self {
+            global: RwLock::new(global_model),
+            rounds_completed: RwLock::new(0),
+        }
+    }
+
+    /// A full copy of the current global model (what a participant downloads
+    /// at the start of a round).
+    pub fn global_model(&self) -> MoeModel {
+        self.global.read().clone()
+    }
+
+    /// Number of aggregation rounds applied so far.
+    pub fn rounds_completed(&self) -> usize {
+        *self.rounds_completed.read()
+    }
+
+    /// Applies one round of FedAvg aggregation.
+    ///
+    /// `expert_updates` carries the fine-tuned expert parameters from every
+    /// participant (original/global expert ids); `head_updates` carries the
+    /// task-head matrices with their weights. Experts nobody updated keep
+    /// their previous global parameters.
+    pub fn aggregate(&self, expert_updates: &[ExpertUpdate], head_updates: &[(Matrix, f32)]) {
+        let aggregated = fedavg_experts(expert_updates);
+        let head = fedavg_matrices(head_updates);
+        let mut global = self.global.write();
+        for (key, expert) in aggregated {
+            if key.layer < global.layers.len()
+                && key.expert < global.layers[key.layer].moe.num_experts()
+            {
+                global.set_expert(key, expert);
+            }
+        }
+        if let Some(head) = head {
+            let target = match &mut global.cls_head {
+                Some(h) => h,
+                None => &mut global.lm_head,
+            };
+            if target.shape() == head.shape() {
+                *target = head;
+            }
+        }
+        *self.rounds_completed.write() += 1;
+    }
+
+    /// Convenience: read one expert's current global parameters.
+    pub fn expert(&self, key: ExpertKey) -> flux_moe::Expert {
+        self.global.read().expert(key).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_moe::MoeConfig;
+    use flux_tensor::SeededRng;
+
+    fn server() -> ParameterServer {
+        let mut rng = SeededRng::new(1);
+        ParameterServer::new(MoeModel::new(MoeConfig::tiny(), &mut rng))
+    }
+
+    #[test]
+    fn aggregate_replaces_updated_experts_only() {
+        let server = server();
+        let before = server.global_model();
+        let key = ExpertKey::new(0, 0);
+        let untouched = ExpertKey::new(3, 7);
+        let mut rng = SeededRng::new(2);
+        let new_expert = flux_moe::Expert::new(16, 32, &mut rng);
+        server.aggregate(
+            &[ExpertUpdate {
+                key,
+                expert: new_expert.clone(),
+                weight: 1.0,
+            }],
+            &[],
+        );
+        let after = server.global_model();
+        assert_eq!(after.expert(key), &new_expert);
+        assert_eq!(after.expert(untouched), before.expert(untouched));
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn aggregate_updates_head() {
+        let server = server();
+        let shape = server.global_model().lm_head.shape();
+        let new_head = Matrix::filled(shape.0, shape.1, 0.123);
+        server.aggregate(&[], &[(new_head.clone(), 2.0)]);
+        assert_eq!(server.global_model().lm_head, new_head);
+    }
+
+    #[test]
+    fn mismatched_head_is_ignored() {
+        let server = server();
+        let before = server.global_model().lm_head.clone();
+        server.aggregate(&[], &[(Matrix::filled(2, 2, 9.0), 1.0)]);
+        assert_eq!(server.global_model().lm_head, before);
+    }
+
+    #[test]
+    fn out_of_range_expert_update_is_ignored() {
+        let server = server();
+        let mut rng = SeededRng::new(3);
+        let rogue = flux_moe::Expert::new(16, 32, &mut rng);
+        server.aggregate(
+            &[ExpertUpdate {
+                key: ExpertKey::new(99, 99),
+                expert: rogue,
+                weight: 1.0,
+            }],
+            &[],
+        );
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn expert_accessor_matches_model() {
+        let server = server();
+        let key = ExpertKey::new(1, 2);
+        assert_eq!(&server.expert(key), server.global_model().expert(key));
+    }
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        let server = std::sync::Arc::new(server());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = server.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SeededRng::new(t);
+                let e = flux_moe::Expert::new(16, 32, &mut rng);
+                s.aggregate(
+                    &[ExpertUpdate {
+                        key: ExpertKey::new(0, t as usize),
+                        expert: e,
+                        weight: 1.0,
+                    }],
+                    &[],
+                );
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.rounds_completed(), 4);
+    }
+}

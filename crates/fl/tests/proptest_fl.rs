@@ -1,0 +1,124 @@
+//! Property-based tests for the federated substrate: FedAvg invariants,
+//! device budgets, and cost-model monotonicity.
+
+use proptest::prelude::*;
+
+use flux_fl::{fedavg_experts, fedavg_matrices, CostModel, DeviceClass, ExpertUpdate};
+use flux_moe::{Expert, ExpertKey, MoeConfig};
+use flux_tensor::{Matrix, SeededRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FedAvg of identical experts returns the same expert regardless of the
+    /// weights.
+    #[test]
+    fn fedavg_identical_experts_is_identity(
+        seed in 0u64..500,
+        weights in prop::collection::vec(0.1f32..10.0, 1..6),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let expert = Expert::new(4, 8, &mut rng);
+        let updates: Vec<ExpertUpdate> = weights
+            .iter()
+            .map(|&w| ExpertUpdate {
+                key: ExpertKey::new(0, 0),
+                expert: expert.clone(),
+                weight: w,
+            })
+            .collect();
+        let out = fedavg_experts(&updates);
+        let merged = &out[&ExpertKey::new(0, 0)];
+        for (a, b) in merged.w1.as_slice().iter().zip(expert.w1.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// FedAvg is invariant to a uniform scaling of all weights.
+    #[test]
+    fn fedavg_weight_scale_invariance(seed in 0u64..500, scale in 0.1f32..50.0) {
+        let mut rng = SeededRng::new(seed);
+        let a = Expert::new(4, 8, &mut rng);
+        let b = Expert::new(4, 8, &mut rng);
+        let make = |s: f32| {
+            vec![
+                ExpertUpdate { key: ExpertKey::new(1, 2), expert: a.clone(), weight: 2.0 * s },
+                ExpertUpdate { key: ExpertKey::new(1, 2), expert: b.clone(), weight: 3.0 * s },
+            ]
+        };
+        let base = fedavg_experts(&make(1.0));
+        let scaled = fedavg_experts(&make(scale));
+        let x = &base[&ExpertKey::new(1, 2)];
+        let y = &scaled[&ExpertKey::new(1, 2)];
+        for (p, q) in x.w2.as_slice().iter().zip(y.w2.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// Matrix FedAvg output always lies in the element-wise envelope of the
+    /// inputs (it is a convex combination).
+    #[test]
+    fn fedavg_matrices_stays_in_envelope(
+        seed in 0u64..500,
+        w1 in 0.1f32..5.0,
+        w2 in 0.1f32..5.0,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(3, 3, 1.0, &mut rng);
+        let b = Matrix::random_normal(3, 3, 1.0, &mut rng);
+        let avg = fedavg_matrices(&[(a.clone(), w1), (b.clone(), w2)]).unwrap();
+        for ((m, x), y) in avg.as_slice().iter().zip(a.as_slice()).zip(b.as_slice()) {
+            let lo = x.min(*y) - 1e-5;
+            let hi = x.max(*y) + 1e-5;
+            prop_assert!((lo..=hi).contains(m));
+        }
+    }
+
+    /// Device capacity budgets are always consistent: 1 <= B_tune <= B_i <=
+    /// total experts, for every device class and workload size.
+    #[test]
+    fn device_budgets_are_consistent(tokens in 1usize..2_000_000) {
+        let config = MoeConfig::llama_moe_sim();
+        for class in DeviceClass::all() {
+            let device = class.profile();
+            let b = device.expert_capacity(&config);
+            let bt = device.tuning_capacity(&config, tokens);
+            prop_assert!(b >= 1);
+            prop_assert!(b <= config.total_experts());
+            prop_assert!(bt >= 1);
+            prop_assert!(bt <= b);
+        }
+    }
+
+    /// Fine-tuning cost is monotone in tokens and in the number of tuned
+    /// experts.
+    #[test]
+    fn cost_model_monotonicity(
+        tokens in 100usize..100_000,
+        experts in 1usize..256,
+    ) {
+        let cost = CostModel::default();
+        let device = DeviceClass::Consumer16G.profile();
+        let config = MoeConfig::llama_moe_sim();
+        let base = cost.fine_tune_time_s(&device, &config, tokens, experts, 512);
+        let more_tokens = cost.fine_tune_time_s(&device, &config, tokens * 2, experts, 512);
+        let more_experts = cost.fine_tune_time_s(&device, &config, tokens, experts + 32, 512);
+        prop_assert!(more_tokens >= base);
+        prop_assert!(more_experts >= base);
+        prop_assert!(base.is_finite() && base > 0.0);
+    }
+
+    /// Communication and offloading costs scale linearly with volume.
+    #[test]
+    fn comm_and_offload_linear(experts in 1usize..512) {
+        let cost = CostModel::default();
+        let device = DeviceClass::Consumer12G.profile();
+        let config = MoeConfig::llama_moe_sim();
+        let one = cost.communication_time_s(&device, &config, experts);
+        let two = cost.communication_time_s(&device, &config, experts * 2);
+        prop_assert!((two - 2.0 * one).abs() < 1e-6 * two.max(1.0));
+        let o1 = cost.offload_time_s(&device, &config, experts);
+        let o2 = cost.offload_time_s(&device, &config, experts * 2);
+        prop_assert!((o2 - 2.0 * o1).abs() < 1e-6 * o2.max(1.0));
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation metrics and experiment tracking for the Flux reproduction.
+//!
+//! The paper evaluates with ROUGE-L (Dolly-style instruction following),
+//! exact-match accuracy (GSM8K/MMLU/PIQA-style tasks), *relative accuracy*
+//! (score divided by a dataset-specific target value), and time-to-accuracy
+//! (simulated wall-clock hours until the relative accuracy reaches 1.0).
+//! This crate implements those metrics plus the tracking structures the
+//! experiment harness uses to reproduce the convergence plots.
+
+pub mod accuracy;
+pub mod rouge;
+pub mod tracker;
+
+pub use accuracy::{exact_match_accuracy, relative_accuracy, TargetMetric};
+pub use rouge::rouge_l;
+pub use tracker::{ConvergencePoint, TimeToAccuracyTracker};

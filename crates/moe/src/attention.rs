@@ -1,0 +1,219 @@
+//! Single-head self-attention with recorded per-token attention scores.
+//!
+//! The scaled model uses single-head attention of width `d_model` (the
+//! `num_heads` field of the config is used for parameter accounting only).
+//! Besides producing the mixed hidden states, the block records the average
+//! attention each token *receives* from the rest of the sequence — the
+//! signal Flux's importance-based merging (Eq. 2) combines with activation
+//! frequency to weight experts.
+//!
+//! Attention weights are frozen during federated fine-tuning (the paper
+//! performs expert-only updates), but a full backward pass with respect to
+//! the *input* is implemented so that gradients reach experts in earlier
+//! layers.
+
+use serde::{Deserialize, Serialize};
+
+use flux_tensor::{init, ops, Matrix, SeededRng};
+
+/// Single-head self-attention block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attention {
+    /// Query projection `(d_model, d_model)`.
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Output projection.
+    pub wo: Matrix,
+}
+
+/// Forward-pass cache needed by [`Attention::backward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Row-softmaxed attention matrix `(seq, seq)`.
+    probs: Matrix,
+}
+
+impl AttentionCache {
+    /// Average attention received by each token (column means of the
+    /// attention matrix). Length equals the sequence length.
+    pub fn received_attention(&self) -> Vec<f32> {
+        let seq = self.probs.rows();
+        if seq == 0 {
+            return Vec::new();
+        }
+        let mut received = vec![0.0f32; seq];
+        for r in 0..seq {
+            for (c, x) in received.iter_mut().enumerate() {
+                *x += self.probs.get(r, c);
+            }
+        }
+        for x in &mut received {
+            *x /= seq as f32;
+        }
+        received
+    }
+}
+
+impl Attention {
+    /// Creates a randomly initialized attention block.
+    pub fn new(d_model: usize, rng: &mut SeededRng) -> Self {
+        Self {
+            wq: init::xavier_uniform(d_model, d_model, rng),
+            wk: init::xavier_uniform(d_model, d_model, rng),
+            wv: init::xavier_uniform(d_model, d_model, rng),
+            wo: init::xavier_uniform(d_model, d_model, rng),
+        }
+    }
+
+    /// Hidden width.
+    pub fn d_model(&self) -> usize {
+        self.wq.rows()
+    }
+
+    /// Number of parameters (4 projection matrices).
+    pub fn num_params(&self) -> usize {
+        self.wq.len() + self.wk.len() + self.wv.len() + self.wo.len()
+    }
+
+    /// Forward pass over a `(seq, d_model)` input.
+    pub fn forward(&self, input: &Matrix) -> (Matrix, AttentionCache) {
+        let d = self.d_model() as f32;
+        let q = input.matmul(&self.wq);
+        let k = input.matmul(&self.wk);
+        let v = input.matmul(&self.wv);
+        let scores = q.matmul(&k.transpose()).scale(1.0 / d.sqrt());
+        let probs = ops::softmax_rows(&scores);
+        let mixed = probs.matmul(&v);
+        let output = mixed.matmul(&self.wo);
+        (output, AttentionCache { q, k, v, probs })
+    }
+
+    /// Forward pass without a cache; also returns the per-token received
+    /// attention (the profiling path needs the scores but not gradients).
+    pub fn forward_no_cache(&self, input: &Matrix) -> (Matrix, Vec<f32>) {
+        let (out, cache) = self.forward(input);
+        (out, cache.received_attention())
+    }
+
+    /// Backward pass returning the gradient with respect to the input.
+    ///
+    /// Attention weights are frozen, so their gradients are not computed.
+    pub fn backward(&self, cache: &AttentionCache, grad_output: &Matrix) -> Matrix {
+        let d = self.d_model() as f32;
+        let scale = 1.0 / d.sqrt();
+        // output = mixed · Wo.
+        let grad_mixed = grad_output.matmul(&self.wo.transpose());
+        // mixed = probs · V.
+        let grad_probs = grad_mixed.matmul(&cache.v.transpose());
+        let grad_v = cache.probs.transpose().matmul(&grad_mixed);
+        // probs = softmax(scores) row-wise.
+        let mut grad_scores = Matrix::zeros(cache.probs.rows(), cache.probs.cols());
+        for r in 0..cache.probs.rows() {
+            let g = ops::softmax_backward_row(cache.probs.row(r), grad_probs.row(r));
+            grad_scores.row_mut(r).copy_from_slice(&g);
+        }
+        grad_scores.scale_in_place(scale);
+        // scores = Q · Kᵀ (scaled).
+        let grad_q = grad_scores.matmul(&cache.k);
+        let grad_k = grad_scores.transpose().matmul(&cache.q);
+        // Q = X·Wq, K = X·Wk, V = X·Wv.
+        let mut grad_input = grad_q.matmul(&self.wq.transpose());
+        grad_input
+            .add_scaled(&grad_k.matmul(&self.wk.transpose()), 1.0)
+            .expect("same shape");
+        grad_input
+            .add_scaled(&grad_v.matmul(&self.wv.transpose()), 1.0)
+            .expect("same shape");
+        grad_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_tensor::SeededRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SeededRng::new(1);
+        let attn = Attention::new(16, &mut rng);
+        let x = Matrix::random_normal(6, 16, 1.0, &mut rng);
+        let (y, cache) = attn.forward(&x);
+        assert_eq!(y.shape(), (6, 16));
+        assert_eq!(cache.probs.shape(), (6, 6));
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut rng = SeededRng::new(2);
+        let attn = Attention::new(8, &mut rng);
+        let x = Matrix::random_normal(5, 8, 1.0, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        for r in 0..5 {
+            let sum: f32 = cache.probs.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn received_attention_sums_to_one_on_average() {
+        let mut rng = SeededRng::new(3);
+        let attn = Attention::new(8, &mut rng);
+        let x = Matrix::random_normal(7, 8, 1.0, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        let received = cache.received_attention();
+        assert_eq!(received.len(), 7);
+        // Column means of a row-stochastic matrix sum to 1 across columns.
+        let total: f32 = received.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn no_cache_matches_cached_forward() {
+        let mut rng = SeededRng::new(4);
+        let attn = Attention::new(8, &mut rng);
+        let x = Matrix::random_normal(4, 8, 1.0, &mut rng);
+        let (a, cache) = attn.forward(&x);
+        let (b, received) = attn.forward_no_cache(&x);
+        assert_eq!(a, b);
+        assert_eq!(received, cache.received_attention());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = SeededRng::new(5);
+        let attn = Attention::new(6, &mut rng);
+        let x = Matrix::random_normal(3, 6, 0.5, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        // Loss = sum of outputs.
+        let grad_out = Matrix::filled(3, 6, 1.0);
+        let grad_input = attn.backward(&cache, &grad_out);
+        let loss = |m: &Matrix| attn.forward(m).0.sum();
+        let eps = 1e-2;
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (2, 5)] {
+            let mut plus = x.clone();
+            plus.set(r, c, plus.get(r, c) + eps);
+            let mut minus = x.clone();
+            minus.set(r, c, minus.get(r, c) - eps);
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let analytic = grad_input.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 0.05 * numeric.abs().max(0.5),
+                "({r},{c}): numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn num_params_accounting() {
+        let mut rng = SeededRng::new(6);
+        let attn = Attention::new(16, &mut rng);
+        assert_eq!(attn.num_params(), 4 * 16 * 16);
+    }
+}

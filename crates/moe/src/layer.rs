@@ -1,0 +1,399 @@
+//! MoE feed-forward layers and full transformer blocks.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use flux_tensor::{ops, Matrix, SeededRng};
+
+use crate::attention::{Attention, AttentionCache};
+use crate::expert::{Expert, ExpertCache, ExpertGrad};
+use crate::gating::{Gate, RoutingMap, TokenRouting};
+use crate::tracker::ActivationTracker;
+
+/// Epsilon used by all layer norms in the model.
+pub const LN_EPS: f32 = 1e-5;
+
+/// The MoE feed-forward sub-layer: a gate over the *original* expert ids plus
+/// the (possibly merged/compact) expert list and the routing map connecting
+/// the two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoeLayer {
+    /// Gating network producing logits over the original expert ids.
+    pub gate: Gate,
+    /// Experts actually materialized on this device (compact ids).
+    pub experts: Vec<Expert>,
+    /// Original→compact redirection (identity for a pristine model).
+    pub routing_map: RoutingMap,
+}
+
+/// Per-layer forward cache needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MoeLayerCache {
+    /// Routing decision per token.
+    pub routings: Vec<TokenRouting>,
+    /// For each compact expert used: the rows (token indices), routing
+    /// weights, and the expert's forward cache.
+    pub expert_batches: HashMap<usize, ExpertBatch>,
+    /// Input to the MoE sub-layer (after layer norm).
+    pub input: Matrix,
+}
+
+/// Tokens routed to a single compact expert within one forward pass.
+#[derive(Debug, Clone)]
+pub struct ExpertBatch {
+    /// Token (row) indices in the sequence.
+    pub token_rows: Vec<usize>,
+    /// Routing weight each token assigned to this expert.
+    pub weights: Vec<f32>,
+    /// The expert's forward cache over those rows.
+    pub cache: ExpertCache,
+}
+
+impl MoeLayer {
+    /// Creates a pristine MoE layer with `num_experts` experts.
+    pub fn new(
+        d_model: usize,
+        d_ff: usize,
+        num_experts: usize,
+        top_k: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let experts = (0..num_experts).map(|_| Expert::new(d_model, d_ff, rng)).collect();
+        Self {
+            gate: Gate::new(d_model, num_experts, top_k, rng),
+            experts,
+            routing_map: RoutingMap::identity(num_experts),
+        }
+    }
+
+    /// Number of experts materialized (compact count).
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Number of original experts the gate routes over.
+    pub fn num_original_experts(&self) -> usize {
+        self.gate.num_experts()
+    }
+
+    /// Forward pass over `(seq, d_model)` hidden states.
+    ///
+    /// `received_attention` carries the per-token attention scores from the
+    /// attention sub-layer (used only for tracking). When a tracker is
+    /// given, routing events are recorded against it under `layer_idx`.
+    pub fn forward(
+        &self,
+        hidden: &Matrix,
+        layer_idx: usize,
+        received_attention: &[f32],
+        mut tracker: Option<&mut ActivationTracker>,
+    ) -> (Matrix, MoeLayerCache) {
+        let seq = hidden.rows();
+        let routings = self.gate.route_all(hidden);
+        // Group token rows by the compact expert serving them.
+        let mut groups: HashMap<usize, (Vec<usize>, Vec<f32>)> = HashMap::new();
+        for (row, routing) in routings.iter().enumerate() {
+            if let Some(t) = tracker.as_deref_mut() {
+                t.record_layer_token(layer_idx);
+            }
+            for (slot, &original) in routing.experts.iter().enumerate() {
+                let compact = self.routing_map.redirect(original);
+                let weight = routing.weights[slot];
+                let entry = groups.entry(compact).or_default();
+                entry.0.push(row);
+                entry.1.push(weight);
+                if let Some(t) = tracker.as_deref_mut() {
+                    let att = received_attention.get(row).copied().unwrap_or(0.0);
+                    t.record(layer_idx, original, att);
+                }
+            }
+        }
+        // Run each used expert on its token batch and scatter the results.
+        let mut output = Matrix::zeros(seq, hidden.cols());
+        let mut expert_batches = HashMap::new();
+        for (compact, (rows, weights)) in groups {
+            let batch_input = hidden.select_rows(&rows);
+            let (batch_output, cache) = self.experts[compact].forward(&batch_input);
+            for (slot, (&row, &w)) in rows.iter().zip(weights.iter()).enumerate() {
+                let out_row = output.row_mut(row);
+                for (o, &v) in out_row.iter_mut().zip(batch_output.row(slot)) {
+                    *o += w * v;
+                }
+            }
+            expert_batches.insert(
+                compact,
+                ExpertBatch {
+                    token_rows: rows,
+                    weights,
+                    cache,
+                },
+            );
+        }
+        (
+            output,
+            MoeLayerCache {
+                routings,
+                expert_batches,
+                input: hidden.clone(),
+            },
+        )
+    }
+
+    /// Backward pass.
+    ///
+    /// Computes parameter gradients for the compact experts listed in
+    /// `tuning_experts` (pass `None` to collect gradients for every expert)
+    /// and the gradient with respect to the layer input.
+    pub fn backward(
+        &self,
+        cache: &MoeLayerCache,
+        grad_output: &Matrix,
+        tuning_experts: Option<&[usize]>,
+    ) -> (HashMap<usize, ExpertGrad>, Matrix) {
+        let mut grad_input = Matrix::zeros(cache.input.rows(), cache.input.cols());
+        let mut expert_grads = HashMap::new();
+        for (&compact, batch) in &cache.expert_batches {
+            // Gather the upstream gradient rows for this expert, scaled by
+            // the routing weight each token assigned to it.
+            let mut grad_rows = Matrix::zeros(batch.token_rows.len(), grad_output.cols());
+            for (slot, (&row, &w)) in batch
+                .token_rows
+                .iter()
+                .zip(batch.weights.iter())
+                .enumerate()
+            {
+                for (o, &g) in grad_rows.row_mut(slot).iter_mut().zip(grad_output.row(row)) {
+                    *o = w * g;
+                }
+            }
+            let (grad, grad_batch_input) = self.experts[compact].backward(&batch.cache, &grad_rows);
+            // Scatter the input gradient back to the token rows.
+            for (slot, &row) in batch.token_rows.iter().enumerate() {
+                for (o, &g) in grad_input.row_mut(row).iter_mut().zip(grad_batch_input.row(slot)) {
+                    *o += g;
+                }
+            }
+            let wanted = tuning_experts.map_or(true, |set| set.contains(&compact));
+            if wanted {
+                expert_grads.insert(compact, grad);
+            }
+        }
+        (expert_grads, grad_input)
+    }
+}
+
+/// One transformer block: pre-norm attention followed by a pre-norm MoE FFN,
+/// both with residual connections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerLayer {
+    /// Self-attention sub-layer (frozen during federated fine-tuning).
+    pub attention: Attention,
+    /// MoE feed-forward sub-layer.
+    pub moe: MoeLayer,
+}
+
+/// Forward cache of one transformer block.
+#[derive(Debug, Clone)]
+pub struct TransformerLayerCache {
+    input: Matrix,
+    attn_cache: AttentionCache,
+    post_attention: Matrix,
+    moe_cache: MoeLayerCache,
+    /// Per-token attention received, exposed for importance tracking.
+    pub received_attention: Vec<f32>,
+}
+
+impl TransformerLayer {
+    /// Creates a block with `num_experts` experts.
+    pub fn new(
+        d_model: usize,
+        d_ff: usize,
+        num_experts: usize,
+        top_k: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        Self {
+            attention: Attention::new(d_model, rng),
+            moe: MoeLayer::new(d_model, d_ff, num_experts, top_k, rng),
+        }
+    }
+
+    /// Forward pass over `(seq, d_model)` hidden states.
+    pub fn forward(
+        &self,
+        input: &Matrix,
+        layer_idx: usize,
+        tracker: Option<&mut ActivationTracker>,
+    ) -> (Matrix, TransformerLayerCache) {
+        let attn_in = ops::layer_norm(input, LN_EPS);
+        let (attn_out, attn_cache) = self.attention.forward(&attn_in);
+        let received = attn_cache.received_attention();
+        let post_attention = input.add(&attn_out).expect("residual shapes match");
+        let moe_in = ops::layer_norm(&post_attention, LN_EPS);
+        let (moe_out, moe_cache) = self.moe.forward(&moe_in, layer_idx, &received, tracker);
+        let output = post_attention.add(&moe_out).expect("residual shapes match");
+        (
+            output,
+            TransformerLayerCache {
+                input: input.clone(),
+                attn_cache,
+                post_attention,
+                moe_cache,
+                received_attention: received,
+            },
+        )
+    }
+
+    /// Backward pass returning expert gradients (for the selected tuning
+    /// experts) and the gradient with respect to the block input.
+    pub fn backward(
+        &self,
+        cache: &TransformerLayerCache,
+        grad_output: &Matrix,
+        tuning_experts: Option<&[usize]>,
+    ) -> (HashMap<usize, ExpertGrad>, Matrix) {
+        // output = post_attention + moe(ln(post_attention)).
+        let (expert_grads, grad_moe_in) =
+            self.moe.backward(&cache.moe_cache, grad_output, tuning_experts);
+        let mut grad_post_attention = grad_output.clone();
+        let grad_from_moe =
+            ops::layer_norm_backward(&cache.post_attention, &grad_moe_in, LN_EPS);
+        grad_post_attention
+            .add_scaled(&grad_from_moe, 1.0)
+            .expect("same shape");
+        // post_attention = input + attention(ln(input)).
+        let grad_attn_out = grad_post_attention.clone();
+        let grad_attn_in = self.attention.backward(&cache.attn_cache, &grad_attn_out);
+        let mut grad_input = grad_post_attention;
+        let grad_from_attention = ops::layer_norm_backward(&cache.input, &grad_attn_in, LN_EPS);
+        grad_input
+            .add_scaled(&grad_from_attention, 1.0)
+            .expect("same shape");
+        (expert_grads, grad_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(seed: u64) -> MoeLayer {
+        let mut rng = SeededRng::new(seed);
+        MoeLayer::new(8, 16, 4, 2, &mut rng)
+    }
+
+    #[test]
+    fn moe_forward_shapes_and_tracking() {
+        let l = layer(1);
+        let mut rng = SeededRng::new(2);
+        let hidden = Matrix::random_normal(6, 8, 1.0, &mut rng);
+        let mut tracker = ActivationTracker::new(vec![4]);
+        tracker.begin_sample(0);
+        let received = vec![0.1; 6];
+        let (out, cache) = l.forward(&hidden, 0, &received, Some(&mut tracker));
+        assert_eq!(out.shape(), (6, 8));
+        assert_eq!(cache.routings.len(), 6);
+        let profile = tracker.finish();
+        // With top-2 routing, per-layer frequencies sum to ~2.
+        let total: f32 = profile.frequencies[0].iter().sum();
+        assert!((total - 2.0).abs() < 1e-4, "total = {total}");
+    }
+
+    #[test]
+    fn moe_backward_produces_grads_for_used_experts() {
+        let l = layer(3);
+        let mut rng = SeededRng::new(4);
+        let hidden = Matrix::random_normal(5, 8, 1.0, &mut rng);
+        let (_, cache) = l.forward(&hidden, 0, &[0.0; 5], None);
+        let grad_out = Matrix::filled(5, 8, 1.0);
+        let (grads, grad_in) = l.backward(&cache, &grad_out, None);
+        assert_eq!(grad_in.shape(), (5, 8));
+        assert!(!grads.is_empty());
+        for (compact, grad) in &grads {
+            assert!(*compact < l.num_experts());
+            assert!(grad.token_count > 0);
+            assert!(grad.norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn moe_backward_respects_tuning_set() {
+        let l = layer(5);
+        let mut rng = SeededRng::new(6);
+        let hidden = Matrix::random_normal(8, 8, 1.0, &mut rng);
+        let (_, cache) = l.forward(&hidden, 0, &[0.0; 8], None);
+        let grad_out = Matrix::filled(8, 8, 1.0);
+        let (all, _) = l.backward(&cache, &grad_out, None);
+        let only_zero = [0usize];
+        let (restricted, _) = l.backward(&cache, &grad_out, Some(&only_zero));
+        assert!(restricted.len() <= all.len());
+        assert!(restricted.keys().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn moe_gradient_matches_finite_difference_through_routing() {
+        // Use top-1 routing so the loss is locally smooth in expert params.
+        let mut rng = SeededRng::new(7);
+        let mut l = MoeLayer::new(6, 12, 3, 1, &mut rng);
+        let hidden = Matrix::random_normal(4, 6, 1.0, &mut rng);
+        let (_, cache) = l.forward(&hidden, 0, &[0.0; 4], None);
+        let grad_out = Matrix::filled(4, 6, 1.0);
+        let (grads, _) = l.backward(&cache, &grad_out, None);
+        let (&expert_id, grad) = grads.iter().next().unwrap();
+        let loss = |l: &MoeLayer| l.forward(&hidden, 0, &[0.0; 4], None).0.sum();
+        let eps = 1e-2;
+        let base_w = l.experts[expert_id].w2.get(0, 0);
+        l.experts[expert_id].w2.set(0, 0, base_w + eps);
+        let plus = loss(&l);
+        l.experts[expert_id].w2.set(0, 0, base_w - eps);
+        let minus = loss(&l);
+        l.experts[expert_id].w2.set(0, 0, base_w);
+        let numeric = (plus - minus) / (2.0 * eps);
+        let analytic = grad.w2.get(0, 0);
+        assert!(
+            (numeric - analytic).abs() < 0.1 * numeric.abs().max(0.5),
+            "numeric {numeric} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn routing_map_redirects_to_merged_expert() {
+        let mut l = layer(8);
+        // Merge experts 2 and 3 into a single expert (compact id 2).
+        let merged = Expert::weighted_merge(&[&l.experts[2], &l.experts[3]], &[1.0, 1.0]);
+        l.experts.truncate(2);
+        l.experts.push(merged);
+        l.routing_map = RoutingMap::from_table(vec![0, 1, 2, 2]);
+        let mut rng = SeededRng::new(9);
+        let hidden = Matrix::random_normal(10, 8, 1.0, &mut rng);
+        let (out, cache) = l.forward(&hidden, 0, &[0.0; 10], None);
+        assert_eq!(out.shape(), (10, 8));
+        // No batch may reference a compact expert >= 3.
+        assert!(cache.expert_batches.keys().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn transformer_layer_forward_backward_shapes() {
+        let mut rng = SeededRng::new(10);
+        let block = TransformerLayer::new(8, 16, 4, 2, &mut rng);
+        let x = Matrix::random_normal(5, 8, 1.0, &mut rng);
+        let (y, cache) = block.forward(&x, 0, None);
+        assert_eq!(y.shape(), (5, 8));
+        assert_eq!(cache.received_attention.len(), 5);
+        let (grads, grad_in) = block.backward(&cache, &Matrix::filled(5, 8, 1.0), None);
+        assert_eq!(grad_in.shape(), (5, 8));
+        assert!(!grads.is_empty());
+    }
+
+    #[test]
+    fn transformer_layer_input_gradient_is_nonzero() {
+        // The residual path alone guarantees gradient flow to the input.
+        let mut rng = SeededRng::new(11);
+        let block = TransformerLayer::new(8, 16, 4, 2, &mut rng);
+        let x = Matrix::random_normal(4, 8, 1.0, &mut rng);
+        let (_, cache) = block.forward(&x, 0, None);
+        let (_, grad_in) = block.backward(&cache, &Matrix::filled(4, 8, 1.0), None);
+        assert!(grad_in.frobenius_norm() > 0.0);
+    }
+}

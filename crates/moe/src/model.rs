@@ -1,0 +1,782 @@
+//! The full MoE transformer model.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use flux_data::{Dataset, Sample, Task};
+use flux_quant::{BitWidth, QuantizedMatrix};
+use flux_tensor::{init, ops, Matrix, SeededRng};
+
+use crate::config::MoeConfig;
+use crate::expert::{Expert, ExpertGrad};
+use crate::gating::RoutingMap;
+use crate::layer::{TransformerLayer, TransformerLayerCache, LN_EPS};
+use crate::tracker::{ActivationProfile, ActivationTracker, ExpertKey};
+
+/// A trainable MoE transformer.
+///
+/// The model follows the paper's fine-tuning regime: expert parameters (and
+/// the small task head) are trainable, while embeddings, attention and
+/// gating weights stay frozen. All experiments instantiate this type either
+/// as the *global* model held by the parameter server or as a *compact*
+/// per-participant model produced by expert merging.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MoeModel {
+    /// Model configuration.
+    pub config: MoeConfig,
+    /// Token embedding table `(vocab, d_model)`; frozen.
+    pub embedding: Matrix,
+    /// Transformer blocks.
+    pub layers: Vec<TransformerLayer>,
+    /// Generation head `(d_model, vocab)`; used when `num_classes` is `None`.
+    pub lm_head: Matrix,
+    /// Classification head `(d_model, num_classes)` when configured.
+    pub cls_head: Option<Matrix>,
+}
+
+/// Cache produced by a full forward pass, consumed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    layer_caches: Vec<TransformerLayerCache>,
+    /// Hidden states entering the head (after the final layer norm).
+    pub final_hidden: Matrix,
+    /// Output of the last transformer block (before the final layer norm).
+    last_block_output: Matrix,
+}
+
+/// Gradients produced by one backward pass (or an accumulation of several).
+#[derive(Debug, Clone)]
+pub struct GradientSet {
+    /// Per-expert gradients keyed by `(layer, compact expert id)`.
+    pub expert_grads: HashMap<ExpertKey, ExpertGrad>,
+    /// Gradient of the active task head.
+    pub head_grad: Matrix,
+    /// Mean loss over the contributing samples.
+    pub loss: f32,
+    /// Number of samples accumulated.
+    pub samples: usize,
+}
+
+/// Result of evaluating the model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Task score: mean ROUGE-L for generation datasets, accuracy otherwise.
+    pub score: f32,
+    /// Mean loss over the evaluated samples.
+    pub loss: f32,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// A model prediction for a single sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prediction {
+    /// Generated continuation token ids (generation datasets).
+    Tokens(Vec<u32>),
+    /// Predicted class (classification datasets).
+    Class(usize),
+}
+
+impl MoeModel {
+    /// Creates a freshly initialized model.
+    pub fn new(config: MoeConfig, rng: &mut SeededRng) -> Self {
+        let embedding = init::embedding(config.vocab_size, config.d_model, rng);
+        let layers = (0..config.num_layers)
+            .map(|l| {
+                TransformerLayer::new(
+                    config.d_model,
+                    config.d_ff,
+                    config.experts_in_layer(l),
+                    config.top_k,
+                    rng,
+                )
+            })
+            .collect();
+        let lm_head = init::xavier_uniform(config.d_model, config.vocab_size, rng);
+        let cls_head = config
+            .num_classes
+            .map(|c| init::xavier_uniform(config.d_model, c, rng));
+        Self {
+            config,
+            embedding,
+            layers,
+            lm_head,
+            cls_head,
+        }
+    }
+
+    /// Total number of parameters actually materialized.
+    pub fn num_params(&self) -> usize {
+        let mut total = self.embedding.len() + self.lm_head.len();
+        if let Some(h) = &self.cls_head {
+            total += h.len();
+        }
+        for layer in &self.layers {
+            total += layer.attention.num_params();
+            total += layer.moe.gate.weight.len();
+            for e in &layer.moe.experts {
+                total += e.num_params();
+            }
+        }
+        total
+    }
+
+    /// FP32 bytes of the materialized parameters.
+    pub fn param_bytes(&self) -> usize {
+        self.num_params() * 4
+    }
+
+    /// Immutable access to an expert by `(layer, compact id)`.
+    pub fn expert(&self, key: ExpertKey) -> &Expert {
+        &self.layers[key.layer].moe.experts[key.expert]
+    }
+
+    /// Mutable access to an expert by `(layer, compact id)`.
+    pub fn expert_mut(&mut self, key: ExpertKey) -> &mut Expert {
+        &mut self.layers[key.layer].moe.experts[key.expert]
+    }
+
+    /// Replaces an expert's parameters.
+    pub fn set_expert(&mut self, key: ExpertKey, expert: Expert) {
+        self.layers[key.layer].moe.experts[key.expert] = expert;
+    }
+
+    /// All expert keys of the materialized (compact) experts.
+    pub fn expert_keys(&self) -> Vec<ExpertKey> {
+        let mut keys = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            for e in 0..layer.moe.num_experts() {
+                keys.push(ExpertKey::new(l, e));
+            }
+        }
+        keys
+    }
+
+    /// Per-layer compact expert counts.
+    pub fn experts_per_layer(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.moe.num_experts()).collect()
+    }
+
+    /// Replaces the experts and routing map of one layer (customized MoE
+    /// construction / gate re-routing after merging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routing map's original-expert count differs from the
+    /// gate width, or the map references a compact expert that is missing.
+    pub fn set_layer_experts(
+        &mut self,
+        layer: usize,
+        experts: Vec<Expert>,
+        routing_map: RoutingMap,
+    ) {
+        let moe = &mut self.layers[layer].moe;
+        assert_eq!(
+            routing_map.num_original(),
+            moe.gate.num_experts(),
+            "routing map must cover every original expert"
+        );
+        assert_eq!(
+            routing_map.num_compact(),
+            experts.len(),
+            "routing map targets must match the expert list"
+        );
+        moe.experts = experts;
+        moe.routing_map = routing_map;
+    }
+
+    /// Produces a profiling copy whose weights carry the round-trip error of
+    /// the given quantization width (§4.1). The copy has the same shapes and
+    /// API as the original and is used for forward-only activation profiling.
+    pub fn quantized_copy(&self, width: BitWidth) -> MoeModel {
+        let q = |m: &Matrix| QuantizedMatrix::quantize(m, width).dequantize();
+        let mut copy = self.clone();
+        copy.embedding = q(&copy.embedding);
+        copy.lm_head = q(&copy.lm_head);
+        if let Some(h) = &copy.cls_head {
+            copy.cls_head = Some(q(h));
+        }
+        for layer in &mut copy.layers {
+            layer.attention.wq = q(&layer.attention.wq);
+            layer.attention.wk = q(&layer.attention.wk);
+            layer.attention.wv = q(&layer.attention.wv);
+            layer.attention.wo = q(&layer.attention.wo);
+            layer.moe.gate.weight = q(&layer.moe.gate.weight);
+            for expert in &mut layer.moe.experts {
+                expert.w1 = q(&expert.w1);
+                expert.w2 = q(&expert.w2);
+            }
+        }
+        copy
+    }
+
+    /// Embeds a token sequence and adds sinusoidal positional encodings.
+    pub fn embed(&self, tokens: &[u32]) -> Matrix {
+        let d = self.config.d_model;
+        let mut out = Matrix::zeros(tokens.len(), d);
+        for (pos, &tok) in tokens.iter().enumerate() {
+            let tok = (tok as usize).min(self.config.vocab_size - 1);
+            let row = self.embedding.row(tok);
+            let out_row = out.row_mut(pos);
+            out_row.copy_from_slice(row);
+            // Sinusoidal positional encoding.
+            for (i, value) in out_row.iter_mut().enumerate() {
+                let rate = 1.0 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32);
+                let angle = pos as f32 * rate;
+                *value += if i % 2 == 0 { angle.sin() } else { angle.cos() } * 0.1;
+            }
+        }
+        out
+    }
+
+    /// Runs the transformer stack over a token sequence.
+    pub fn forward(
+        &self,
+        tokens: &[u32],
+        mut tracker: Option<&mut ActivationTracker>,
+    ) -> ForwardCache {
+        let mut hidden = self.embed(tokens);
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (next, cache) = layer.forward(&hidden, idx, tracker.as_deref_mut());
+            layer_caches.push(cache);
+            hidden = next;
+        }
+        let final_hidden = ops::layer_norm(&hidden, LN_EPS);
+        ForwardCache {
+            layer_caches,
+            final_hidden,
+            last_block_output: hidden,
+        }
+    }
+
+    /// Computes the loss and the gradient of the head logits for a sample.
+    ///
+    /// Returns `(loss, grad_final_hidden, head_grad)`.
+    fn loss_and_head_grads(&self, sample: &Sample, cache: &ForwardCache) -> (f32, Matrix, Matrix) {
+        match &sample.task {
+            Task::Generation { reference } => {
+                let seq = cache.final_hidden.rows();
+                let r = reference.len().min(seq);
+                let tail_start = seq - r;
+                let rows: Vec<usize> = (tail_start..seq).collect();
+                let tail_hidden = cache.final_hidden.select_rows(&rows);
+                let logits = tail_hidden.matmul(&self.lm_head);
+                let targets: Vec<usize> = reference[reference.len() - r..]
+                    .iter()
+                    .map(|&t| (t as usize).min(self.config.vocab_size - 1))
+                    .collect();
+                let (loss, grad_logits) = ops::cross_entropy(&logits, &targets);
+                let head_grad = tail_hidden.transpose().matmul(&grad_logits);
+                let grad_tail = grad_logits.matmul(&self.lm_head.transpose());
+                let mut grad_hidden =
+                    Matrix::zeros(cache.final_hidden.rows(), cache.final_hidden.cols());
+                for (slot, &row) in rows.iter().enumerate() {
+                    grad_hidden.row_mut(row).copy_from_slice(grad_tail.row(slot));
+                }
+                (loss, grad_hidden, head_grad)
+            }
+            Task::Classification { label, .. } => {
+                let head = self
+                    .cls_head
+                    .as_ref()
+                    .expect("classification sample requires a classification head");
+                let seq = cache.final_hidden.rows() as f32;
+                let pooled_vec: Vec<f32> = cache
+                    .final_hidden
+                    .sum_rows()
+                    .iter()
+                    .map(|x| x / seq)
+                    .collect();
+                let pooled = Matrix::from_vec(1, self.config.d_model, pooled_vec).expect("shape");
+                let logits = pooled.matmul(head);
+                let (loss, grad_logits) = ops::cross_entropy(&logits, &[*label]);
+                let head_grad = pooled.transpose().matmul(&grad_logits);
+                let grad_pooled = grad_logits.matmul(&head.transpose());
+                // Mean-pool backward: every position receives grad/seq.
+                let mut grad_hidden =
+                    Matrix::zeros(cache.final_hidden.rows(), cache.final_hidden.cols());
+                for r in 0..cache.final_hidden.rows() {
+                    for (o, &g) in grad_hidden.row_mut(r).iter_mut().zip(grad_pooled.row(0)) {
+                        *o = g / seq;
+                    }
+                }
+                (loss, grad_hidden, head_grad)
+            }
+        }
+    }
+
+    /// Forward + backward over one sample.
+    ///
+    /// `tuning` restricts which `(layer, compact expert)` pairs get parameter
+    /// gradients; `None` collects gradients for every activated expert. The
+    /// backward pass always propagates input gradients through every layer so
+    /// earlier tuning experts receive correct signals.
+    pub fn sample_gradients(
+        &self,
+        sample: &Sample,
+        tuning: Option<&HashSet<ExpertKey>>,
+    ) -> GradientSet {
+        let cache = self.forward(&sample.tokens, None);
+        let (loss, grad_final_hidden, head_grad) = self.loss_and_head_grads(sample, &cache);
+        // Final layer norm backward.
+        let mut grad = ops::layer_norm_backward(&cache.last_block_output, &grad_final_hidden, LN_EPS);
+        let mut expert_grads: HashMap<ExpertKey, ExpertGrad> = HashMap::new();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let tuning_for_layer: Option<Vec<usize>> = tuning.map(|set| {
+                set.iter()
+                    .filter(|k| k.layer == idx)
+                    .map(|k| k.expert)
+                    .collect()
+            });
+            let (grads, grad_input) = layer.backward(
+                &cache.layer_caches[idx],
+                &grad,
+                tuning_for_layer.as_deref(),
+            );
+            for (compact, g) in grads {
+                expert_grads.insert(ExpertKey::new(idx, compact), g);
+            }
+            grad = grad_input;
+        }
+        GradientSet {
+            expert_grads,
+            head_grad,
+            loss,
+            samples: 1,
+        }
+    }
+
+    /// Forward + backward over a batch of samples, accumulating gradients.
+    pub fn batch_gradients(
+        &self,
+        samples: &[Sample],
+        tuning: Option<&HashSet<ExpertKey>>,
+    ) -> GradientSet {
+        let head_shape = match &self.cls_head {
+            Some(h) => h.shape(),
+            None => self.lm_head.shape(),
+        };
+        let mut total = GradientSet {
+            expert_grads: HashMap::new(),
+            head_grad: Matrix::zeros(head_shape.0, head_shape.1),
+            loss: 0.0,
+            samples: 0,
+        };
+        for sample in samples {
+            let g = self.sample_gradients(sample, tuning);
+            total.merge(g);
+        }
+        total
+    }
+
+    /// One local SGD step on a batch: accumulates gradients, averages them,
+    /// and updates the tuning experts plus the task head. Returns the mean
+    /// loss.
+    pub fn train_step(
+        &mut self,
+        samples: &[Sample],
+        tuning: Option<&HashSet<ExpertKey>>,
+        learning_rate: f32,
+    ) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut grads = self.batch_gradients(samples, tuning);
+        let scale = 1.0 / grads.samples.max(1) as f32;
+        grads.head_grad.scale_in_place(scale);
+        for g in grads.expert_grads.values_mut() {
+            g.scale(scale);
+        }
+        self.apply_gradients(&grads, learning_rate);
+        grads.loss
+    }
+
+    /// Applies a gradient set with plain SGD.
+    pub fn apply_gradients(&mut self, grads: &GradientSet, learning_rate: f32) {
+        for (key, grad) in &grads.expert_grads {
+            if key.layer < self.layers.len()
+                && key.expert < self.layers[key.layer].moe.num_experts()
+            {
+                self.layers[key.layer].moe.experts[key.expert].apply_sgd(grad, learning_rate);
+            }
+        }
+        let head = match &mut self.cls_head {
+            Some(h) => h,
+            None => &mut self.lm_head,
+        };
+        if head.shape() == grads.head_grad.shape() {
+            head.add_scaled(&grads.head_grad, -learning_rate)
+                .expect("head gradient shape");
+        }
+    }
+
+    /// Predicts the output for one sample (greedy decoding for generation,
+    /// argmax for classification).
+    pub fn predict(&self, sample: &Sample) -> Prediction {
+        let cache = self.forward(&sample.tokens, None);
+        match &sample.task {
+            Task::Generation { reference } => {
+                let seq = cache.final_hidden.rows();
+                let r = reference.len().min(seq);
+                let rows: Vec<usize> = (seq - r..seq).collect();
+                let logits = cache.final_hidden.select_rows(&rows).matmul(&self.lm_head);
+                let tokens = (0..logits.rows())
+                    .map(|i| flux_tensor::stats::argmax(logits.row(i)).unwrap_or(0) as u32)
+                    .collect();
+                Prediction::Tokens(tokens)
+            }
+            Task::Classification { .. } => {
+                let head = self
+                    .cls_head
+                    .as_ref()
+                    .expect("classification sample requires a classification head");
+                let seq = cache.final_hidden.rows() as f32;
+                let pooled: Vec<f32> = cache
+                    .final_hidden
+                    .sum_rows()
+                    .iter()
+                    .map(|x| x / seq)
+                    .collect();
+                let pooled = Matrix::from_vec(1, self.config.d_model, pooled).expect("shape");
+                let logits = pooled.matmul(head);
+                Prediction::Class(flux_tensor::stats::argmax(logits.row(0)).unwrap_or(0))
+            }
+        }
+    }
+
+    /// Evaluates the model on a dataset: mean ROUGE-L for generation, exact
+    /// match accuracy for classification, plus the mean loss.
+    pub fn evaluate(&self, dataset: &Dataset) -> EvalResult {
+        if dataset.is_empty() {
+            return EvalResult {
+                score: 0.0,
+                loss: 0.0,
+                samples: 0,
+            };
+        }
+        let mut score_sum = 0.0;
+        let mut loss_sum = 0.0;
+        for sample in &dataset.samples {
+            let cache = self.forward(&sample.tokens, None);
+            let (loss, _, _) = self.loss_and_head_grads(sample, &cache);
+            loss_sum += loss;
+            match (&sample.task, self.predict(sample)) {
+                (Task::Generation { reference }, Prediction::Tokens(pred)) => {
+                    score_sum += flux_metrics_rouge(&pred, reference);
+                }
+                (Task::Classification { label, .. }, Prediction::Class(pred)) => {
+                    if pred == *label {
+                        score_sum += 1.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let n = dataset.len() as f32;
+        EvalResult {
+            score: score_sum / n,
+            loss: loss_sum / n,
+            samples: dataset.len(),
+        }
+    }
+
+    /// Mean-pooled final hidden state of a sample, used as the "final token
+    /// embeddings" in the paper's output-error measurements (Fig. 8).
+    pub fn final_embedding(&self, sample: &Sample) -> Vec<f32> {
+        let cache = self.forward(&sample.tokens, None);
+        let seq = cache.final_hidden.rows() as f32;
+        cache
+            .final_hidden
+            .sum_rows()
+            .iter()
+            .map(|x| x / seq)
+            .collect()
+    }
+
+    /// Runs a forward-only profiling pass over a dataset, recording expert
+    /// activation into a fresh tracker and returning the resulting profile.
+    pub fn profile(&self, dataset: &Dataset) -> ActivationProfile {
+        let mut tracker = ActivationTracker::new(
+            (0..self.layers.len())
+                .map(|l| self.layers[l].moe.num_original_experts())
+                .collect(),
+        );
+        for (id, sample) in dataset.samples.iter().enumerate() {
+            tracker.begin_sample(id);
+            let _ = self.forward(&sample.tokens, Some(&mut tracker));
+        }
+        tracker.finish()
+    }
+}
+
+impl GradientSet {
+    /// Merges another gradient set into this one (sums gradients and losses).
+    pub fn merge(&mut self, other: GradientSet) {
+        for (key, grad) in other.expert_grads {
+            match self.expert_grads.get_mut(&key) {
+                Some(existing) => existing.accumulate(&grad),
+                None => {
+                    self.expert_grads.insert(key, grad);
+                }
+            }
+        }
+        if self.head_grad.shape() == other.head_grad.shape() {
+            self.head_grad
+                .add_scaled(&other.head_grad, 1.0)
+                .expect("same shape");
+        }
+        self.loss = (self.loss * self.samples as f32 + other.loss * other.samples as f32)
+            / (self.samples + other.samples).max(1) as f32;
+        self.samples += other.samples;
+    }
+}
+
+/// Local ROUGE-L used by evaluation (duplicated from `flux-metrics` to keep
+/// the dependency graph acyclic: `flux-metrics` stays independent of the
+/// model crates).
+fn flux_metrics_rouge(candidate: &[u32], reference: &[u32]) -> f32 {
+    if candidate.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0usize; reference.len() + 1];
+    let mut cur = vec![0usize; reference.len() + 1];
+    for &ai in candidate {
+        for (j, &bj) in reference.iter().enumerate() {
+            cur[j + 1] = if ai == bj {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(0);
+    }
+    let lcs = prev[reference.len()] as f32;
+    if lcs == 0.0 {
+        return 0.0;
+    }
+    let p = lcs / candidate.len() as f32;
+    let r = lcs / reference.len() as f32;
+    2.0 * p * r / (p + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_data::{DatasetGenerator, DatasetKind};
+
+    fn tiny_model(seed: u64) -> MoeModel {
+        let mut rng = SeededRng::new(seed);
+        MoeModel::new(MoeConfig::tiny(), &mut rng)
+    }
+
+    fn tiny_cls_model(seed: u64, classes: usize) -> MoeModel {
+        let mut rng = SeededRng::new(seed);
+        MoeModel::new(MoeConfig::tiny().with_classes(classes), &mut rng)
+    }
+
+    fn gen_sample(seed: u64) -> Sample {
+        let mut rng = SeededRng::new(seed);
+        DatasetGenerator::for_kind(DatasetKind::Dolly, 64).generate_sample(0, &mut rng)
+    }
+
+    fn cls_sample(seed: u64) -> Sample {
+        let mut rng = SeededRng::new(seed);
+        let cfg = flux_data::DatasetConfig::for_kind(DatasetKind::Piqa, 64).with_mean_seq_len(10);
+        DatasetGenerator::new(cfg).generate_sample(1, &mut rng)
+    }
+
+    #[test]
+    fn model_construction_and_param_count() {
+        let model = tiny_model(1);
+        assert_eq!(model.num_params(), model.config.total_params());
+        assert_eq!(model.expert_keys().len(), 4 * 8);
+        assert_eq!(model.experts_per_layer(), vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn forward_produces_final_hidden() {
+        let model = tiny_model(2);
+        let cache = model.forward(&[1, 2, 3, 4, 5], None);
+        assert_eq!(cache.final_hidden.shape(), (5, 16));
+        assert!(cache.final_hidden.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn out_of_vocab_tokens_are_clamped() {
+        let model = tiny_model(3);
+        let cache = model.forward(&[9999, 0, 63], None);
+        assert_eq!(cache.final_hidden.rows(), 3);
+    }
+
+    #[test]
+    fn generation_gradients_have_expected_shapes() {
+        let model = tiny_model(4);
+        let sample = gen_sample(5);
+        let grads = model.sample_gradients(&sample, None);
+        assert!(grads.loss > 0.0);
+        assert!(!grads.expert_grads.is_empty());
+        assert_eq!(grads.head_grad.shape(), (16, 64));
+    }
+
+    #[test]
+    fn classification_gradients_have_expected_shapes() {
+        let model = tiny_cls_model(6, 2);
+        let sample = cls_sample(7);
+        let grads = model.sample_gradients(&sample, None);
+        assert!(grads.loss > 0.0);
+        assert_eq!(grads.head_grad.shape(), (16, 2));
+    }
+
+    #[test]
+    fn tuning_set_limits_expert_gradients() {
+        let model = tiny_model(8);
+        let sample = gen_sample(9);
+        let all = model.sample_gradients(&sample, None);
+        let mut tuning = HashSet::new();
+        tuning.insert(ExpertKey::new(0, 0));
+        tuning.insert(ExpertKey::new(1, 1));
+        let restricted = model.sample_gradients(&sample, Some(&tuning));
+        assert!(restricted.expert_grads.len() <= 2);
+        assert!(restricted.expert_grads.keys().all(|k| tuning.contains(k)));
+        assert!(all.expert_grads.len() >= restricted.expert_grads.len());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_small_classification_task() {
+        let mut model = tiny_cls_model(10, 2);
+        let mut rng = SeededRng::new(11);
+        let cfg = flux_data::DatasetConfig::for_kind(DatasetKind::Piqa, 64)
+            .with_num_samples(16)
+            .with_mean_seq_len(8);
+        let ds = DatasetGenerator::new(cfg).generate(&mut rng);
+        let before = model.evaluate(&ds).loss;
+        for _ in 0..15 {
+            model.train_step(&ds.samples, None, 0.05);
+        }
+        let after = model.evaluate(&ds).loss;
+        assert!(after < before, "loss should drop: {before} -> {after}");
+    }
+
+    #[test]
+    fn training_improves_rouge_on_generation_task() {
+        let mut model = tiny_model(12);
+        let mut rng = SeededRng::new(13);
+        let cfg = flux_data::DatasetConfig::for_kind(DatasetKind::Dolly, 64)
+            .with_num_samples(12)
+            .with_mean_seq_len(10);
+        let ds = DatasetGenerator::new(cfg).generate(&mut rng);
+        let before = model.evaluate(&ds);
+        for _ in 0..20 {
+            model.train_step(&ds.samples, None, 0.05);
+        }
+        let after = model.evaluate(&ds);
+        assert!(
+            after.loss < before.loss,
+            "loss should drop: {} -> {}",
+            before.loss,
+            after.loss
+        );
+    }
+
+    #[test]
+    fn quantized_copy_perturbs_weights_but_keeps_shapes() {
+        let model = tiny_model(14);
+        let q2 = model.quantized_copy(BitWidth::Int2);
+        let q8 = model.quantized_copy(BitWidth::Int8);
+        assert_eq!(q2.num_params(), model.num_params());
+        // INT2 perturbs weights more than INT8.
+        let dist = |a: &MoeModel, b: &MoeModel| {
+            a.layers[0]
+                .moe
+                .experts[0]
+                .w1
+                .sub(&b.layers[0].moe.experts[0].w1)
+                .unwrap()
+                .frobenius_norm()
+        };
+        assert!(dist(&q2, &model) > dist(&q8, &model));
+    }
+
+    #[test]
+    fn profile_reports_topk_mass_per_layer() {
+        let model = tiny_model(15);
+        let mut rng = SeededRng::new(16);
+        let cfg = flux_data::DatasetConfig::for_kind(DatasetKind::Gsm8k, 64)
+            .with_num_samples(8)
+            .with_mean_seq_len(8);
+        let ds = DatasetGenerator::new(cfg).generate(&mut rng);
+        let profile = model.profile(&ds);
+        assert_eq!(profile.num_layers(), 4);
+        for layer in 0..4 {
+            let total: f32 = profile.frequencies[layer].iter().sum();
+            assert!((total - 2.0).abs() < 1e-3, "layer {layer} total {total}");
+        }
+    }
+
+    #[test]
+    fn final_embedding_is_deterministic_and_sized() {
+        let model = tiny_model(17);
+        let sample = gen_sample(18);
+        let a = model.final_embedding(&sample);
+        let b = model.final_embedding(&sample);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_layer_experts_rewires_routing() {
+        let mut model = tiny_model(19);
+        let merged = Expert::weighted_merge(
+            &[
+                &model.layers[0].moe.experts[4],
+                &model.layers[0].moe.experts[5],
+                &model.layers[0].moe.experts[6],
+                &model.layers[0].moe.experts[7],
+            ],
+            &[1.0; 4],
+        );
+        let mut experts: Vec<Expert> = model.layers[0].moe.experts[..4].to_vec();
+        experts.push(merged);
+        let map = RoutingMap::from_table(vec![0, 1, 2, 3, 4, 4, 4, 4]);
+        model.set_layer_experts(0, experts, map);
+        assert_eq!(model.layers[0].moe.num_experts(), 5);
+        // Forward still works.
+        let cache = model.forward(&[1, 2, 3], None);
+        assert_eq!(cache.final_hidden.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every original expert")]
+    fn set_layer_experts_validates_map_length() {
+        let mut model = tiny_model(20);
+        let experts = model.layers[0].moe.experts[..2].to_vec();
+        model.set_layer_experts(0, experts, RoutingMap::from_table(vec![0, 1]));
+    }
+
+    #[test]
+    fn gradient_merge_accumulates() {
+        let model = tiny_model(21);
+        let s1 = gen_sample(22);
+        let s2 = gen_sample(23);
+        let batch = model.batch_gradients(&[s1.clone(), s2.clone()], None);
+        assert_eq!(batch.samples, 2);
+        let single = model.sample_gradients(&s1, None);
+        assert!(batch.expert_grads.len() >= single.expert_grads.len());
+    }
+
+    #[test]
+    fn evaluate_empty_dataset() {
+        let model = tiny_model(24);
+        let ds = Dataset {
+            kind: DatasetKind::Dolly,
+            vocab_size: 64,
+            samples: vec![],
+        };
+        let r = model.evaluate(&ds);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.score, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quantization error metrics.
+
+use flux_tensor::Matrix;
+
+use crate::matrix::{BitWidth, QuantizedMatrix};
+
+/// Mean squared error introduced by quantizing `weights` at `width`.
+pub fn quantization_mse(weights: &Matrix, width: BitWidth) -> f32 {
+    let q = QuantizedMatrix::quantize(weights, width).dequantize();
+    let n = weights.len().max(1) as f32;
+    weights
+        .as_slice()
+        .iter()
+        .zip(q.as_slice())
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f32>()
+        / n
+}
+
+/// Relative Frobenius-norm error introduced by quantizing at `width`.
+///
+/// Returns 0 for an all-zero matrix.
+pub fn quantization_relative_error(weights: &Matrix, width: BitWidth) -> f32 {
+    let norm = weights.frobenius_norm();
+    if norm == 0.0 {
+        return 0.0;
+    }
+    let q = QuantizedMatrix::quantize(weights, width).dequantize();
+    weights.sub(&q).expect("same shape").frobenius_norm() / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_tensor::SeededRng;
+
+    #[test]
+    fn mse_decreases_with_precision() {
+        let mut rng = SeededRng::new(1);
+        let w = Matrix::random_normal(24, 24, 1.0, &mut rng);
+        let m2 = quantization_mse(&w, BitWidth::Int2);
+        let m4 = quantization_mse(&w, BitWidth::Int4);
+        let m8 = quantization_mse(&w, BitWidth::Int8);
+        assert!(m2 > m4 && m4 > m8);
+    }
+
+    #[test]
+    fn relative_error_zero_for_zero_matrix() {
+        let w = Matrix::zeros(4, 4);
+        assert_eq!(quantization_relative_error(&w, BitWidth::Int2), 0.0);
+    }
+
+    #[test]
+    fn relative_error_bounded_for_int8() {
+        let mut rng = SeededRng::new(2);
+        let w = Matrix::random_normal(16, 16, 2.0, &mut rng);
+        assert!(quantization_relative_error(&w, BitWidth::Int8) < 0.01);
+    }
+}

@@ -1,0 +1,106 @@
+//! Quantized linear forward pass.
+//!
+//! The profiling path runs the gating network (and, optionally, whole MoE
+//! layers) with quantized weights. The activation is kept in `f32` and the
+//! weight is dequantized on the fly row-by-row, mirroring how weight-only
+//! quantization kernels behave: the output carries the rounding error of
+//! the weights, which is exactly the error source behind the paper's Fig. 5.
+
+use flux_tensor::{Matrix, Result, TensorError};
+
+use crate::matrix::QuantizedMatrix;
+
+/// Computes `x * W` where `W` is quantized, returning a full-precision
+/// output that carries the quantization error of `W`.
+///
+/// `x` has shape `(n, d_in)` and the quantized weight has shape
+/// `(d_in, d_out)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+pub fn quantized_matmul(x: &Matrix, w: &QuantizedMatrix) -> Result<Matrix> {
+    if x.cols() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "quantized_matmul",
+            lhs: x.shape(),
+            rhs: w.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    for i in 0..x.rows() {
+        for k in 0..x.cols() {
+            let a = x.get(i, k);
+            if a == 0.0 {
+                continue;
+            }
+            let scale = w.scales()[k];
+            let coeff = a * scale;
+            let out_row = out.row_mut(i);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                *o += coeff * w.level(k, c) as f32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::BitWidth;
+    use flux_tensor::SeededRng;
+
+    #[test]
+    fn matches_full_precision_closely_at_int8() {
+        let mut rng = SeededRng::new(1);
+        let x = Matrix::random_normal(4, 16, 1.0, &mut rng);
+        let w = Matrix::random_normal(16, 8, 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w, BitWidth::Int8);
+        let exact = x.matmul(&w);
+        let approx = quantized_matmul(&x, &q).unwrap();
+        let err = exact.sub(&approx).unwrap().frobenius_norm() / exact.frobenius_norm();
+        assert!(err < 0.02, "relative error {err}");
+    }
+
+    #[test]
+    fn error_ordering_by_bit_width() {
+        let mut rng = SeededRng::new(2);
+        let x = Matrix::random_normal(8, 32, 1.0, &mut rng);
+        let w = Matrix::random_normal(32, 16, 1.0, &mut rng);
+        let exact = x.matmul(&w);
+        let rel_err = |b: BitWidth| {
+            let q = QuantizedMatrix::quantize(&w, b);
+            let approx = quantized_matmul(&x, &q).unwrap();
+            exact.sub(&approx).unwrap().frobenius_norm() / exact.frobenius_norm()
+        };
+        let e2 = rel_err(BitWidth::Int2);
+        let e4 = rel_err(BitWidth::Int4);
+        let e8 = rel_err(BitWidth::Int8);
+        assert!(e2 > e4 && e4 > e8, "e2={e2} e4={e4} e8={e8}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let x = Matrix::zeros(2, 3);
+        let w = QuantizedMatrix::quantize(&Matrix::zeros(4, 5), BitWidth::Int4);
+        assert!(quantized_matmul(&x, &w).is_err());
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let mut rng = SeededRng::new(3);
+        let x = Matrix::zeros(3, 8);
+        let w = QuantizedMatrix::quantize(&Matrix::random_normal(8, 4, 1.0, &mut rng), BitWidth::Int4);
+        let out = quantized_matmul(&x, &w).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut rng = SeededRng::new(4);
+        let x = Matrix::random_normal(5, 6, 1.0, &mut rng);
+        let w = QuantizedMatrix::quantize(&Matrix::random_normal(6, 9, 1.0, &mut rng), BitWidth::Int2);
+        assert_eq!(quantized_matmul(&x, &w).unwrap().shape(), (5, 9));
+    }
+}

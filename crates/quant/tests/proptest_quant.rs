@@ -1,0 +1,70 @@
+//! Property-based tests for quantization round-trips.
+
+use flux_quant::{quantization_relative_error, quantized_matmul, BitWidth, QuantizedMatrix};
+use flux_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dequantized values never exceed the original row maximum (symmetric
+    /// scheme cannot overshoot the clamping range).
+    #[test]
+    fn dequantized_values_bounded_by_row_max(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let w = Matrix::random_normal(6, 10, 2.0, &mut rng);
+        for &width in &BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&w, width).dequantize();
+            for r in 0..w.rows() {
+                let max_abs = w.row(r).iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+                for &v in q.row(r) {
+                    prop_assert!(v.abs() <= max_abs + 1e-4);
+                }
+            }
+        }
+    }
+
+    /// Round-trip error is bounded by half a quantization step per element.
+    #[test]
+    fn round_trip_error_bounded_by_step(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let w = Matrix::random_normal(4, 12, 1.5, &mut rng);
+        for &width in &BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&w, width);
+            let back = q.dequantize();
+            for r in 0..w.rows() {
+                let step = q.scales()[r];
+                for (a, b) in w.row(r).iter().zip(back.row(r)) {
+                    prop_assert!((a - b).abs() <= 0.5 * step + 1e-5);
+                }
+            }
+        }
+    }
+
+    /// Higher precision never yields a larger relative error.
+    #[test]
+    fn precision_monotonicity(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let w = Matrix::random_normal(8, 8, 1.0, &mut rng);
+        let e2 = quantization_relative_error(&w, BitWidth::Int2);
+        let e4 = quantization_relative_error(&w, BitWidth::Int4);
+        let e8 = quantization_relative_error(&w, BitWidth::Int8);
+        prop_assert!(e2 + 1e-6 >= e4);
+        prop_assert!(e4 + 1e-6 >= e8);
+    }
+
+    /// The quantized matmul equals the full-precision matmul against the
+    /// dequantized weight (the quantization error lives in the weights only).
+    #[test]
+    fn quantized_matmul_equals_dequantized_matmul(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let x = Matrix::random_normal(3, 6, 1.0, &mut rng);
+        let w = Matrix::random_normal(6, 4, 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w, BitWidth::Int4);
+        let a = quantized_matmul(&x, &q).unwrap();
+        let b = x.matmul(&q.dequantize());
+        for (x1, x2) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x1 - x2).abs() < 1e-3);
+        }
+    }
+}

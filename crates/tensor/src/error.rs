@@ -1,0 +1,92 @@
+//! Error type shared by the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// The substrate keeps failure modes small and explicit: every error carries
+/// enough context (the offending dimensions or parameter) to diagnose a
+/// mis-shaped experiment configuration without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Requested row index.
+        row: usize,
+        /// Requested column index.
+        col: usize,
+        /// Actual shape of the matrix.
+        shape: (usize, usize),
+    },
+    /// A parameter was invalid (empty input, zero clusters, etc.).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds {
+            row: 7,
+            col: 9,
+            shape: (3, 3),
+        };
+        assert!(err.to_string().contains("(7, 9)"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let err = TensorError::InvalidArgument("k must be > 0".into());
+        assert!(err.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&TensorError::InvalidArgument("x".into()));
+    }
+}

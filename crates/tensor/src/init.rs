@@ -1,0 +1,83 @@
+//! Weight initialization schemes.
+//!
+//! The scaled MoE models are trained from random initialization (the real
+//! checkpoints are unavailable), so initialization quality matters for
+//! reproducing convergence behaviour. Xavier/Glorot and Kaiming/He schemes
+//! are provided along with a helper for embedding tables.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+
+/// Xavier/Glorot-uniform initialization for a `(fan_in, fan_out)` weight.
+///
+/// Suitable for layers followed by roughly linear or tanh-like activations
+/// (attention projections, gating networks).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::random_uniform(fan_in, fan_out, -limit, limit, rng)
+}
+
+/// Kaiming/He-normal initialization for a `(fan_in, fan_out)` weight.
+///
+/// Suitable for layers followed by ReLU/GELU activations (expert FFNs).
+pub fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let std_dev = (2.0 / fan_in as f32).sqrt();
+    Matrix::random_normal(fan_in, fan_out, std_dev, rng)
+}
+
+/// Embedding-table initialization: `N(0, 0.02²)`, the convention used by GPT
+/// style models and followed by LLaMA-MoE.
+pub fn embedding(vocab: usize, dim: usize, rng: &mut SeededRng) -> Matrix {
+    Matrix::random_normal(vocab, dim, 0.02, rng)
+}
+
+/// Zero-initialized bias vector.
+pub fn zeros_bias(dim: usize) -> Vec<f32> {
+    vec![0.0; dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = SeededRng::new(1);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let limit = (6.0 / 128.0f32).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(w.shape(), (64, 64));
+    }
+
+    #[test]
+    fn kaiming_std_roughly_correct() {
+        let mut rng = SeededRng::new(2);
+        let fan_in = 256;
+        let w = kaiming_normal(fan_in, 128, &mut rng);
+        let vals = w.as_slice();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        let var: f32 = vals.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+        let expected = 2.0 / fan_in as f32;
+        assert!((var - expected).abs() / expected < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn embedding_small_scale() {
+        let mut rng = SeededRng::new(3);
+        let e = embedding(100, 16, &mut rng);
+        assert_eq!(e.shape(), (100, 16));
+        assert!(e.as_slice().iter().all(|&x| x.abs() < 0.2));
+    }
+
+    #[test]
+    fn zeros_bias_is_zero() {
+        assert_eq!(zeros_bias(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let mut a = SeededRng::new(9);
+        let mut b = SeededRng::new(9);
+        assert_eq!(xavier_uniform(8, 8, &mut a), xavier_uniform(8, 8, &mut b));
+    }
+}

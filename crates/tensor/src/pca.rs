@@ -1,0 +1,275 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Flux reduces the dimensionality of flattened expert parameters before
+//! clustering (§5.2 of the paper). Expert parameter vectors are long
+//! (`d_model * d_ff * 2` and more), so clustering directly on them is slow
+//! and noisy; PCA keeps the directions that explain most of the variance
+//! between experts.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+use crate::stats;
+use crate::{Result, TensorError};
+
+/// Result of fitting PCA on a data matrix.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature mean subtracted before projection (length = features).
+    pub mean: Vec<f32>,
+    /// Principal components, one per row (shape `(k, features)`).
+    pub components: Matrix,
+    /// Variance explained by each retained component.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits PCA on `data` (samples in rows, features in columns), retaining
+    /// `k` components.
+    ///
+    /// Power iteration with deflation is used, which is accurate enough for
+    /// the small `k` (2–16) the merging module needs and avoids pulling in a
+    /// full eigensolver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when `data` is empty or `k`
+    /// is zero or larger than the feature count.
+    pub fn fit(data: &Matrix, k: usize, rng: &mut SeededRng) -> Result<Self> {
+        let (n, d) = data.shape();
+        if n == 0 || d == 0 {
+            return Err(TensorError::InvalidArgument(
+                "PCA requires a non-empty data matrix".into(),
+            ));
+        }
+        if k == 0 || k > d {
+            return Err(TensorError::InvalidArgument(format!(
+                "PCA component count {k} invalid for {d} features"
+            )));
+        }
+
+        // Center the data.
+        let mut mean = vec![0.0f32; d];
+        for r in 0..n {
+            for (m, &x) in mean.iter_mut().zip(data.row(r)) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let mut centered = data.clone();
+        for r in 0..n {
+            for (x, &m) in centered.row_mut(r).iter_mut().zip(mean.iter()) {
+                *x -= m;
+            }
+        }
+
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        let mut residual = centered;
+
+        for comp in 0..k {
+            let (direction, variance) = dominant_direction(&residual, rng);
+            components.row_mut(comp).copy_from_slice(&direction);
+            explained.push(variance);
+            // Deflate: remove the projection on the found direction.
+            for r in 0..n {
+                let row = residual.row_mut(r);
+                let proj = stats::dot(row, &direction);
+                for (x, &dir) in row.iter_mut().zip(direction.iter()) {
+                    *x -= proj * dir;
+                }
+            }
+        }
+
+        Ok(Self {
+            mean,
+            components,
+            explained_variance: explained,
+        })
+    }
+
+    /// Projects `data` (samples in rows) onto the retained components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the feature count differs
+    /// from the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        let d = self.mean.len();
+        if data.cols() != d {
+            return Err(TensorError::ShapeMismatch {
+                op: "pca_transform",
+                lhs: data.shape(),
+                rhs: (1, d),
+            });
+        }
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(data.rows(), k);
+        for r in 0..data.rows() {
+            let row = data.row(r);
+            let centered: Vec<f32> = row.iter().zip(self.mean.iter()).map(|(x, m)| x - m).collect();
+            for c in 0..k {
+                out.set(r, c, stats::dot(&centered, self.components.row(c)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit on `data` and immediately project it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Pca::fit`].
+    pub fn fit_transform(data: &Matrix, k: usize, rng: &mut SeededRng) -> Result<Matrix> {
+        let pca = Self::fit(data, k, rng)?;
+        pca.transform(data)
+    }
+}
+
+/// Finds the dominant right singular direction of `x` by power iteration on
+/// the covariance operator, returning `(direction, explained_variance)`.
+fn dominant_direction(x: &Matrix, rng: &mut SeededRng) -> (Vec<f32>, f32) {
+    let (n, d) = x.shape();
+    let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+    normalize(&mut v);
+    let iterations = 50;
+    for _ in 0..iterations {
+        // w = Xᵀ (X v) computed without forming the covariance matrix.
+        let mut xv = vec![0.0f32; n];
+        for r in 0..n {
+            xv[r] = stats::dot(x.row(r), &v);
+        }
+        let mut w = vec![0.0f32; d];
+        for r in 0..n {
+            let coeff = xv[r];
+            for (wi, &xi) in w.iter_mut().zip(x.row(r)) {
+                *wi += coeff * xi;
+            }
+        }
+        let norm = stats::l2_norm(&w);
+        if norm < 1e-12 {
+            // Residual is (numerically) zero: any unit vector works.
+            break;
+        }
+        for (vi, wi) in v.iter_mut().zip(w.iter()) {
+            *vi = wi / norm;
+        }
+    }
+    // Explained variance = ||X v||² / n.
+    let mut xv_norm2 = 0.0;
+    for r in 0..n {
+        let p = stats::dot(x.row(r), &v);
+        xv_norm2 += p * p;
+    }
+    (v, xv_norm2 / n.max(1) as f32)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = stats::l2_norm(v);
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else if let Some(first) = v.first_mut() {
+        *first = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a dataset stretched along a known direction.
+    fn stretched_data(n: usize, rng: &mut SeededRng) -> Matrix {
+        // Points mostly along the (1, 1, 0) direction with small noise.
+        let mut data = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let t = rng.normal() * 5.0;
+            data.set(r, 0, t + rng.normal() * 0.1);
+            data.set(r, 1, t + rng.normal() * 0.1);
+            data.set(r, 2, rng.normal() * 0.1);
+        }
+        data
+    }
+
+    #[test]
+    fn first_component_finds_stretch_direction() {
+        let mut rng = SeededRng::new(7);
+        let data = stretched_data(200, &mut rng);
+        let pca = Pca::fit(&data, 1, &mut rng).unwrap();
+        let c = pca.components.row(0);
+        // Expect roughly (±1/√2, ±1/√2, 0).
+        assert!((c[0].abs() - 0.707).abs() < 0.05, "c = {c:?}");
+        assert!((c[1].abs() - 0.707).abs() < 0.05);
+        assert!(c[2].abs() < 0.1);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = SeededRng::new(8);
+        let data = Matrix::random_normal(50, 6, 1.0, &mut rng);
+        let pca = Pca::fit(&data, 3, &mut rng).unwrap();
+        for i in 0..3 {
+            let ci = pca.components.row(i);
+            assert!((stats::l2_norm(ci) - 1.0).abs() < 1e-3);
+            for j in 0..i {
+                let dot = stats::dot(ci, pca.components.row(j));
+                assert!(dot.abs() < 1e-2, "components {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_is_decreasing() {
+        let mut rng = SeededRng::new(9);
+        let data = stretched_data(100, &mut rng);
+        let pca = Pca::fit(&data, 3, &mut rng).unwrap();
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+        assert!(pca.explained_variance[1] >= pca.explained_variance[2] - 1e-4);
+    }
+
+    #[test]
+    fn transform_shape_and_error_handling() {
+        let mut rng = SeededRng::new(10);
+        let data = Matrix::random_normal(20, 5, 1.0, &mut rng);
+        let pca = Pca::fit(&data, 2, &mut rng).unwrap();
+        let projected = pca.transform(&data).unwrap();
+        assert_eq!(projected.shape(), (20, 2));
+        let bad = Matrix::zeros(3, 4);
+        assert!(pca.transform(&bad).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_bad_arguments() {
+        let mut rng = SeededRng::new(11);
+        let empty = Matrix::zeros(0, 0);
+        assert!(Pca::fit(&empty, 1, &mut rng).is_err());
+        let data = Matrix::zeros(4, 3);
+        assert!(Pca::fit(&data, 0, &mut rng).is_err());
+        assert!(Pca::fit(&data, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fit_transform_matches_manual() {
+        let mut rng1 = SeededRng::new(12);
+        let mut rng2 = SeededRng::new(12);
+        let data = Matrix::random_normal(30, 4, 1.0, &mut SeededRng::new(99));
+        let a = Pca::fit_transform(&data, 2, &mut rng1).unwrap();
+        let pca = Pca::fit(&data, 2, &mut rng2).unwrap();
+        let b = pca.transform(&data).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let mut rng = SeededRng::new(13);
+        let data = Matrix::filled(10, 4, 2.5);
+        let pca = Pca::fit(&data, 2, &mut rng).unwrap();
+        assert!(pca.explained_variance.iter().all(|&v| v < 1e-6));
+        let t = pca.transform(&data).unwrap();
+        assert!(t.as_slice().iter().all(|&v| v.abs() < 1e-4));
+    }
+}

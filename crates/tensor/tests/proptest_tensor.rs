@@ -1,0 +1,158 @@
+//! Property-based tests for the tensor substrate.
+
+use flux_tensor::{kmeans::KMeans, ops, stats, Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// Strategy producing a small matrix with bounded finite values.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution(m in matrix_strategy(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_commutes(r in 1usize..6, c in 1usize..6, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(r, c, 1.0, &mut rng);
+        let b = Matrix::random_normal(r, c, 1.0, &mut rng);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        for (x, y) in ab.as_slice().iter().zip(ba.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(m in matrix_strategy(6)) {
+        let left = Matrix::identity(m.rows()).matmul(&m);
+        let right = m.matmul(&Matrix::identity(m.cols()));
+        for (x, y) in left.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in right.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(4, 5, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 3, 1.0, &mut rng);
+        let c = Matrix::random_normal(5, 3, 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c).unwrap());
+        let rhs = a.matmul(&b).add(&a.matmul(&c)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+        let p = ops::softmax_row(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_invariant_to_constant_shift(
+        logits in prop::collection::vec(-10.0f32..10.0, 2..16),
+        shift in -100.0f32..100.0,
+    ) {
+        let base = ops::softmax_row(&logits);
+        let shifted_logits: Vec<f32> = logits.iter().map(|&x| x + shift).collect();
+        let shifted = ops::softmax_row(&shifted_logits);
+        for (a, b) in base.iter().zip(shifted.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(
+        a in prop::collection::vec(-10.0f32..10.0, 4),
+        b in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let s = stats::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn cosine_similarity_scale_invariant(
+        a in prop::collection::vec(0.1f32..10.0, 4),
+        scale in 0.1f32..50.0,
+    ) {
+        let scaled: Vec<f32> = a.iter().map(|&x| x * scale).collect();
+        let s = stats::cosine_similarity(&a, &scaled);
+        prop_assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalize_to_distribution_is_distribution(
+        values in prop::collection::vec(0.0f32..100.0, 1..20),
+    ) {
+        let d = stats::normalize_to_distribution(&values);
+        let sum: f32 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone(
+        samples in prop::collection::vec(-10.0f32..10.0, 1..50),
+    ) {
+        let points: Vec<f32> = (-10..=10).map(|x| x as f32).collect();
+        let cdf = stats::empirical_cdf(&samples, &points);
+        for pair in cdf.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_have_unit_variance(seed in 0u64..500, rows in 1usize..5) {
+        let mut rng = SeededRng::new(seed);
+        let x = Matrix::random_normal(rows, 32, 3.0, &mut rng);
+        let y = ops::layer_norm(&x, 1e-5);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
+            prop_assert!(mean.abs() < 1e-3);
+            prop_assert!((var - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_in_range(seed in 0u64..200, k in 1usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let data = Matrix::random_normal(20, 3, 1.0, &mut rng);
+        let result = KMeans::new(k).with_euclidean().fit(&data, &mut rng).unwrap();
+        let clusters = result.centroids.rows();
+        prop_assert!(clusters <= k.max(1));
+        prop_assert!(result.assignments.iter().all(|&a| a < clusters));
+        prop_assert_eq!(result.assignments.len(), 20);
+    }
+
+    #[test]
+    fn cross_entropy_loss_nonnegative(seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Matrix::random_normal(4, 6, 2.0, &mut rng);
+        let targets: Vec<usize> = (0..4).map(|_| rng.below(6)).collect();
+        let (loss, grad) = ops::cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        prop_assert_eq!(grad.shape(), logits.shape());
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Expert-merging ablation: how budget policies and merging strategies
+//! affect the output error of the compact model.
+//!
+//! ```sh
+//! cargo run --release --example merging_ablation
+//! ```
+
+use std::collections::HashSet;
+
+use flux_core::baselines::top_frequency_experts;
+use flux_core::merging::{BudgetPolicy, CompactModelPlan, MergeStrategy, MergingConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_tensor::{stats, SeededRng};
+
+fn main() {
+    let config = MoeConfig::small();
+    let mut rng = SeededRng::new(7);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Gsm8k, config.vocab_size).with_num_samples(32),
+    )
+    .generate(&mut rng);
+    let profile = model.profile(&data);
+
+    // Tune the top quarter of experts; merge the rest under a quarter budget.
+    let tuning: HashSet<_> = top_frequency_experts(&profile, config.total_experts() / 4);
+    let budget = config.total_experts() / 4;
+
+    let output_error = |merging: MergingConfig, rng: &mut SeededRng| -> f32 {
+        let plan = CompactModelPlan::build(&model, &profile, &tuning, budget, merging, rng);
+        let compact = plan.apply(&model, &profile);
+        let mut error = 0.0;
+        for sample in data.samples.iter().take(12) {
+            error += stats::cosine_distance(
+                &model.final_embedding(sample),
+                &compact.final_embedding(sample),
+            );
+        }
+        error / 12.0
+    };
+
+    println!("budget policy ablation (strategy = attention+frequency):");
+    for policy in [
+        BudgetPolicy::SinglePerLayer,
+        BudgetPolicy::Uniform,
+        BudgetPolicy::Adaptive,
+    ] {
+        let err = output_error(
+            MergingConfig::default().with_budget_policy(policy),
+            &mut rng.derive(policy as u64),
+        );
+        println!("  {policy:?}: output error {err:.4}");
+    }
+
+    println!("\nmerging strategy ablation (budget policy = adaptive):");
+    for strategy in MergeStrategy::all() {
+        let err = output_error(
+            MergingConfig::default().with_strategy(strategy),
+            &mut rng.derive(10 + strategy as u64),
+        );
+        println!("  {}: output error {err:.4}", strategy.label());
+    }
+
+    // Discarding for contrast (the FedMoE-style baseline).
+    let discard = CompactModelPlan::build_discard(&model, &tuning).apply(&model, &profile);
+    let mut discard_error = 0.0;
+    for sample in data.samples.iter().take(12) {
+        discard_error += stats::cosine_distance(
+            &model.final_embedding(sample),
+            &discard.final_embedding(sample),
+        );
+    }
+    println!(
+        "\ndiscarding non-tuning experts instead of merging: output error {:.4}",
+        discard_error / 12.0
+    );
+}

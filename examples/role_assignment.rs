@@ -1,0 +1,77 @@
+//! Dynamic expert role assignment in isolation: utilities, the ε schedule,
+//! and how assignments evolve over rounds.
+//!
+//! ```sh
+//! cargo run --release --example role_assignment
+//! ```
+
+use std::collections::HashSet;
+
+use flux_core::assignment::{
+    expert_utility, initial_utilities, DynamicEpsilon, RoleAssigner,
+};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{ExpertKey, MoeConfig, MoeModel};
+use flux_tensor::SeededRng;
+
+fn main() {
+    let config = MoeConfig::tiny().with_classes(2);
+    let mut rng = SeededRng::new(11);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Piqa, config.vocab_size).with_num_samples(24),
+    )
+    .generate(&mut rng);
+    let profile = model.profile(&data);
+
+    let epsilon = DynamicEpsilon::paper_default();
+    println!("dynamic epsilon schedule:");
+    for round in [0usize, 2, 4, 6, 8] {
+        println!("  round {round}: epsilon = {:.2}", epsilon.at_round(round));
+    }
+
+    let mut assigner = RoleAssigner::new(epsilon);
+    assigner.report_utilities(0, &initial_utilities(&profile));
+    let all = model.expert_keys();
+    let budget = 6;
+
+    println!("\nassignments over rounds (budget = {budget} tuning experts):");
+    for round in 0..5 {
+        let assignment = assigner.assign(0, &all, budget, round, &mut rng);
+        println!(
+            "  round {round}: exploit {:?} explore {:?}",
+            keys(&assignment.exploitation),
+            keys(&assignment.exploration)
+        );
+        // Simulate utility feedback: compute true gradients for the
+        // exploited experts on a small batch and report them back.
+        let tuning: HashSet<ExpertKey> = assignment.tuning_set();
+        let grads = model.batch_gradients(&data.samples[..8], Some(&tuning));
+        let mut utilities = Vec::new();
+        for (key, grad) in &grads.expert_grads {
+            utilities.push(expert_utility(*key, grad, profile.samples_of(*key).len()));
+        }
+        assigner.report_utilities(0, &utilities);
+    }
+
+    println!("\ntop utilities after feedback:");
+    if let Some(table) = assigner.utilities_of(0) {
+        let mut entries: Vec<_> = table.values().collect();
+        entries.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+        for u in entries.iter().take(6) {
+            println!(
+                "  layer {} expert {}: utility {:.4} ({})",
+                u.key.layer,
+                u.key.expert,
+                u.value,
+                if u.estimated { "estimated" } else { "backprop" }
+            );
+        }
+    }
+}
+
+fn keys(list: &[ExpertKey]) -> Vec<String> {
+    list.iter()
+        .map(|k| format!("L{}E{}", k.layer, k.expert))
+        .collect()
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration tests of the full federated pipeline.
+
+use flux_core::driver::{FederatedRun, Method, RunConfig};
+use flux_data::DatasetKind;
+use flux_moe::MoeConfig;
+
+fn quick(dataset: DatasetKind) -> RunConfig {
+    RunConfig::quick_demo(MoeConfig::tiny(), dataset)
+}
+
+#[test]
+fn flux_end_to_end_produces_monotone_clock_and_scores() {
+    let result = FederatedRun::new(quick(DatasetKind::Gsm8k), 101).run(Method::Flux);
+    assert_eq!(result.rounds.len(), 3);
+    // The simulated clock must advance strictly.
+    for pair in result.rounds.windows(2) {
+        assert!(pair[1].elapsed_hours > pair[0].elapsed_hours);
+    }
+    // Every phase total is non-negative and fine-tuning dominates.
+    let (p, m, a, f) = result.phase_times.fractions();
+    assert!(p >= 0.0 && m >= 0.0 && a >= 0.0);
+    assert!(f > 0.5, "fine-tuning should dominate the breakdown, got {f}");
+}
+
+#[test]
+fn flux_round_time_beats_fmd_and_fmq() {
+    let run = FederatedRun::new(quick(DatasetKind::Piqa), 102);
+    let flux: f64 = run
+        .run(Method::Flux)
+        .rounds
+        .iter()
+        .map(|r| r.round_seconds)
+        .sum();
+    let fmd: f64 = run
+        .run(Method::Fmd)
+        .rounds
+        .iter()
+        .map(|r| r.round_seconds)
+        .sum();
+    let fmq: f64 = run
+        .run(Method::Fmq)
+        .rounds
+        .iter()
+        .map(|r| r.round_seconds)
+        .sum();
+    assert!(flux < fmd, "Flux {flux} should be faster per round than FMD {fmd}");
+    assert!(flux < fmq, "Flux {flux} should be faster per round than FMQ {fmq}");
+}
+
+#[test]
+fn generation_and_classification_datasets_both_run() {
+    for dataset in [DatasetKind::Dolly, DatasetKind::Mmlu] {
+        let result = FederatedRun::new(quick(dataset), 103).run(Method::Flux);
+        assert_eq!(result.rounds.len(), 3);
+        assert!(result.final_score >= 0.0 && result.final_score <= 1.2);
+    }
+}
+
+#[test]
+fn runs_are_reproducible_across_invocations() {
+    let a = FederatedRun::new(quick(DatasetKind::Gsm8k), 202).run(Method::Fmes);
+    let b = FederatedRun::new(quick(DatasetKind::Gsm8k), 202).run(Method::Fmes);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (x, y) in a.rounds.iter().zip(b.rounds.iter()) {
+        assert_eq!(x.score, y.score);
+        assert_eq!(x.round_seconds, y.round_seconds);
+    }
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let a = FederatedRun::new(quick(DatasetKind::Gsm8k), 1).run(Method::Flux);
+    let b = FederatedRun::new(quick(DatasetKind::Gsm8k), 2).run(Method::Flux);
+    let same = a
+        .rounds
+        .iter()
+        .zip(b.rounds.iter())
+        .filter(|(x, y)| x.score == y.score)
+        .count();
+    assert!(same < a.rounds.len(), "different seeds should diverge");
+}
+
+#[test]
+fn more_participants_do_not_slow_down_rounds() {
+    // With the same total dataset, more participants means less local data
+    // each, so the critical-path round time must not grow.
+    let few = FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(2), 7)
+        .run(Method::Flux);
+    let many = FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(8), 7)
+        .run(Method::Flux);
+    let mean = |r: &flux_core::driver::RunResult| {
+        r.rounds.iter().map(|x| x.round_seconds).sum::<f64>() / r.rounds.len() as f64
+    };
+    assert!(mean(&many) <= mean(&few) * 1.2);
+}

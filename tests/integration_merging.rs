@@ -1,0 +1,151 @@
+//! Cross-crate integration tests of the merging pipeline: profiling feeds
+//! budgets, clustering, merging, and gate re-routing on a real model.
+
+use std::collections::HashSet;
+
+use flux_core::baselines::top_frequency_experts;
+use flux_core::merging::{
+    layer_budgets, BudgetPolicy, CompactModelPlan, MergeStrategy, MergingConfig,
+};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{ExpertKey, MoeConfig, MoeModel};
+use flux_tensor::{stats, SeededRng};
+
+fn setup() -> (MoeModel, flux_data::Dataset) {
+    let config = MoeConfig::tiny();
+    let mut rng = SeededRng::new(1);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Dolly, config.vocab_size)
+            .with_num_samples(20)
+            .with_mean_seq_len(12),
+    )
+    .generate(&mut rng);
+    (model, data)
+}
+
+#[test]
+fn adaptive_budgets_feed_a_valid_plan() {
+    let (model, data) = setup();
+    let profile = model.profile(&data);
+    let tuning: HashSet<ExpertKey> = top_frequency_experts(&profile, 8);
+    let non_tuning_counts: Vec<usize> = model
+        .experts_per_layer()
+        .iter()
+        .enumerate()
+        .map(|(layer, &n)| n - tuning.iter().filter(|k| k.layer == layer).count())
+        .collect();
+    let budgets = layer_budgets(BudgetPolicy::Adaptive, &profile, &non_tuning_counts, 8);
+    assert_eq!(budgets.len(), 4);
+    assert!(budgets.iter().sum::<usize>() >= 4);
+
+    let mut rng = SeededRng::new(2);
+    let plan = CompactModelPlan::build(
+        &model,
+        &profile,
+        &tuning,
+        8,
+        MergingConfig::default(),
+        &mut rng,
+    );
+    let compact = plan.apply(&model, &profile);
+    // The compact model is smaller and still runs end to end.
+    assert!(compact.num_params() < model.num_params());
+    let eval = compact.evaluate(&data);
+    assert!(eval.loss.is_finite());
+}
+
+#[test]
+fn merging_preserves_outputs_better_than_discarding() {
+    let (model, data) = setup();
+    let profile = model.profile(&data);
+    let tuning: HashSet<ExpertKey> = top_frequency_experts(&profile, 8);
+    let discard = CompactModelPlan::build_discard(&model, &tuning).apply(&model, &profile);
+    let discard_err = mean_output_error(&model, &discard, &data);
+    for strategy in MergeStrategy::all() {
+        let mut rng = SeededRng::new(3);
+        let merged = CompactModelPlan::build(
+            &model,
+            &profile,
+            &tuning,
+            8,
+            MergingConfig::default().with_strategy(strategy),
+            &mut rng,
+        )
+        .apply(&model, &profile);
+        let merged_err = mean_output_error(&model, &merged, &data);
+        if strategy == MergeStrategy::AttentionFrequency {
+            // The paper's strategy must strictly beat discarding.
+            assert!(
+                merged_err < discard_err,
+                "{}: merged error {merged_err} should beat discard {discard_err}",
+                strategy.label()
+            );
+        } else {
+            // The ablation strategies may be close to discarding on this
+            // tiny random model, but must not be dramatically worse.
+            assert!(
+                merged_err < discard_err * 1.25,
+                "{}: merged error {merged_err} far worse than discard {discard_err}",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_rerouting_covers_every_original_expert() {
+    let (model, data) = setup();
+    let profile = model.profile(&data);
+    let tuning: HashSet<ExpertKey> = top_frequency_experts(&profile, 6);
+    let mut rng = SeededRng::new(4);
+    let plan = CompactModelPlan::build(
+        &model,
+        &profile,
+        &tuning,
+        6,
+        MergingConfig::default(),
+        &mut rng,
+    );
+    let compact = plan.apply(&model, &profile);
+    for (layer_idx, layer) in compact.layers.iter().enumerate() {
+        let map = &layer.moe.routing_map;
+        assert_eq!(map.num_original(), model.layers[layer_idx].moe.num_experts());
+        assert_eq!(map.num_compact(), layer.moe.num_experts());
+        for original in 0..map.num_original() {
+            assert!(map.redirect(original) < layer.moe.num_experts());
+        }
+    }
+}
+
+#[test]
+fn tuning_experts_keep_their_exact_parameters() {
+    let (model, data) = setup();
+    let profile = model.profile(&data);
+    let tuning: HashSet<ExpertKey> = top_frequency_experts(&profile, 8);
+    let mut rng = SeededRng::new(5);
+    let plan = CompactModelPlan::build(
+        &model,
+        &profile,
+        &tuning,
+        8,
+        MergingConfig::default(),
+        &mut rng,
+    );
+    let compact = plan.apply(&model, &profile);
+    for (&original, &compact_key) in &plan.tuning_key_map() {
+        assert_eq!(compact.expert(compact_key), model.expert(original));
+    }
+}
+
+fn mean_output_error(reference: &MoeModel, other: &MoeModel, data: &flux_data::Dataset) -> f32 {
+    let n = data.len().min(10);
+    let mut error = 0.0;
+    for sample in data.samples.iter().take(n) {
+        error += stats::cosine_distance(
+            &reference.final_embedding(sample),
+            &other.final_embedding(sample),
+        );
+    }
+    error / n as f32
+}

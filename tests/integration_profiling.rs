@@ -1,0 +1,78 @@
+//! Cross-crate integration tests of quantization-based profiling.
+
+use flux_core::profiling::{LocalProfiler, ProfilingConfig, StaleProfiler};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_quant::BitWidth;
+use flux_tensor::SeededRng;
+
+fn setup(kind: DatasetKind) -> (MoeModel, flux_data::Dataset) {
+    let base = MoeConfig::tiny();
+    let config = match kind.num_classes() {
+        Some(c) => base.with_classes(c),
+        None => base,
+    };
+    let mut rng = SeededRng::new(3);
+    let model = MoeModel::new(config.clone(), &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(kind, config.vocab_size)
+            .with_num_samples(24)
+            .with_mean_seq_len(10),
+    )
+    .generate(&mut rng);
+    (model, data)
+}
+
+#[test]
+fn quantized_profiles_are_close_to_full_precision_on_every_dataset() {
+    for kind in DatasetKind::all() {
+        let (model, data) = setup(kind);
+        let profiler = LocalProfiler::new(ProfilingConfig::default().with_width(BitWidth::Int8));
+        let error = profiler.estimation_error_pct(&model, &data);
+        assert!(
+            error < 40.0,
+            "{}: INT8 profiling error unexpectedly high ({error}%)",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn profile_frequencies_sum_to_top_k_per_layer() {
+    let (model, data) = setup(DatasetKind::Dolly);
+    let profile = model.profile(&data);
+    for layer in 0..profile.num_layers() {
+        let total: f32 = profile.frequencies[layer].iter().sum();
+        assert!((total - model.config.top_k as f32).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn profile_exposes_per_expert_sample_sets() {
+    let (model, data) = setup(DatasetKind::Mmlu);
+    let profile = model.profile(&data);
+    // Every sample must be routed through at least one expert of layer 0.
+    let mut covered = std::collections::HashSet::new();
+    for expert in 0..profile.frequencies[0].len() {
+        for &sample in profile.samples_of(flux_moe::ExpertKey::new(0, expert)) {
+            covered.insert(sample);
+        }
+    }
+    assert_eq!(covered.len(), data.len());
+}
+
+#[test]
+fn stale_profiler_integrates_with_model_updates() {
+    let (mut model, data) = setup(DatasetKind::Gsm8k);
+    let mut stale = StaleProfiler::new(ProfilingConfig::default().with_width(BitWidth::Int4));
+    let first = stale.refresh_blocking(&model, &data);
+    // One round of training shifts activations only slightly; the stale
+    // profile is still a usable estimate of the new ground truth.
+    model.train_step(&data.samples[..8], None, 0.02);
+    let truth = model.profile(&data);
+    let stale_error = first.estimation_error_pct(&truth);
+    assert!(stale_error < 60.0, "stale error {stale_error}% too large");
+    // Refreshing tracks the new model.
+    stale.refresh(&model, &data);
+    assert_eq!(stale.refreshes(), 2);
+}
