@@ -15,9 +15,13 @@ fn cost_model_pricing(c: &mut Criterion) {
     let config = MoeConfig::llama_moe_sim();
     let mut group = c.benchmark_group("fig01_cost_model");
     for experts in [8usize, 32, 128, 256] {
-        group.bench_with_input(BenchmarkId::new("price_round", experts), &experts, |b, &e| {
-            b.iter(|| cost.fine_tune_time_s(&device, &config, 28_800, e, 512));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("price_round", experts),
+            &experts,
+            |b, &e| {
+                b.iter(|| cost.fine_tune_time_s(&device, &config, 28_800, e, 512));
+            },
+        );
     }
     group.finish();
 }

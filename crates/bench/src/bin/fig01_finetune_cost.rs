@@ -25,7 +25,8 @@ fn main() {
         &["#Experts", "Measured (s)", "Paper (s)"],
     );
     for (experts, paper_seconds) in paper {
-        let measured = cost.fine_tune_time_s(&device, &config, tokens, experts, config.total_experts());
+        let measured =
+            cost.fine_tune_time_s(&device, &config, tokens, experts, config.total_experts());
         println!("{experts}\t{}\t{paper_seconds}", fmt(measured));
     }
 }

@@ -23,7 +23,11 @@ fn main() {
         let profile = model.profile(&data);
 
         print_header(
-            &format!("Figure 2: activation frequencies on {} ({})", kind.name(), scale.label()),
+            &format!(
+                "Figure 2: activation frequencies on {} ({})",
+                kind.name(),
+                scale.label()
+            ),
             &["Layer", "min freq", "max freq", "variance"],
         );
         for layer in 0..profile.num_layers() {
@@ -44,6 +48,9 @@ fn main() {
                 .cloned()
                 .fold(f32::INFINITY, f32::min)
                 .max(1e-9);
-        println!("variance spread across layers (max/min): {}", fmt(spread as f64));
+        println!(
+            "variance spread across layers (max/min): {}",
+            fmt(spread as f64)
+        );
     }
 }

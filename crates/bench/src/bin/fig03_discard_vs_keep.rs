@@ -45,7 +45,10 @@ fn main() {
     let discard_scores = run_case(&global, &profile, &tuning, true, &train, &test, rounds);
 
     print_header(
-        &format!("Figure 3: keep vs discard non-tuning experts (ROUGE-scored, {})", scale.label()),
+        &format!(
+            "Figure 3: keep vs discard non-tuning experts (ROUGE-scored, {})",
+            scale.label()
+        ),
         &["Round", "Keep (merged)", "Discard"],
     );
     for round in 0..rounds {

@@ -26,7 +26,10 @@ fn main() {
     ];
 
     print_header(
-        &format!("Figure 5: activation-frequency estimation error (%) ({})", scale.label()),
+        &format!(
+            "Figure 5: activation-frequency estimation error (%) ({})",
+            scale.label()
+        ),
         &["Dataset", "bit-2", "bit-4", "bit-8", "paper bit-2/4/8"],
     );
     for (kind, paper_errors) in paper {

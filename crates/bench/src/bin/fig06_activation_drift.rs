@@ -49,17 +49,19 @@ fn main() {
     }
 
     print_header(
-        &format!("Figure 6a: activation frequency (%) over rounds ({})", scale.label()),
+        &format!(
+            "Figure 6a: activation frequency (%) over rounds ({})",
+            scale.label()
+        ),
         &["Round", "Expert-1", "Expert-2", "Expert-3", "Expert-4"],
     );
+    let mut history_iters: Vec<_> = histories.iter().map(|h| h.iter()).collect();
     for round in 0..rounds {
-        println!(
-            "{round}\t{}\t{}\t{}\t{}",
-            fmt(histories[0][round] as f64),
-            fmt(histories[1][round] as f64),
-            fmt(histories[2][round] as f64),
-            fmt(histories[3][round] as f64)
-        );
+        let cells: Vec<String> = history_iters
+            .iter_mut()
+            .map(|it| fmt(*it.next().expect("one frequency per round") as f64))
+            .collect();
+        println!("{round}\t{}", cells.join("\t"));
     }
 
     print_header(

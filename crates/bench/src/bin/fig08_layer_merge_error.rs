@@ -33,7 +33,11 @@ fn main() {
         let profile = model.profile(&data);
 
         print_header(
-            &format!("Figure 8: output error when merging one layer ({}, {})", kind.name(), scale.label()),
+            &format!(
+                "Figure 8: output error when merging one layer ({}, {})",
+                kind.name(),
+                scale.label()
+            ),
             &["Layer index", "Output error (cosine distance)"],
         );
         for &layer in &probe_layers {

@@ -19,8 +19,8 @@ fn main() {
     let config = llama_config(scale);
     let mut rng = SeededRng::new(EXPERIMENT_SEED);
     let model = MoeModel::new(config.clone(), &mut rng);
-    let data_cfg = DatasetConfig::for_kind(DatasetKind::Gsm8k, config.vocab_size)
-        .with_num_samples(20);
+    let data_cfg =
+        DatasetConfig::for_kind(DatasetKind::Gsm8k, config.vocab_size).with_num_samples(20);
     let data = DatasetGenerator::new(data_cfg).generate(&mut rng);
     let profile = model.profile(&data);
 
@@ -59,7 +59,12 @@ fn main() {
     let norm_err = stats::min_max_normalize(&errors);
     print_header(
         &format!("Figure 9a: discard-one-expert sweep ({})", scale.label()),
-        &["Rank", "Layer/Expert", "Norm. activation freq", "Norm. output error"],
+        &[
+            "Rank",
+            "Layer/Expert",
+            "Norm. activation freq",
+            "Norm. output error",
+        ],
     );
     for (rank, row) in rows.iter().enumerate() {
         println!(
@@ -74,7 +79,12 @@ fn main() {
     // Panel (b): top-10 most significant experts with frequency + attention.
     print_header(
         "Figure 9b: top-10 significant experts",
-        &["Rank", "Layer/Expert", "Norm. activation freq", "Norm. attention score"],
+        &[
+            "Rank",
+            "Layer/Expert",
+            "Norm. activation freq",
+            "Norm. attention score",
+        ],
     );
     let attention: Vec<f32> = rows.iter().map(|r| r.2).collect();
     let norm_att = stats::min_max_normalize(&attention);

@@ -9,8 +9,18 @@ fn main() {
     let scale = Scale::from_env();
     for kind in DatasetKind::all() {
         print_header(
-            &format!("Figure 10: convergence on {} (LLaMA-MoE family, {})", kind.name(), scale.label()),
-            &["Method", "Round", "Elapsed (h)", "Score", "Relative accuracy"],
+            &format!(
+                "Figure 10: convergence on {} (LLaMA-MoE family, {})",
+                kind.name(),
+                scale.label()
+            ),
+            &[
+                "Method",
+                "Round",
+                "Elapsed (h)",
+                "Score",
+                "Relative accuracy",
+            ],
         );
         for method in Method::all() {
             let config = run_config(scale, llama_config(scale), kind);
@@ -27,5 +37,7 @@ fn main() {
             }
         }
     }
-    println!("\npaper shape: FLUX reaches the target fastest; FMQ is unstable; FMD is slow but steady.");
+    println!(
+        "\npaper shape: FLUX reaches the target fastest; FMQ is unstable; FMD is slow but steady."
+    );
 }

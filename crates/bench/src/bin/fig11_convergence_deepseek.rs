@@ -9,8 +9,18 @@ fn main() {
     let scale = Scale::from_env();
     for kind in DatasetKind::all() {
         print_header(
-            &format!("Figure 11: convergence on {} (DeepSeek-MoE family, {})", kind.name(), scale.label()),
-            &["Method", "Round", "Elapsed (h)", "Score", "Relative accuracy"],
+            &format!(
+                "Figure 11: convergence on {} (DeepSeek-MoE family, {})",
+                kind.name(),
+                scale.label()
+            ),
+            &[
+                "Method",
+                "Round",
+                "Elapsed (h)",
+                "Score",
+                "Relative accuracy",
+            ],
         );
         for method in Method::all() {
             let config = run_config(scale, deepseek_config(scale), kind);

@@ -18,15 +18,25 @@ fn main() {
     };
     for kind in DatasetKind::all() {
         print_header(
-            &format!("Figure 12: time-to-accuracy vs participants on {} (LLaMA-MoE family, {})", kind.name(), scale.label()),
-            &["Participants", "FMD (h)", "FMQ (h)", "FMES (h)", "FLUX (h)", "speedup vs best baseline"],
+            &format!(
+                "Figure 12: time-to-accuracy vs participants on {} (LLaMA-MoE family, {})",
+                kind.name(),
+                scale.label()
+            ),
+            &[
+                "Participants",
+                "FMD (h)",
+                "FMQ (h)",
+                "FMES (h)",
+                "FLUX (h)",
+                "speedup vs best baseline",
+            ],
         );
         for &n in &participant_counts {
             let results: Vec<RunResult> = Method::all()
                 .iter()
                 .map(|&method| {
-                    let config =
-                        run_config(scale, llama_config(scale), kind).with_participants(n);
+                    let config = run_config(scale, llama_config(scale), kind).with_participants(n);
                     FederatedRun::new(config, EXPERIMENT_SEED).run(method)
                 })
                 .collect();
@@ -35,8 +45,7 @@ fn main() {
                 .map(|r| r.best_score())
                 .fold(0.0f32, f32::max);
             let target = best * 0.9;
-            let times: Vec<Option<f64>> =
-                results.iter().map(|r| r.time_to_score(target)).collect();
+            let times: Vec<Option<f64>> = results.iter().map(|r| r.time_to_score(target)).collect();
             let flux_time = times[3];
             let best_baseline = times[..3]
                 .iter()
@@ -56,7 +65,9 @@ fn main() {
             );
         }
     }
-    println!("\npaper shape: times shrink with more participants; FLUX is fastest everywhere (~5x).");
+    println!(
+        "\npaper shape: times shrink with more participants; FLUX is fastest everywhere (~5x)."
+    );
 }
 
 fn fmt_opt(t: Option<f64>) -> String {

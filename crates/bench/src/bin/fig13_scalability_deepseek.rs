@@ -13,7 +13,11 @@ fn main() {
     };
     for kind in DatasetKind::all() {
         print_header(
-            &format!("Figure 13: time-to-accuracy vs participants on {} (DeepSeek-MoE family, {})", kind.name(), scale.label()),
+            &format!(
+                "Figure 13: time-to-accuracy vs participants on {} (DeepSeek-MoE family, {})",
+                kind.name(),
+                scale.label()
+            ),
             &["Participants", "FMD (h)", "FMQ (h)", "FMES (h)", "FLUX (h)"],
         );
         for &n in &participant_counts {
@@ -40,5 +44,7 @@ fn main() {
             println!("{n}\t{}", cells.join("\t"));
         }
     }
-    println!("\npaper shape: same ordering as Fig. 12 with larger absolute times (~4x FLUX speedup).");
+    println!(
+        "\npaper shape: same ordering as Fig. 12 with larger absolute times (~4x FLUX speedup)."
+    );
 }

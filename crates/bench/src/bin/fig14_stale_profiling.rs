@@ -19,7 +19,10 @@ fn main() {
 
     // Part 1: estimation error with fresh vs stale (one-round-old) profiles.
     print_header(
-        &format!("Figure 14a: estimation error with 2-bit profiling ({})", scale.label()),
+        &format!(
+            "Figure 14a: estimation error with 2-bit profiling ({})",
+            scale.label()
+        ),
         &["Dataset", "fresh profile (%)", "stale profile (%)"],
     );
     for kind in DatasetKind::all() {

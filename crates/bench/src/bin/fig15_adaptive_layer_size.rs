@@ -25,7 +25,10 @@ fn main() {
 
     // Part 1: forward-pass output error of the merged model.
     print_header(
-        &format!("Figure 15a: output error by budget policy ({})", scale.label()),
+        &format!(
+            "Figure 15a: output error by budget policy ({})",
+            scale.label()
+        ),
         &["Dataset", "single", "uniform", "adaptive"],
     );
     for kind in DatasetKind::all() {
@@ -71,7 +74,10 @@ fn main() {
                 .with_merging(MergingConfig::default().with_budget_policy(policy));
             results.push(FederatedRun::new(config, EXPERIMENT_SEED).run(Method::Flux));
         }
-        let best = results.iter().map(|r| r.best_score()).fold(0.0f32, f32::max);
+        let best = results
+            .iter()
+            .map(|r| r.best_score())
+            .fold(0.0f32, f32::max);
         let target = best * 0.9;
         let cells: Vec<String> = results
             .iter()

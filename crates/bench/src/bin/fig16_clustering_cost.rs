@@ -24,7 +24,10 @@ fn main() {
         .collect();
 
     print_header(
-        &format!("Figure 16: clustering cost for 128 non-tuning experts ({})", scale.label()),
+        &format!(
+            "Figure 16: clustering cost for 128 non-tuning experts ({})",
+            scale.label()
+        ),
         &["Total budget", "per-layer (ms)", "fused (ms)", "speedup"],
     );
     for &total_budget in &[32usize, 48, 64, 96] {
@@ -53,7 +56,10 @@ fn main() {
         );
         let fused_ms = start.elapsed().as_secs_f64() * 1e3;
 
-        assert_eq!(layered.covered_experts().len(), fused.covered_experts().len());
+        assert_eq!(
+            layered.covered_experts().len(),
+            fused.covered_experts().len()
+        );
         println!(
             "{total_budget}\t{}\t{}\t{:.1}x",
             fmt(layered_ms),

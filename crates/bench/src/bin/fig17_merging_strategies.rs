@@ -16,7 +16,10 @@ fn main() {
     let model_config = llama_config(scale);
 
     print_header(
-        &format!("Figure 17a: output error by merging strategy ({})", scale.label()),
+        &format!(
+            "Figure 17a: output error by merging strategy ({})",
+            scale.label()
+        ),
         &["Dataset", "avg", "weighted(freq)", "weighted(att+freq)"],
     );
     for kind in DatasetKind::all() {
@@ -61,7 +64,10 @@ fn main() {
                 .with_merging(MergingConfig::default().with_strategy(strategy));
             results.push(FederatedRun::new(config, EXPERIMENT_SEED).run(Method::Flux));
         }
-        let best = results.iter().map(|r| r.best_score()).fold(0.0f32, f32::max);
+        let best = results
+            .iter()
+            .map(|r| r.best_score())
+            .fold(0.0f32, f32::max);
         let target = best * 0.9;
         let cells: Vec<String> = results
             .iter()

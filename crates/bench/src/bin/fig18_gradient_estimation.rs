@@ -24,7 +24,10 @@ fn main() {
     };
 
     print_header(
-        &format!("Figure 18: cosine distance of estimated vs true gradients ({})", scale.label()),
+        &format!(
+            "Figure 18: cosine distance of estimated vs true gradients ({})",
+            scale.label()
+        ),
         &["Round", "Dolly", "GSM8K", "MMLU", "PIQA"],
     );
     let mut per_dataset: Vec<Vec<f32>> = Vec::new();
@@ -36,8 +39,7 @@ fn main() {
         };
         let mut rng = SeededRng::new(EXPERIMENT_SEED + kind as u64);
         let mut model = MoeModel::new(model_config.clone(), &mut rng);
-        let data_cfg =
-            DatasetConfig::for_kind(kind, model_config.vocab_size).with_num_samples(24);
+        let data_cfg = DatasetConfig::for_kind(kind, model_config.vocab_size).with_num_samples(24);
         let data = DatasetGenerator::new(data_cfg).generate(&mut rng);
 
         let mut distances = Vec::new();
@@ -71,16 +73,18 @@ fn main() {
         }
         per_dataset.push(distances);
     }
+    let mut series_iters: Vec<_> = per_dataset.iter().map(|s| s.iter()).collect();
     for round in 0..rounds {
-        println!(
-            "{round}\t{}\t{}\t{}\t{}",
-            fmt(per_dataset[0][round] as f64),
-            fmt(per_dataset[1][round] as f64),
-            fmt(per_dataset[2][round] as f64),
-            fmt(per_dataset[3][round] as f64)
-        );
+        let cells: Vec<String> = series_iters
+            .iter_mut()
+            .map(|it| fmt(*it.next().expect("one distance per round") as f64))
+            .collect();
+        println!("{round}\t{}", cells.join("\t"));
     }
-    let overall: f32 = per_dataset.iter().flatten().sum::<f32>()
-        / per_dataset.iter().flatten().count() as f32;
-    println!("\nmean distance = {} (paper: ~0.29, decreasing over rounds)", fmt(overall as f64));
+    let overall: f32 =
+        per_dataset.iter().flatten().sum::<f32>() / per_dataset.iter().flatten().count() as f32;
+    println!(
+        "\nmean distance = {} (paper: ~0.29, decreasing over rounds)",
+        fmt(overall as f64)
+    );
 }

@@ -18,13 +18,21 @@ fn main() {
     ];
     for kind in DatasetKind::all() {
         print_header(
-            &format!("Figure 19: epsilon strategies on {} ({})", kind.name(), scale.label()),
-            &["Strategy", "Final score", "Best score", "Time to 90% of best (h)"],
+            &format!(
+                "Figure 19: epsilon strategies on {} ({})",
+                kind.name(),
+                scale.label()
+            ),
+            &[
+                "Strategy",
+                "Final score",
+                "Best score",
+                "Time to 90% of best (h)",
+            ],
         );
         let mut results = Vec::new();
         for (label, epsilon) in schedules {
-            let config =
-                run_config(scale, llama_config(scale), kind).with_epsilon(epsilon);
+            let config = run_config(scale, llama_config(scale), kind).with_epsilon(epsilon);
             let result = FederatedRun::new(config, EXPERIMENT_SEED).run(Method::Flux);
             results.push((label, result));
         }
@@ -46,5 +54,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper: dynamic epsilon converges fastest; eps=0.3 is unstable, eps=0.7 under-explores.");
+    println!(
+        "\npaper: dynamic epsilon converges fastest; eps=0.3 is unstable, eps=0.7 under-explores."
+    );
 }

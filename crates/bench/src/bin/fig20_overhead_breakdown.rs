@@ -13,7 +13,13 @@ fn main() {
     let scale = Scale::from_env();
     print_header(
         &format!("Figure 20: Flux overhead breakdown ({})", scale.label()),
-        &["Dataset", "Profiling %", "Merging %", "Assignment %", "Fine-tuning %"],
+        &[
+            "Dataset",
+            "Profiling %",
+            "Merging %",
+            "Assignment %",
+            "Fine-tuning %",
+        ],
     );
     for kind in DatasetKind::all() {
         let config = run_config(scale, llama_config(scale), kind);

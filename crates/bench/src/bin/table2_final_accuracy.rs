@@ -4,7 +4,9 @@
 //! quality, while FMQ and FMES land noticeably lower (quantization noise and
 //! discarded experts respectively).
 
-use flux_bench::{deepseek_config, fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED};
+use flux_bench::{
+    deepseek_config, fmt, llama_config, print_header, run_config, Scale, EXPERIMENT_SEED,
+};
 use flux_core::driver::{FederatedRun, Method};
 use flux_data::DatasetKind;
 

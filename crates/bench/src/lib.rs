@@ -34,7 +34,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment (defaults to [`Scale::Quick`]).
     pub fn from_env() -> Scale {
-        match env::var("FLUX_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match env::var("FLUX_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => Scale::Full,
             "standard" => Scale::Standard,
             _ => Scale::Quick,

@@ -103,10 +103,8 @@ impl DynamicEpsilon {
 
     /// ε for the given round.
     pub fn at_round(&self, round: usize) -> f32 {
-        (self.start + self.step * round as f32).clamp(
-            self.start.min(self.end),
-            self.start.max(self.end),
-        )
+        (self.start + self.step * round as f32)
+            .clamp(self.start.min(self.end), self.start.max(self.end))
     }
 }
 
@@ -340,11 +338,7 @@ impl ForwardGradEstimator {
     }
 }
 
-fn perturbed_expert(
-    base: &flux_moe::Expert,
-    direction: &[f32],
-    scale: f32,
-) -> flux_moe::Expert {
+fn perturbed_expert(base: &flux_moe::Expert, direction: &[f32], scale: f32) -> flux_moe::Expert {
     let mut out = base.clone();
     let mut cursor = 0;
     for x in out.w1.as_mut_slice() {
@@ -415,8 +409,7 @@ mod tests {
         let utilities = initial_utilities(&profile);
         assert_eq!(utilities.len(), 32);
         // The most frequent expert of layer 0 has the maximum (1.0) utility.
-        let layer0: Vec<&ExpertUtility> =
-            utilities.iter().filter(|u| u.key.layer == 0).collect();
+        let layer0: Vec<&ExpertUtility> = utilities.iter().filter(|u| u.key.layer == 0).collect();
         let max = layer0
             .iter()
             .max_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
@@ -448,7 +441,11 @@ mod tests {
         let assignment = assigner.assign(0, &all, 8, 0, &mut rng);
         assert_eq!(assignment.len(), 8);
         let set = assignment.tuning_set();
-        assert_eq!(set.len(), 8, "exploitation and exploration must not overlap");
+        assert_eq!(
+            set.len(),
+            8,
+            "exploitation and exploration must not overlap"
+        );
         // ε = 0.3 at round 0: ~2-3 exploitation picks, rest exploration.
         assert!(assignment.exploitation.len() <= 3);
         assert!(!assignment.exploration.is_empty());

@@ -373,7 +373,10 @@ mod tests {
         let (first_loss, grads) = local_train(&mut local, samples, None, 0.05, 4);
         assert!(grads.is_some());
         let (second_loss, _) = local_train(&mut local, samples, None, 0.05, 4);
-        assert!(second_loss <= first_loss * 1.2, "{first_loss} -> {second_loss}");
+        assert!(
+            second_loss <= first_loss * 1.2,
+            "{first_loss} -> {second_loss}"
+        );
     }
 
     #[test]

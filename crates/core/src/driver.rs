@@ -277,7 +277,12 @@ impl FederatedRun {
         let (train, test) = dataset.train_test_split(0.8);
         let eval_indices: Vec<usize> = (0..test.len().min(cfg.eval_samples)).collect();
         let eval_set = test.subset(&eval_indices);
-        let fleet = build_fleet(&train, cfg.num_participants, cfg.non_iid_alpha, &mut fleet_rng);
+        let fleet = build_fleet(
+            &train,
+            cfg.num_participants,
+            cfg.non_iid_alpha,
+            &mut fleet_rng,
+        );
 
         // Server-side state.
         let global = MoeModel::new(model_config, &mut model_rng);
@@ -553,7 +558,10 @@ impl FederatedRun {
         let train_tokens: usize = train_samples.iter().map(|s| s.tokens.len()).sum();
         let reference_train_tokens = train_tokens.saturating_mul(cfg.reference_token_scale);
         let non_tuning_total = config.total_experts().saturating_sub(tuning_set.len());
-        let fused = matches!(cfg.merging.clustering, crate::merging::ClusteringMode::Fused);
+        let fused = matches!(
+            cfg.merging.clustering,
+            crate::merging::ClusteringMode::Fused
+        );
         // Exploration gradient estimation: two forward passes per
         // perturbation over one reference-scale sample.
         let estimation_tokens = exploration_estimates
@@ -579,11 +587,7 @@ impl FederatedRun {
                 capacity,
             ),
             offloading_s: 0.0,
-            communication_s: cost.communication_time_s(
-                device,
-                config,
-                expert_updates.len().max(1),
-            ),
+            communication_s: cost.communication_time_s(device, config, expert_updates.len().max(1)),
         };
         LocalRoundOutput {
             expert_updates,

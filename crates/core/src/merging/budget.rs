@@ -79,7 +79,10 @@ fn adaptive_budgets(
         .collect();
     let total_weight: f64 = weights.iter().sum();
     let mut budgets: Vec<usize> = if total_weight <= 0.0 {
-        non_tuning_counts.iter().map(|&n| usize::from(n > 0)).collect()
+        non_tuning_counts
+            .iter()
+            .map(|&n| usize::from(n > 0))
+            .collect()
     } else {
         weights
             .iter()

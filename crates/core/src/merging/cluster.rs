@@ -121,7 +121,7 @@ fn cluster_fused(
             keys.push(ExpertKey::new(layer, e));
             point_labels.push(layer);
         }
-        centroid_labels.extend(std::iter::repeat(layer).take(budget));
+        centroid_labels.extend(std::iter::repeat_n(layer, budget));
     }
     let mut clusters = vec![Vec::new(); non_tuning.len()];
     if keys.is_empty() {
@@ -323,6 +323,10 @@ mod tests {
         let together = clusters.clusters[0]
             .iter()
             .any(|group| group.contains(&2) && group.contains(&3));
-        assert!(together, "identical experts should share a cluster: {:?}", clusters.clusters[0]);
+        assert!(
+            together,
+            "identical experts should share a cluster: {:?}",
+            clusters.clusters[0]
+        );
     }
 }

@@ -94,8 +94,7 @@ impl CompactModelPlan {
                 }
             }
         }
-        let non_tuning_counts: Vec<usize> =
-            non_tuning_per_layer.iter().map(Vec::len).collect();
+        let non_tuning_counts: Vec<usize> = non_tuning_per_layer.iter().map(Vec::len).collect();
         let budgets = layer_budgets(
             config.budget_policy,
             profile,
@@ -113,11 +112,11 @@ impl CompactModelPlan {
 
         let mut slots = Vec::with_capacity(num_layers);
         let mut routing_tables = Vec::with_capacity(num_layers);
-        for layer in 0..num_layers {
+        for (layer, layer_tuning) in tuning_per_layer.iter().enumerate() {
             let total = model.layers[layer].moe.num_original_experts();
             let mut layer_slots = Vec::new();
             let mut table = vec![usize::MAX; total];
-            for &e in &tuning_per_layer[layer] {
+            for &e in layer_tuning {
                 table[e] = layer_slots.len();
                 layer_slots.push(ExpertSlot::Keep { original: e });
             }
@@ -155,9 +154,9 @@ impl CompactModelPlan {
             let mut layer_slots = Vec::new();
             let mut table = vec![usize::MAX; total];
             let mut discarded = Vec::new();
-            for e in 0..total {
+            for (e, entry) in table.iter_mut().enumerate() {
                 if tuning.contains(&ExpertKey::new(layer, e)) {
-                    table[e] = layer_slots.len();
+                    *entry = layer_slots.len();
                     layer_slots.push(ExpertSlot::Keep { original: e });
                 } else {
                     discarded.push(e);
@@ -192,13 +191,9 @@ impl CompactModelPlan {
                     ExpertSlot::Keep { original } => {
                         global.expert(ExpertKey::new(layer, *original)).clone()
                     }
-                    ExpertSlot::Merged { originals } => merge_cluster(
-                        global,
-                        profile,
-                        layer,
-                        originals,
-                        self.config.strategy,
-                    ),
+                    ExpertSlot::Merged { originals } => {
+                        merge_cluster(global, profile, layer, originals, self.config.strategy)
+                    }
                     ExpertSlot::Zero { .. } => zero_expert(global, layer),
                 };
                 experts.push(expert);
@@ -315,7 +310,10 @@ mod tests {
         for (layer, table) in plan.routing_tables.iter().enumerate() {
             assert_eq!(table.len(), 8);
             for (original, &compact) in table.iter().enumerate() {
-                assert!(compact < plan.slots[layer].len(), "layer {layer} expert {original}");
+                assert!(
+                    compact < plan.slots[layer].len(),
+                    "layer {layer} expert {original}"
+                );
             }
         }
     }
@@ -338,7 +336,10 @@ mod tests {
         assert!(plan.total_merged_experts() >= 4);
         let compact = plan.apply(&model, &profile);
         assert!(compact.num_params() < model.num_params());
-        assert_eq!(compact.config.experts_per_layer, compact.experts_per_layer());
+        assert_eq!(
+            compact.config.experts_per_layer,
+            compact.experts_per_layer()
+        );
     }
 
     #[test]
@@ -382,7 +383,8 @@ mod tests {
         let mut discard_err = 0.0;
         for sample in data.samples.iter().take(8) {
             let full = model.final_embedding(sample);
-            merged_err += flux_tensor::stats::cosine_distance(&full, &merged.final_embedding(sample));
+            merged_err +=
+                flux_tensor::stats::cosine_distance(&full, &merged.final_embedding(sample));
             discard_err +=
                 flux_tensor::stats::cosine_distance(&full, &discarded.final_embedding(sample));
         }

@@ -145,7 +145,9 @@ impl StaleProfiler {
     /// no stale profile exists yet, and by the non-stale ablation).
     pub fn refresh_blocking(&mut self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
         self.refresh(model, dataset);
-        self.current.clone().expect("refresh just populated the profile")
+        self.current
+            .clone()
+            .expect("refresh just populated the profile")
     }
 }
 

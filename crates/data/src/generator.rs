@@ -163,7 +163,7 @@ impl DatasetGenerator {
             .wrapping_add(topic as u64 * 0x85EB_CA6B);
         // The label leans heavily on the topic (learnable from routing) with
         // a token-dependent component.
-        ((topic + (mix % 3) as usize) % num_classes.max(1)) as usize
+        (topic + (mix % 3) as usize) % num_classes.max(1)
     }
 
     /// Generation reference: an affine remapping of the input's trailing

@@ -42,7 +42,11 @@ impl PartitionConfig {
 }
 
 /// Splits a dataset IID (round-robin after shuffling) across participants.
-pub fn partition_iid(dataset: &Dataset, num_participants: usize, rng: &mut SeededRng) -> Vec<Dataset> {
+pub fn partition_iid(
+    dataset: &Dataset,
+    num_participants: usize,
+    rng: &mut SeededRng,
+) -> Vec<Dataset> {
     assert!(num_participants > 0, "need at least one participant");
     let mut indices: Vec<usize> = (0..dataset.len()).collect();
     rng.shuffle(&mut indices);
@@ -86,7 +90,11 @@ pub fn partition_non_iid(
         let mut assigned: usize = counts.iter().sum();
         // Distribute the remainder to the participants with the largest shares.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| shares[b].partial_cmp(&shares[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            shares[b]
+                .partial_cmp(&shares[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut cursor = 0;
         while assigned < total {
             counts[order[cursor % n]] += 1;

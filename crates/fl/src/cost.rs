@@ -127,7 +127,9 @@ impl CostModel {
     fn backbone_forward_flops(&self, config: &MoeConfig) -> f64 {
         let experts_per_layer = config.experts_per_layer.first().copied().unwrap_or(1) as f64;
         // Backbone cost relative to the dense expert path of one layer.
-        Self::expert_forward_flops(config) * config.top_k as f64 * self.backbone_forward_fraction
+        Self::expert_forward_flops(config)
+            * config.top_k as f64
+            * self.backbone_forward_fraction
             * config.num_layers as f64
             / experts_per_layer.max(1.0)
             + Self::expert_forward_flops(config) * self.backbone_forward_fraction
@@ -211,7 +213,12 @@ impl CostModel {
     }
 
     /// Seconds to quantize the local model copy at the given width.
-    pub fn quantize_time_s(&self, device: &DeviceProfile, config: &MoeConfig, width: BitWidth) -> f64 {
+    pub fn quantize_time_s(
+        &self,
+        device: &DeviceProfile,
+        config: &MoeConfig,
+        width: BitWidth,
+    ) -> f64 {
         // Quantization streams every parameter once; cheaper widths write
         // fewer bytes but the dominant cost is the read + rounding pass.
         let bytes = DeviceProfile::expert_bytes(config) * config.total_experts() as f64
@@ -234,7 +241,7 @@ impl CostModel {
     ) -> f64 {
         // Weight-only quantized inference speeds up roughly with the memory
         // traffic reduction, capped at 4× for very low widths.
-        let speedup = (32.0f64 / width.bits() as f64).min(4.0).max(1.0);
+        let speedup = (32.0f64 / width.bits() as f64).clamp(1.0, 4.0);
         self.forward_time_s(device, config, tokens, config.top_k) / speedup
     }
 
@@ -242,7 +249,12 @@ impl CostModel {
     ///
     /// Each swap moves the expert in and its gradients/optimizer state out,
     /// at the effective (not peak) PCIe bandwidth small MoE transfers reach.
-    pub fn offload_time_s(&self, device: &DeviceProfile, config: &MoeConfig, expert_swaps: usize) -> f64 {
+    pub fn offload_time_s(
+        &self,
+        device: &DeviceProfile,
+        config: &MoeConfig,
+        expert_swaps: usize,
+    ) -> f64 {
         let bytes = DeviceProfile::expert_bytes(config) * expert_swaps as f64 * 2.0;
         bytes / (device.pcie_gbps * 1e9 * self.pcie_efficiency)
     }
@@ -327,7 +339,10 @@ mod tests {
         let p4 = cost.profile_time_s(&device, &cfg, tokens, BitWidth::Int4);
         let p8 = cost.profile_time_s(&device, &cfg, tokens, BitWidth::Int8);
         assert!(p2 <= p4 && p4 <= p8);
-        assert!(p8 < tune, "profiling {p8} should be cheaper than tuning {tune}");
+        assert!(
+            p8 < tune,
+            "profiling {p8} should be cheaper than tuning {tune}"
+        );
     }
 
     #[test]
@@ -358,12 +373,10 @@ mod tests {
         let fast = DeviceClass::Prosumer24G.profile();
         let slow = DeviceClass::Consumer8G.profile();
         assert!(
-            cost.communication_time_s(&slow, &cfg, 32)
-                > cost.communication_time_s(&fast, &cfg, 32)
+            cost.communication_time_s(&slow, &cfg, 32) > cost.communication_time_s(&fast, &cfg, 32)
         );
         assert!(
-            cost.communication_time_s(&fast, &cfg, 64)
-                > cost.communication_time_s(&fast, &cfg, 16)
+            cost.communication_time_s(&fast, &cfg, 64) > cost.communication_time_s(&fast, &cfg, 16)
         );
     }
 

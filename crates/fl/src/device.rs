@@ -250,7 +250,9 @@ mod tests {
     fn longer_deadline_allows_more_tuning() {
         let cfg = MoeConfig::llama_moe_sim();
         let short = DeviceClass::Consumer12G.profile().with_round_deadline(30.0);
-        let long = DeviceClass::Consumer12G.profile().with_round_deadline(600.0);
+        let long = DeviceClass::Consumer12G
+            .profile()
+            .with_round_deadline(600.0);
         assert!(long.tuning_capacity(&cfg, 5000) >= short.tuning_capacity(&cfg, 5000));
     }
 
@@ -259,10 +261,8 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let fleet = sample_fleet(20, &mut rng);
         assert_eq!(fleet.len(), 20);
-        let distinct: std::collections::HashSet<u64> = fleet
-            .iter()
-            .map(|p| p.gpu_memory_gb.to_bits())
-            .collect();
+        let distinct: std::collections::HashSet<u64> =
+            fleet.iter().map(|p| p.gpu_memory_gb.to_bits()).collect();
         assert!(distinct.len() > 1, "fleet should mix device classes");
         let fleet2 = sample_fleet(20, &mut SeededRng::new(1));
         assert_eq!(fleet, fleet2);

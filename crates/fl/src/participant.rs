@@ -146,7 +146,9 @@ mod tests {
         for p in &fleet {
             match p.profile_width {
                 BitWidth::Int2 => assert!(p.device.gpu_memory_gb <= 8.0),
-                BitWidth::Int4 => assert!(p.device.gpu_memory_gb > 8.0 && p.device.gpu_memory_gb <= 16.0),
+                BitWidth::Int4 => {
+                    assert!(p.device.gpu_memory_gb > 8.0 && p.device.gpu_memory_gb <= 16.0)
+                }
                 BitWidth::Int8 => assert!(p.device.gpu_memory_gb > 16.0),
             }
         }

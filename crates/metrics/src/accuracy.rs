@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn relative_accuracy_zero_target() {
-        assert_eq!(relative_accuracy(0.5, TargetMetric::Accuracy { target: 0.0 }), 0.0);
+        assert_eq!(
+            relative_accuracy(0.5, TargetMetric::Accuracy { target: 0.0 }),
+            0.0
+        );
     }
 
     #[test]

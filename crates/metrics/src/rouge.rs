@@ -32,11 +32,7 @@ pub fn mean_rouge_l(pairs: &[(Vec<u32>, Vec<u32>)]) -> f32 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs
-        .iter()
-        .map(|(c, r)| rouge_l(c, r))
-        .sum::<f32>()
-        / pairs.len() as f32
+    pairs.iter().map(|(c, r)| rouge_l(c, r)).sum::<f32>() / pairs.len() as f32
 }
 
 /// Length of the longest common subsequence, O(n·m) dynamic programming with

@@ -370,7 +370,11 @@ mod tests {
         );
         let mut experts = m.layers[2].moe.experts[..6].to_vec();
         experts.push(merged);
-        m.set_layer_experts(2, experts, RoutingMap::from_table(vec![0, 1, 2, 3, 4, 5, 6, 6]));
+        m.set_layer_experts(
+            2,
+            experts,
+            RoutingMap::from_table(vec![0, 1, 2, 3, 4, 5, 6, 6]),
+        );
         let restored = from_bytes(&to_bytes(&m)).unwrap();
         assert_eq!(restored.cls_head, m.cls_head);
         assert_eq!(restored.layers[2].moe.experts.len(), 7);
@@ -415,6 +419,8 @@ mod tests {
     fn error_display_strings() {
         assert!(CheckpointError::BadMagic.to_string().contains("magic"));
         assert!(CheckpointError::Truncated.to_string().contains("truncated"));
-        assert!(CheckpointError::Corrupt("x".into()).to_string().contains("x"));
+        assert!(CheckpointError::Corrupt("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -325,8 +325,7 @@ mod tests {
         let cfg = MoeConfig::tiny();
         let per_layer =
             cfg.params_per_attention() + cfg.params_per_gate(0) + 8 * cfg.params_per_expert();
-        let expected =
-            cfg.vocab_size * cfg.d_model + cfg.d_model * cfg.vocab_size + 4 * per_layer;
+        let expected = cfg.vocab_size * cfg.d_model + cfg.d_model * cfg.vocab_size + 4 * per_layer;
         assert_eq!(cfg.total_params(), expected);
     }
 

@@ -191,14 +191,8 @@ impl Expert {
             assert_eq!(expert.d_model(), d_model, "expert dims must match");
             assert_eq!(expert.d_ff(), d_ff, "expert dims must match");
             let alpha = w.max(0.0) / total;
-            merged
-                .w1
-                .add_scaled(&expert.w1, alpha)
-                .expect("same shape");
-            merged
-                .w2
-                .add_scaled(&expert.w2, alpha)
-                .expect("same shape");
+            merged.w1.add_scaled(&expert.w1, alpha).expect("same shape");
+            merged.w2.add_scaled(&expert.w2, alpha).expect("same shape");
             for (m, &b) in merged.b1.iter_mut().zip(expert.b1.iter()) {
                 *m += alpha * b;
             }

@@ -54,7 +54,13 @@ impl Gate {
         let mass: f32 = top.iter().map(|&i| probs[i]).sum();
         let weights: Vec<f32> = top
             .iter()
-            .map(|&i| if mass > 0.0 { probs[i] / mass } else { 1.0 / k as f32 })
+            .map(|&i| {
+                if mass > 0.0 {
+                    probs[i] / mass
+                } else {
+                    1.0 / k as f32
+                }
+            })
             .collect();
         TokenRouting {
             experts: top,
@@ -65,7 +71,9 @@ impl Gate {
 
     /// Routes every row of a hidden-state matrix.
     pub fn route_all(&self, hidden: &Matrix) -> Vec<TokenRouting> {
-        (0..hidden.rows()).map(|r| self.route(hidden.row(r))).collect()
+        (0..hidden.rows())
+            .map(|r| self.route(hidden.row(r)))
+            .collect()
     }
 }
 

@@ -59,7 +59,9 @@ impl MoeLayer {
         top_k: usize,
         rng: &mut SeededRng,
     ) -> Self {
-        let experts = (0..num_experts).map(|_| Expert::new(d_model, d_ff, rng)).collect();
+        let experts = (0..num_experts)
+            .map(|_| Expert::new(d_model, d_ff, rng))
+            .collect();
         Self {
             gate: Gate::new(d_model, num_experts, top_k, rng),
             experts,
@@ -170,11 +172,15 @@ impl MoeLayer {
             let (grad, grad_batch_input) = self.experts[compact].backward(&batch.cache, &grad_rows);
             // Scatter the input gradient back to the token rows.
             for (slot, &row) in batch.token_rows.iter().enumerate() {
-                for (o, &g) in grad_input.row_mut(row).iter_mut().zip(grad_batch_input.row(slot)) {
+                for (o, &g) in grad_input
+                    .row_mut(row)
+                    .iter_mut()
+                    .zip(grad_batch_input.row(slot))
+                {
                     *o += g;
                 }
             }
-            let wanted = tuning_experts.map_or(true, |set| set.contains(&compact));
+            let wanted = tuning_experts.is_none_or(|set| set.contains(&compact));
             if wanted {
                 expert_grads.insert(compact, grad);
             }
@@ -255,10 +261,10 @@ impl TransformerLayer {
     ) -> (HashMap<usize, ExpertGrad>, Matrix) {
         // output = post_attention + moe(ln(post_attention)).
         let (expert_grads, grad_moe_in) =
-            self.moe.backward(&cache.moe_cache, grad_output, tuning_experts);
+            self.moe
+                .backward(&cache.moe_cache, grad_output, tuning_experts);
         let mut grad_post_attention = grad_output.clone();
-        let grad_from_moe =
-            ops::layer_norm_backward(&cache.post_attention, &grad_moe_in, LN_EPS);
+        let grad_from_moe = ops::layer_norm_backward(&cache.post_attention, &grad_moe_in, LN_EPS);
         grad_post_attention
             .add_scaled(&grad_from_moe, 1.0)
             .expect("same shape");

@@ -35,7 +35,7 @@ pub mod layer;
 pub mod model;
 pub mod tracker;
 
-pub use config::{MoeConfig, ModelCatalogEntry};
+pub use config::{ModelCatalogEntry, MoeConfig};
 pub use expert::{Expert, ExpertGrad};
 pub use gating::RoutingMap;
 pub use model::{EvalResult, ForwardCache, GradientSet, MoeModel};

@@ -273,7 +273,9 @@ impl MoeModel {
                 let mut grad_hidden =
                     Matrix::zeros(cache.final_hidden.rows(), cache.final_hidden.cols());
                 for (slot, &row) in rows.iter().enumerate() {
-                    grad_hidden.row_mut(row).copy_from_slice(grad_tail.row(slot));
+                    grad_hidden
+                        .row_mut(row)
+                        .copy_from_slice(grad_tail.row(slot));
                 }
                 (loss, grad_hidden, head_grad)
             }
@@ -321,7 +323,8 @@ impl MoeModel {
         let cache = self.forward(&sample.tokens, None);
         let (loss, grad_final_hidden, head_grad) = self.loss_and_head_grads(sample, &cache);
         // Final layer norm backward.
-        let mut grad = ops::layer_norm_backward(&cache.last_block_output, &grad_final_hidden, LN_EPS);
+        let mut grad =
+            ops::layer_norm_backward(&cache.last_block_output, &grad_final_hidden, LN_EPS);
         let mut expert_grads: HashMap<ExpertKey, ExpertGrad> = HashMap::new();
         for (idx, layer) in self.layers.iter().enumerate().rev() {
             let tuning_for_layer: Option<Vec<usize>> = tuning.map(|set| {
@@ -330,11 +333,8 @@ impl MoeModel {
                     .map(|k| k.expert)
                     .collect()
             });
-            let (grads, grad_input) = layer.backward(
-                &cache.layer_caches[idx],
-                &grad,
-                tuning_for_layer.as_deref(),
-            );
+            let (grads, grad_input) =
+                layer.backward(&cache.layer_caches[idx], &grad, tuning_for_layer.as_deref());
             for (compact, g) in grads {
                 expert_grads.insert(ExpertKey::new(idx, compact), g);
             }
@@ -466,10 +466,8 @@ impl MoeModel {
                 (Task::Generation { reference }, Prediction::Tokens(pred)) => {
                     score_sum += flux_metrics_rouge(&pred, reference);
                 }
-                (Task::Classification { label, .. }, Prediction::Class(pred)) => {
-                    if pred == *label {
-                        score_sum += 1.0;
-                    }
+                (Task::Classification { label, .. }, Prediction::Class(pred)) if pred == *label => {
+                    score_sum += 1.0;
                 }
                 _ => {}
             }
@@ -689,9 +687,7 @@ mod tests {
         assert_eq!(q2.num_params(), model.num_params());
         // INT2 perturbs weights more than INT8.
         let dist = |a: &MoeModel, b: &MoeModel| {
-            a.layers[0]
-                .moe
-                .experts[0]
+            a.layers[0].moe.experts[0]
                 .w1
                 .sub(&b.layers[0].moe.experts[0].w1)
                 .unwrap()

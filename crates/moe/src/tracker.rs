@@ -176,7 +176,9 @@ impl ActivationProfile {
 
     /// Variances for all layers.
     pub fn layer_variances(&self) -> Vec<f32> {
-        (0..self.num_layers()).map(|l| self.layer_variance(l)).collect()
+        (0..self.num_layers())
+            .map(|l| self.layer_variance(l))
+            .collect()
     }
 
     /// Estimation error (percent) of this profile's activation frequencies

@@ -91,7 +91,8 @@ mod tests {
     fn zero_input_gives_zero_output() {
         let mut rng = SeededRng::new(3);
         let x = Matrix::zeros(3, 8);
-        let w = QuantizedMatrix::quantize(&Matrix::random_normal(8, 4, 1.0, &mut rng), BitWidth::Int4);
+        let w =
+            QuantizedMatrix::quantize(&Matrix::random_normal(8, 4, 1.0, &mut rng), BitWidth::Int4);
         let out = quantized_matmul(&x, &w).unwrap();
         assert!(out.as_slice().iter().all(|&v| v == 0.0));
     }
@@ -100,7 +101,8 @@ mod tests {
     fn output_shape() {
         let mut rng = SeededRng::new(4);
         let x = Matrix::random_normal(5, 6, 1.0, &mut rng);
-        let w = QuantizedMatrix::quantize(&Matrix::random_normal(6, 9, 1.0, &mut rng), BitWidth::Int2);
+        let w =
+            QuantizedMatrix::quantize(&Matrix::random_normal(6, 9, 1.0, &mut rng), BitWidth::Int2);
         assert_eq!(quantized_matmul(&x, &w).unwrap().shape(), (5, 9));
     }
 }

@@ -80,7 +80,11 @@ impl QuantizedMatrix {
         for r in 0..rows {
             let row = weights.row(r);
             let max_abs = row.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
-            let scale = if max_abs > 0.0 { max_abs / max_level } else { 1.0 };
+            let scale = if max_abs > 0.0 {
+                max_abs / max_level
+            } else {
+                1.0
+            };
             scales[r] = scale;
             for (c, &w) in row.iter().enumerate() {
                 let q = (w / scale).round().clamp(-max_level, max_level);

@@ -124,8 +124,8 @@ impl KMeans {
         for iter in 0..self.max_iterations {
             iterations = iter + 1;
             // Assignment step.
-            for p in 0..n {
-                assignments[p] = self.nearest_centroid(data.row(p), &centroids, None).0;
+            for (p, a) in assignments.iter_mut().enumerate() {
+                *a = self.nearest_centroid(data.row(p), &centroids, None).0;
             }
             // Update step.
             let new_centroids = self.recompute_centroids(data, &assignments, k, &centroids, None);
@@ -135,8 +135,8 @@ impl KMeans {
                 break;
             }
         }
-        for p in 0..n {
-            assignments[p] = self.nearest_centroid(data.row(p), &centroids, None).0;
+        for (p, a) in assignments.iter_mut().enumerate() {
+            *a = self.nearest_centroid(data.row(p), &centroids, None).0;
         }
         let inertia = self.inertia(data, &assignments, &centroids);
         Ok(KMeansResult {
@@ -305,8 +305,8 @@ impl KMeans {
             }
         }
         let mut centroids = Matrix::zeros(k, d);
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Keep the previous centroid; an empty admissible set can
                 // occur in the constrained variant when one layer has fewer
                 // points than clusters.
@@ -373,7 +373,10 @@ mod tests {
     fn separates_two_blobs() {
         let mut rng = SeededRng::new(1);
         let (data, truth) = blobs(&mut rng);
-        let result = KMeans::new(2).with_euclidean().fit(&data, &mut rng).unwrap();
+        let result = KMeans::new(2)
+            .with_euclidean()
+            .fit(&data, &mut rng)
+            .unwrap();
         // All points with the same true label must share a cluster.
         let cluster_of_first_even = result.assignments[0];
         let cluster_of_first_odd = result.assignments[1];
@@ -417,7 +420,10 @@ mod tests {
     fn respects_k_greater_than_n() {
         let mut rng = SeededRng::new(3);
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
-        let result = KMeans::new(5).with_euclidean().fit(&data, &mut rng).unwrap();
+        let result = KMeans::new(5)
+            .with_euclidean()
+            .fit(&data, &mut rng)
+            .unwrap();
         assert_eq!(result.centroids.rows(), 2);
     }
 
@@ -434,7 +440,10 @@ mod tests {
     fn clusters_listing_covers_all_points() {
         let mut rng = SeededRng::new(5);
         let (data, _) = blobs(&mut rng);
-        let result = KMeans::new(4).with_euclidean().fit(&data, &mut rng).unwrap();
+        let result = KMeans::new(4)
+            .with_euclidean()
+            .fit(&data, &mut rng)
+            .unwrap();
         let total: usize = result.clusters().iter().map(Vec::len).sum();
         assert_eq!(total, data.rows());
     }
@@ -486,20 +495,22 @@ mod tests {
     fn inertia_decreases_with_more_clusters() {
         let mut rng = SeededRng::new(9);
         let data = Matrix::random_normal(60, 4, 1.0, &mut rng);
-        let few = KMeans::new(2).with_euclidean().fit(&data, &mut rng).unwrap();
-        let many = KMeans::new(12).with_euclidean().fit(&data, &mut rng).unwrap();
+        let few = KMeans::new(2)
+            .with_euclidean()
+            .fit(&data, &mut rng)
+            .unwrap();
+        let many = KMeans::new(12)
+            .with_euclidean()
+            .fit(&data, &mut rng)
+            .unwrap();
         assert!(many.inertia < few.inertia);
     }
 
     #[test]
     fn deterministic_given_same_seed() {
         let data = Matrix::random_normal(30, 3, 1.0, &mut SeededRng::new(100));
-        let a = KMeans::new(3)
-            .fit(&data, &mut SeededRng::new(42))
-            .unwrap();
-        let b = KMeans::new(3)
-            .fit(&data, &mut SeededRng::new(42))
-            .unwrap();
+        let a = KMeans::new(3).fit(&data, &mut SeededRng::new(42)).unwrap();
+        let b = KMeans::new(3).fit(&data, &mut SeededRng::new(42)).unwrap();
         assert_eq!(a.assignments, b.assignments);
     }
 }

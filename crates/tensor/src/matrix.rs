@@ -97,13 +97,7 @@ impl Matrix {
     }
 
     /// Creates a matrix with entries sampled uniformly from `[lo, hi)`.
-    pub fn random_uniform(
-        rows: usize,
-        cols: usize,
-        lo: f32,
-        hi: f32,
-        rng: &mut SeededRng,
-    ) -> Self {
+    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
         let data = (0..rows * cols)
             .map(|_| rng.uniform_range(lo, hi))
             .collect();

@@ -155,8 +155,7 @@ pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
     let n = logits.rows().max(1);
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     let mut total_loss = 0.0;
-    for r in 0..logits.rows() {
-        let target = targets[r];
+    for (r, &target) in targets.iter().enumerate() {
         assert!(target < logits.cols(), "target class out of range");
         let probs = softmax_row(logits.row(r));
         total_loss += -(probs[target].max(1e-12)).ln();
@@ -302,9 +301,7 @@ mod tests {
         let x = Matrix::random_normal(2, 6, 1.0, &mut rng);
         // Loss = sum of (layer_norm(x) .* coeff) for an arbitrary coeff matrix.
         let coeff = Matrix::random_normal(2, 6, 1.0, &mut rng);
-        let loss = |m: &Matrix| -> f32 {
-            layer_norm(m, 1e-5).hadamard(&coeff).unwrap().sum()
-        };
+        let loss = |m: &Matrix| -> f32 { layer_norm(m, 1e-5).hadamard(&coeff).unwrap().sum() };
         let analytic = layer_norm_backward(&x, &coeff, 1e-5);
         let eps = 1e-3;
         for r in 0..2 {

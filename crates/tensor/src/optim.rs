@@ -113,11 +113,14 @@ impl Adam {
     /// Applies one Adam update step to `param` given `grad`.
     pub fn step(&mut self, key: &str, param: &mut Matrix, grad: &Matrix) {
         debug_assert_eq!(param.shape(), grad.shape());
-        let state = self.state.entry(key.to_string()).or_insert_with(|| AdamState {
-            m: Matrix::zeros(grad.rows(), grad.cols()),
-            v: Matrix::zeros(grad.rows(), grad.cols()),
-            t: 0,
-        });
+        let state = self
+            .state
+            .entry(key.to_string())
+            .or_insert_with(|| AdamState {
+                m: Matrix::zeros(grad.rows(), grad.cols()),
+                v: Matrix::zeros(grad.rows(), grad.cols()),
+                t: 0,
+            });
         state.t += 1;
         let t = state.t as f32;
         let (b1, b2) = (self.beta1, self.beta2);

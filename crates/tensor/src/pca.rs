@@ -108,7 +108,11 @@ impl Pca {
         let mut out = Matrix::zeros(data.rows(), k);
         for r in 0..data.rows() {
             let row = data.row(r);
-            let centered: Vec<f32> = row.iter().zip(self.mean.iter()).map(|(x, m)| x - m).collect();
+            let centered: Vec<f32> = row
+                .iter()
+                .zip(self.mean.iter())
+                .map(|(x, m)| x - m)
+                .collect();
             for c in 0..k {
                 out.set(r, c, stats::dot(&centered, self.components.row(c)));
             }
@@ -137,12 +141,11 @@ fn dominant_direction(x: &Matrix, rng: &mut SeededRng) -> (Vec<f32>, f32) {
     for _ in 0..iterations {
         // w = Xᵀ (X v) computed without forming the covariance matrix.
         let mut xv = vec![0.0f32; n];
-        for r in 0..n {
-            xv[r] = stats::dot(x.row(r), &v);
+        for (r, xv_r) in xv.iter_mut().enumerate() {
+            *xv_r = stats::dot(x.row(r), &v);
         }
         let mut w = vec![0.0f32; d];
-        for r in 0..n {
-            let coeff = xv[r];
+        for (r, &coeff) in xv.iter().enumerate() {
             for (wi, &xi) in w.iter_mut().zip(x.row(r)) {
                 *wi += coeff * xi;
             }

@@ -143,7 +143,11 @@ pub fn percentile(samples: &[f32], pct: f32) -> f32 {
 ///
 /// Panics if the slices differ in length.
 pub fn mean_relative_error_pct(estimate: &[f32], truth: &[f32]) -> f32 {
-    assert_eq!(estimate.len(), truth.len(), "relative error length mismatch");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "relative error length mismatch"
+    );
     if estimate.is_empty() {
         return 0.0;
     }

@@ -7,9 +7,7 @@
 
 use std::collections::HashSet;
 
-use flux_core::assignment::{
-    expert_utility, initial_utilities, DynamicEpsilon, RoleAssigner,
-};
+use flux_core::assignment::{expert_utility, initial_utilities, DynamicEpsilon, RoleAssigner};
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
 use flux_moe::{ExpertKey, MoeConfig, MoeModel};
 use flux_tensor::SeededRng;

@@ -1,0 +1,14 @@
+//! Facade over the Flux workspace.
+//!
+//! Re-exports every subsystem crate under one roof so downstream users (and
+//! the root integration tests and examples) can depend on a single `flux`
+//! crate. See `ROADMAP.md` for the system overview and `crates/*` for the
+//! per-subsystem documentation.
+
+pub use flux_core as core;
+pub use flux_data as data;
+pub use flux_fl as fl;
+pub use flux_metrics as metrics;
+pub use flux_moe as moe;
+pub use flux_quant as quant;
+pub use flux_tensor as tensor;

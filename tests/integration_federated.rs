@@ -19,7 +19,10 @@ fn flux_end_to_end_produces_monotone_clock_and_scores() {
     // Every phase total is non-negative and fine-tuning dominates.
     let (p, m, a, f) = result.phase_times.fractions();
     assert!(p >= 0.0 && m >= 0.0 && a >= 0.0);
-    assert!(f > 0.5, "fine-tuning should dominate the breakdown, got {f}");
+    assert!(
+        f > 0.5,
+        "fine-tuning should dominate the breakdown, got {f}"
+    );
 }
 
 #[test]
@@ -43,8 +46,14 @@ fn flux_round_time_beats_fmd_and_fmq() {
         .iter()
         .map(|r| r.round_seconds)
         .sum();
-    assert!(flux < fmd, "Flux {flux} should be faster per round than FMD {fmd}");
-    assert!(flux < fmq, "Flux {flux} should be faster per round than FMQ {fmq}");
+    assert!(
+        flux < fmd,
+        "Flux {flux} should be faster per round than FMD {fmd}"
+    );
+    assert!(
+        flux < fmq,
+        "Flux {flux} should be faster per round than FMQ {fmq}"
+    );
 }
 
 #[test]
@@ -84,10 +93,10 @@ fn different_seeds_change_the_run() {
 fn more_participants_do_not_slow_down_rounds() {
     // With the same total dataset, more participants means less local data
     // each, so the critical-path round time must not grow.
-    let few = FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(2), 7)
-        .run(Method::Flux);
-    let many = FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(8), 7)
-        .run(Method::Flux);
+    let few =
+        FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(2), 7).run(Method::Flux);
+    let many =
+        FederatedRun::new(quick(DatasetKind::Gsm8k).with_participants(8), 7).run(Method::Flux);
     let mean = |r: &flux_core::driver::RunResult| {
         r.rounds.iter().map(|x| x.round_seconds).sum::<f64>() / r.rounds.len() as f64
     };

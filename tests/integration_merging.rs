@@ -110,7 +110,10 @@ fn gate_rerouting_covers_every_original_expert() {
     let compact = plan.apply(&model, &profile);
     for (layer_idx, layer) in compact.layers.iter().enumerate() {
         let map = &layer.moe.routing_map;
-        assert_eq!(map.num_original(), model.layers[layer_idx].moe.num_experts());
+        assert_eq!(
+            map.num_original(),
+            model.layers[layer_idx].moe.num_experts()
+        );
         assert_eq!(map.num_compact(), layer.moe.num_experts());
         for original in 0..map.num_original() {
             assert!(map.redirect(original) < layer.moe.num_experts());

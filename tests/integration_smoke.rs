@@ -1,0 +1,60 @@
+//! End-to-end smoke test: every method completes one quick-demo federated
+//! round and reports finite, sane loss and time metrics.
+//!
+//! This is deliberately the cheapest full-pipeline exercise in the suite —
+//! one round, tiny model, 48 samples — so CI catches "the driver no longer
+//! runs at all" regressions in seconds even when the heavier integration
+//! tests are filtered out.
+
+use flux_core::driver::{FederatedRun, Method, RunConfig};
+use flux_data::DatasetKind;
+use flux_moe::MoeConfig;
+
+#[test]
+fn every_method_completes_one_quick_demo_round() {
+    for method in Method::all() {
+        let mut config = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
+        config.rounds = 1;
+        let result = FederatedRun::new(config, 7).run(method);
+
+        assert_eq!(result.method, method, "{}", method.label());
+        assert_eq!(
+            result.rounds.len(),
+            1,
+            "{}: expected exactly one round",
+            method.label()
+        );
+
+        let round = &result.rounds[0];
+        assert!(
+            round.train_loss.is_finite() && round.train_loss >= 0.0,
+            "{}: bad train loss {}",
+            method.label(),
+            round.train_loss
+        );
+        assert!(
+            round.score.is_finite(),
+            "{}: bad score {}",
+            method.label(),
+            round.score
+        );
+        assert!(
+            round.round_seconds.is_finite() && round.round_seconds > 0.0,
+            "{}: bad round duration {}",
+            method.label(),
+            round.round_seconds
+        );
+        assert!(
+            round.elapsed_hours.is_finite() && round.elapsed_hours > 0.0,
+            "{}: bad elapsed time {}",
+            method.label(),
+            round.elapsed_hours
+        );
+        assert!(
+            result.final_score.is_finite(),
+            "{}: bad final score {}",
+            method.label(),
+            result.final_score
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stub of `bytes`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! provides the byte-buffer surface `flux-moe::checkpoint` uses: a
+//! `Vec<u8>`-backed [`BytesMut`] writer with little-endian [`BufMut`]
+//! put-methods, an immutable [`Bytes`] view produced by
+//! [`BytesMut::freeze`], and a [`Buf`] reader implementation for `&[u8]`
+//! that advances the slice as values are consumed. The real crate's
+//! refcounted zero-copy machinery is intentionally absent — checkpoints
+//! here are built once and handed to `std::fs::write`.
+
+use std::ops::Deref;
+
+/// Immutable contiguous byte buffer (plain `Vec<u8>` in this stub).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Returns the number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// Growable byte buffer accepting [`BufMut`] writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read side: sequentially consume values from a buffer.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is exhausted (callers check [`Buf::remaining`]).
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than four bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+}
+
+/// Write side: append values to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_values() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f32_le(1.5);
+        buf.put_slice(b"xyz");
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 4 + 3);
+
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_f32_le(), 1.5);
+        assert_eq!(rd, b"xyz");
+        assert_eq!(rd.remaining(), 3);
+    }
+
+    #[test]
+    fn freeze_preserves_order_and_slicing() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(&[1, 2, 3, 4]);
+        let b = buf.freeze();
+        assert_eq!(&b[..2], &[1, 2]);
+        assert_eq!(b.as_ref(), &[1, 2, 3, 4]);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! provides exactly the serde surface the workspace uses: the `Serialize`
+//! and `Deserialize` derive macros plus same-named marker traits. Workspace
+//! types derive the traits as a forward-looking annotation only — nothing
+//! serializes through serde today (checkpoints use a hand-rolled binary
+//! format in `flux-moe`), so the derives expand to nothing and the traits
+//! have no methods. Replacing this stub with the real serde is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this stub).
+pub trait Deserialize<'de>: Sized {}

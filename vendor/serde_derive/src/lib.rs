@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the minimal surface of serde it actually uses. Flux
+//! types derive `Serialize`/`Deserialize` purely as a forward-looking marker
+//! (no code in the workspace serializes through serde, and the traits are
+//! never used as bounds), so these derives intentionally expand to nothing.
+//! Swapping the real serde back in later requires only a manifest change.
+
+use proc_macro::TokenStream;
+
+/// Marker derive for [`serde::Serialize`]; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive for [`serde::Deserialize`]; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
