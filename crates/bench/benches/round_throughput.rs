@@ -1,0 +1,74 @@
+//! Criterion bench for the training hot path introduced by the compute
+//! engine: blocked matmul kernels at model-relevant shapes, a full local
+//! training step, and one complete federated quick-demo round per method.
+//!
+//! `cargo bench -p flux-bench --bench round_throughput` prints mean
+//! wall-clock time per iteration; `BENCH_round.json` (see the `perf_report`
+//! binary) records the tracked numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flux_core::driver::{FederatedRun, Method, RunConfig};
+use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
+use flux_moe::{MoeConfig, MoeModel};
+use flux_tensor::{Matrix, SeededRng};
+
+fn matmul_kernels(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64, 256] {
+        let a = Matrix::random_normal(n, n, 1.0, &mut rng);
+        let b = Matrix::random_normal(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("transa", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_transa(&b).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("transb", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_transb(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn local_train_step(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let mut config = MoeConfig::tiny();
+    if let Some(classes) = DatasetKind::Gsm8k.num_classes() {
+        config = config.with_classes(classes);
+    }
+    let mut model = MoeModel::new(config, &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Gsm8k, model.config.vocab_size).with_num_samples(8),
+    )
+    .generate(&mut rng);
+    c.bench_function("tiny_local_train_step", |b| {
+        b.iter(|| model.train_step(&data.samples, None, 0.02));
+    });
+}
+
+fn federated_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quick_demo_round");
+    for method in Method::all() {
+        group.bench_with_input(
+            BenchmarkId::new("method", method.label()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let cfg =
+                        RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k).with_rounds(1);
+                    FederatedRun::new(cfg, 42).run(m)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = matmul_kernels, local_train_step, federated_round
+}
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! `perf_report`: wall-clock performance report for the quick-demo round.
+//!
+//! Runs `RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)` once
+//! per [`Method`], measuring real wall time (not the simulated cost model),
+//! and writes `BENCH_round.json` with per-method wall milliseconds, training
+//! tokens/sec, and the simulated per-phase breakdown. The JSON also embeds
+//! the pre-optimization baseline measured at the commit before the compute
+//! engine landed, so every subsequent PR has a trajectory to beat.
+//!
+//! Environment:
+//! * `FLUX_THREADS` — worker-thread count (default: available parallelism).
+//! * `FLUX_PERF_REPS` — timing repetitions per method (default 3; the
+//!   minimum is reported, which is the noise-robust estimator).
+//! * `FLUX_PERF_OUT` — output path (default `BENCH_round.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flux_core::driver::{FederatedRun, Method, RunConfig, RunResult};
+use flux_data::DatasetKind;
+use flux_moe::MoeConfig;
+
+/// Pre-PR baseline, measured at commit `e54d52e` (naive ikj matmul, fully
+/// sequential rounds) on a 1-core container: minimum of 3 repetitions of the
+/// same quick-demo configuration timed by this binary's loop.
+const BASELINE_COMMIT: &str = "e54d52e";
+const BASELINE_WALL_MS: [(&str, f64); 4] = [
+    ("FMD", 92.3),
+    ("FMQ", 98.0),
+    ("FMES", 88.6),
+    ("FLUX", 268.6),
+];
+
+struct MethodReport {
+    label: &'static str,
+    wall_ms: f64,
+    tokens_trained: usize,
+    tokens_per_sec: f64,
+    final_score: f32,
+    result: RunResult,
+}
+
+fn main() {
+    let reps: usize = std::env::var("FLUX_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let out_path =
+        std::env::var("FLUX_PERF_OUT").unwrap_or_else(|_| "BENCH_round.json".to_string());
+    // Mirrors ThreadPool::from_env's resolution exactly so the recorded
+    // thread count always matches what the run used.
+    let threads = threadpool::ThreadPool::from_env().threads();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut reports = Vec::new();
+    for method in Method::all() {
+        let mut best_ms = f64::INFINITY;
+        let mut best: Option<RunResult> = None;
+        for _ in 0..reps {
+            let cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
+            let run = FederatedRun::new(cfg, 42);
+            let start = Instant::now();
+            let result = run.run(method);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if ms < best_ms {
+                best_ms = ms;
+                best = Some(result);
+            }
+        }
+        let result = best.expect("at least one repetition ran");
+        let tokens_trained: usize = result.rounds.iter().map(|r| r.tokens_trained).sum();
+        reports.push(MethodReport {
+            label: method.label(),
+            wall_ms: best_ms,
+            tokens_trained,
+            tokens_per_sec: tokens_trained as f64 / (best_ms / 1e3),
+            final_score: result.final_score,
+            result,
+        });
+    }
+
+    let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
+    let baseline_total: f64 = BASELINE_WALL_MS.iter().map(|(_, ms)| ms).sum();
+    let speedup = baseline_total / total_ms;
+
+    println!(
+        "perf_report: quick_demo(tiny, gsm8k), {reps} reps (min reported), \
+         FLUX_THREADS={threads}, host_parallelism={host_parallelism}"
+    );
+    for r in &reports {
+        println!(
+            "  {:<5} wall_ms={:>7.1}  tokens/s={:>9.0}  final_score={:.3}",
+            r.label, r.wall_ms, r.tokens_per_sec, r.final_score
+        );
+    }
+    println!(
+        "  TOTAL wall_ms={total_ms:.1}  baseline({BASELINE_COMMIT})={baseline_total:.1}  \
+         speedup={speedup:.2}x"
+    );
+
+    let json = render_json(
+        &reports,
+        total_ms,
+        baseline_total,
+        speedup,
+        threads,
+        host_parallelism,
+        reps,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_round.json");
+    println!("wrote {out_path}");
+}
+
+fn render_json(
+    reports: &[MethodReport],
+    total_ms: f64,
+    baseline_total: f64,
+    speedup: f64,
+    threads: usize,
+    host_parallelism: usize,
+    reps: usize,
+) -> String {
+    // The workspace deliberately has no serde_json; the schema is flat
+    // enough to render by hand.
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v1\",");
+    let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
+    let _ = writeln!(s, "  \"flux_threads\": {threads},");
+    let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(s, "  \"repetitions\": {reps},");
+    let _ = writeln!(s, "  \"baseline\": {{");
+    let _ = writeln!(s, "    \"commit\": \"{BASELINE_COMMIT}\",");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"pre compute-engine: naive ikj matmul, sequential rounds; measured on \
+         the 1-core dev container, so speedup_vs_baseline is indicative only on other hosts — \
+         compare wall_ms across runs of the same runner generation for regressions\","
+    );
+    for (label, ms) in BASELINE_WALL_MS {
+        let _ = writeln!(s, "    \"{label}_wall_ms\": {ms:.1},");
+    }
+    let _ = writeln!(s, "    \"total_wall_ms\": {baseline_total:.1}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"methods\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let p = &r.result.phase_times;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"method\": \"{}\",", r.label);
+        let _ = writeln!(s, "      \"wall_ms\": {:.2},", r.wall_ms);
+        let _ = writeln!(s, "      \"tokens_trained\": {},", r.tokens_trained);
+        let _ = writeln!(s, "      \"tokens_per_sec\": {:.1},", r.tokens_per_sec);
+        let _ = writeln!(s, "      \"final_score\": {:.4},", r.final_score);
+        let _ = writeln!(s, "      \"rounds\": {},", r.result.rounds.len());
+        let _ = writeln!(s, "      \"simulated_phase_s\": {{");
+        let _ = writeln!(s, "        \"profiling\": {:.3},", p.profiling_s);
+        let _ = writeln!(s, "        \"merging\": {:.3},", p.merging_s);
+        let _ = writeln!(s, "        \"assignment\": {:.3},", p.assignment_s);
+        let _ = writeln!(s, "        \"fine_tuning\": {:.3},", p.fine_tuning_s);
+        let _ = writeln!(s, "        \"offloading\": {:.3},", p.offloading_s);
+        let _ = writeln!(s, "        \"communication\": {:.3}", p.communication_s);
+        let _ = writeln!(s, "      }}");
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"total_wall_ms\": {total_ms:.1},");
+    let _ = writeln!(s, "  \"speedup_vs_baseline\": {speedup:.2}");
+    s.push_str("}\n");
+    s
+}

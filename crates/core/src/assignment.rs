@@ -192,6 +192,30 @@ impl RoleAssigner {
         round: usize,
         rng: &mut SeededRng,
     ) -> RoleAssignment {
+        self.assign_with_table(
+            self.utilities.get(&participant),
+            all_experts,
+            tuning_budget,
+            round,
+            rng,
+        )
+    }
+
+    /// Runs Algorithm 1 against an explicit utility table.
+    ///
+    /// This is the read-only core of [`RoleAssigner::assign`]: passing the
+    /// table directly lets a participant running on a worker thread assign
+    /// against freshly bootstrapped utilities without mutating the shared
+    /// assigner mid-round (the bootstrap is reported back to the server in
+    /// participant-id order once the round joins).
+    pub fn assign_with_table(
+        &self,
+        table: Option<&HashMap<ExpertKey, ExpertUtility>>,
+        all_experts: &[ExpertKey],
+        tuning_budget: usize,
+        round: usize,
+        rng: &mut SeededRng,
+    ) -> RoleAssignment {
         if tuning_budget == 0 || all_experts.is_empty() {
             return RoleAssignment {
                 exploitation: Vec::new(),
@@ -199,7 +223,6 @@ impl RoleAssigner {
             };
         }
         let budget = tuning_budget.min(all_experts.len());
-        let table = self.utilities.get(&participant);
         // Rank all experts by known utility (unknown experts rank last but
         // above nothing, so they are reachable through exploration).
         let mut ranked: Vec<(ExpertKey, f32)> = all_experts
@@ -283,6 +306,21 @@ impl ForwardGradEstimator {
         samples: &[Sample],
         rng: &mut SeededRng,
     ) -> (Vec<f32>, f32) {
+        let mut work_model = model.clone();
+        self.estimate_in_place(&mut work_model, expert, samples, rng)
+    }
+
+    /// [`ForwardGradEstimator::estimate`] without the defensive model copy:
+    /// the target expert is perturbed in place and restored exactly before
+    /// returning, so a caller owning a mutable (compact) model pays no
+    /// full-model clone per estimated expert.
+    pub fn estimate_in_place(
+        &self,
+        model: &mut MoeModel,
+        expert: ExpertKey,
+        samples: &[Sample],
+        rng: &mut SeededRng,
+    ) -> (Vec<f32>, f32) {
         let base_expert = model.expert(expert).clone();
         let dims = base_expert.num_params();
         let mut grad = vec![0.0f32; dims];
@@ -293,17 +331,22 @@ impl ForwardGradEstimator {
             samples.iter().take(self.samples_per_eval.max(1)).collect();
         let mut mean_loss = 0.0;
         let mut evaluations = 0.0f32;
-        let mut work_model = model.clone();
+        // One reusable direction buffer; the plus/minus experts are written
+        // in place over the model's expert (no per-perturbation clones).
+        let mut direction = vec![0.0f32; dims];
         for _ in 0..self.num_perturbations {
             // Draw a perturbation direction over all expert parameters.
-            let direction: Vec<f32> = (0..dims).map(|_| rng.normal()).collect();
-            let plus = perturbed_expert(&base_expert, &direction, self.sigma);
-            let minus = perturbed_expert(&base_expert, &direction, -self.sigma);
-
-            work_model.set_expert(expert, plus);
-            let loss_plus = mean_loss_of(&work_model, &eval_samples);
-            work_model.set_expert(expert, minus);
-            let loss_minus = mean_loss_of(&work_model, &eval_samples);
+            for d in &mut direction {
+                *d = rng.normal();
+            }
+            model
+                .expert_mut(expert)
+                .assign_perturbed(&base_expert, &direction, self.sigma);
+            let loss_plus = mean_loss_of(model, &eval_samples);
+            model
+                .expert_mut(expert)
+                .assign_perturbed(&base_expert, &direction, -self.sigma);
+            let loss_minus = mean_loss_of(model, &eval_samples);
             mean_loss += 0.5 * (loss_plus + loss_minus);
             evaluations += 1.0;
 
@@ -314,7 +357,8 @@ impl ForwardGradEstimator {
                 *g += directional * d / self.num_perturbations as f32;
             }
         }
-        work_model.set_expert(expert, base_expert);
+        // Restore the unperturbed parameters bit-exactly.
+        model.expert_mut(expert).copy_from(&base_expert);
         (grad, mean_loss / evaluations.max(1.0))
     }
 
@@ -328,7 +372,21 @@ impl ForwardGradEstimator {
         samples_routed: usize,
         rng: &mut SeededRng,
     ) -> ExpertUtility {
-        let (grad, _) = self.estimate(model, expert, samples, rng);
+        let mut work_model = model.clone();
+        self.estimate_utility_in_place(&mut work_model, expert, samples, samples_routed, rng)
+    }
+
+    /// [`ForwardGradEstimator::estimate_utility`] without the defensive
+    /// model copy (see [`ForwardGradEstimator::estimate_in_place`]).
+    pub fn estimate_utility_in_place(
+        &self,
+        model: &mut MoeModel,
+        expert: ExpertKey,
+        samples: &[Sample],
+        samples_routed: usize,
+        rng: &mut SeededRng,
+    ) -> ExpertUtility {
+        let (grad, _) = self.estimate_in_place(model, expert, samples, rng);
         let magnitude = stats::l2_norm(&grad) / (grad.len().max(1) as f32).sqrt();
         ExpertUtility {
             key: expert,
@@ -338,37 +396,11 @@ impl ForwardGradEstimator {
     }
 }
 
-fn perturbed_expert(base: &flux_moe::Expert, direction: &[f32], scale: f32) -> flux_moe::Expert {
-    let mut out = base.clone();
-    let mut cursor = 0;
-    for x in out.w1.as_mut_slice() {
-        *x += scale * direction[cursor];
-        cursor += 1;
-    }
-    for x in out.b1.iter_mut() {
-        *x += scale * direction[cursor];
-        cursor += 1;
-    }
-    for x in out.w2.as_mut_slice() {
-        *x += scale * direction[cursor];
-        cursor += 1;
-    }
-    for x in out.b2.iter_mut() {
-        *x += scale * direction[cursor];
-        cursor += 1;
-    }
-    out
-}
-
 fn mean_loss_of(model: &MoeModel, samples: &[&Sample]) -> f32 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples
-        .iter()
-        .map(|s| model.sample_gradients(s, Some(&HashSet::new())).loss)
-        .sum::<f32>()
-        / samples.len() as f32
+    samples.iter().map(|s| model.sample_loss(s)).sum::<f32>() / samples.len() as f32
 }
 
 #[cfg(test)]

@@ -37,6 +37,9 @@ pub struct LocalRoundOutput {
     pub head_update: Option<(Matrix, f32)>,
     /// Mean training loss over the local batches.
     pub train_loss: f32,
+    /// Actual training tokens processed locally (wall-clock throughput
+    /// accounting, as opposed to the simulated `reference_tokens`).
+    pub trained_tokens: usize,
     /// Per-phase simulated cost of this participant's round.
     pub cost: RoundCostBreakdown,
 }
@@ -113,6 +116,7 @@ pub fn fmd_local_round(
     let mut model = global.clone();
     let samples = &participant.train_data.samples;
     let (loss, _) = local_train(&mut model, samples, None, learning_rate, batch_size);
+    let trained_tokens: usize = samples.iter().map(|s| s.tokens.len()).sum();
 
     let config = &global.config;
     let total_experts = config.total_experts();
@@ -137,6 +141,7 @@ pub fn fmd_local_round(
         expert_updates: full_model_updates(&model, weight),
         head_update: Some((head_of(&model), weight)),
         train_loss: loss,
+        trained_tokens,
         cost: breakdown,
     }
 }
@@ -158,6 +163,7 @@ pub fn fmq_local_round(
     let mut model = global.quantized_copy(BitWidth::Int4);
     let samples = &participant.train_data.samples;
     let (loss, _) = local_train(&mut model, samples, None, learning_rate, batch_size);
+    let trained_tokens: usize = samples.iter().map(|s| s.tokens.len()).sum();
     // Re-quantize the fine-tuned experts before upload (INT4 both ways).
     for key in model.expert_keys() {
         let expert = model.expert_mut(key);
@@ -189,6 +195,7 @@ pub fn fmq_local_round(
         expert_updates: full_model_updates(&model, weight),
         head_update: Some((head_of(&model), weight)),
         train_loss: loss,
+        trained_tokens,
         cost: breakdown,
     }
 }
@@ -235,6 +242,7 @@ pub fn fmes_local_round(
         learning_rate,
         batch_size,
     );
+    let trained_tokens: usize = samples.iter().map(|s| s.tokens.len()).sum();
 
     // Upload only the trained experts, remapped to their original ids.
     let weight = samples.len().max(1) as f32;
@@ -268,6 +276,7 @@ pub fn fmes_local_round(
         expert_updates,
         head_update: Some((head_of(&compact), weight)),
         train_loss: loss,
+        trained_tokens,
         cost: breakdown,
     }
 }

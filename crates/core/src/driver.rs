@@ -9,9 +9,10 @@
 //! [`flux_metrics::TimeToAccuracyTracker`] that the experiment harness uses
 //! to regenerate the paper's convergence and time-to-accuracy figures.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
 
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
@@ -201,6 +202,9 @@ pub struct RoundRecord {
     pub train_loss: f32,
     /// Simulated duration of this round in seconds.
     pub round_seconds: f64,
+    /// Actual training tokens processed across all participants this round
+    /// (the numerator of wall-clock tokens/sec throughput measurements).
+    pub tokens_trained: usize,
     /// Critical-path participant's per-phase breakdown.
     pub breakdown: RoundCostBreakdown,
 }
@@ -240,16 +244,59 @@ struct FluxState {
     profiler: StaleProfiler,
 }
 
+/// What one participant's local round hands back to the server loop.
+///
+/// Local rounds run on worker threads against a read-only view of the
+/// server state; everything they would have mutated (utility reports) is
+/// returned here and applied sequentially in participant-id order, which
+/// keeps runs bit-identical for every thread count.
+struct ParticipantRound {
+    output: LocalRoundOutput,
+    /// Round-0 bootstrap utilities (applied before the refreshed ones,
+    /// exactly as the sequential protocol did).
+    bootstrap_utilities: Option<Vec<ExpertUtility>>,
+    /// Utilities measured during this round's local training.
+    reported_utilities: Vec<ExpertUtility>,
+}
+
+impl ParticipantRound {
+    /// A round result that carries no utility reports (the baselines).
+    fn plain(output: LocalRoundOutput) -> Self {
+        Self {
+            output,
+            bootstrap_utilities: None,
+            reported_utilities: Vec::new(),
+        }
+    }
+}
+
 /// A federated fine-tuning run.
 pub struct FederatedRun {
     config: RunConfig,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl FederatedRun {
     /// Creates a run with the given configuration and seed.
+    ///
+    /// Participant-local rounds run concurrently on a pool sized from the
+    /// `FLUX_THREADS` environment variable (default: available parallelism;
+    /// `1` reproduces fully sequential execution). Results are reduced in
+    /// participant-id order, so the thread count never changes the output.
     pub fn new(config: RunConfig, seed: u64) -> Self {
-        Self { config, seed }
+        Self {
+            config,
+            seed,
+            threads: None,
+        }
+    }
+
+    /// Overrides the worker-thread count, taking precedence over the
+    /// `FLUX_THREADS` environment variable.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// The run configuration.
@@ -300,61 +347,99 @@ impl FederatedRun {
             .collect();
         let mut fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
         let mut records = Vec::new();
+        let pool = match self.threads {
+            Some(threads) => ThreadPool::new(threads),
+            None => ThreadPool::from_env(),
+        };
 
         for round in 0..cfg.rounds {
             let global = server.global_model();
+
+            // Every participant's local round is independent: it derives its
+            // own RNG, reads the shared global model/assigner, and mutates
+            // only its own slots (profiler state, FMES profile cache). The
+            // rounds therefore fan out to the pool; the reduction below
+            // walks the results in participant-id order, so scores, costs
+            // and aggregation are bit-identical for any thread count.
+            let round_rng = &round_rng;
+            let global_ref = &global;
+            let cost_ref = &cost;
+            let assigner_ref = &assigner;
+            let tasks: Vec<_> = fleet
+                .iter()
+                .zip(flux_states.iter_mut())
+                .zip(fmes_profiles.iter_mut())
+                .map(|((participant, state), fmes_profile)| {
+                    move || {
+                        let mut participant_rng =
+                            round_rng.derive((round * 1000 + participant.id) as u64);
+                        let reference_tokens = participant
+                            .tokens_per_round()
+                            .saturating_mul(cfg.reference_token_scale)
+                            .max(1);
+                        match method {
+                            Method::Fmd => ParticipantRound::plain(fmd_local_round(
+                                participant,
+                                global_ref,
+                                cost_ref,
+                                reference_tokens,
+                                cfg.learning_rate,
+                                cfg.batch_size,
+                            )),
+                            Method::Fmq => ParticipantRound::plain(fmq_local_round(
+                                participant,
+                                global_ref,
+                                cost_ref,
+                                reference_tokens,
+                                cfg.learning_rate,
+                                cfg.batch_size,
+                            )),
+                            Method::Fmes => {
+                                let profile = fmes_profile.get_or_insert_with(|| {
+                                    global_ref.profile(&participant.train_data)
+                                });
+                                ParticipantRound::plain(fmes_local_round(
+                                    participant,
+                                    global_ref,
+                                    profile,
+                                    cost_ref,
+                                    reference_tokens,
+                                    cfg.learning_rate,
+                                    cfg.batch_size,
+                                ))
+                            }
+                            Method::Flux => self.flux_local_round(
+                                participant,
+                                global_ref,
+                                cost_ref,
+                                round,
+                                assigner_ref,
+                                state,
+                                &mut participant_rng,
+                            ),
+                        }
+                    }
+                })
+                .collect();
+            let results = pool.run(tasks);
+
+            // Ordered reduction: participant-id order, same as the old
+            // sequential loop.
             let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
             let mut head_updates = Vec::new();
             let mut critical_path = RoundCostBreakdown::default();
             let mut loss_sum = 0.0;
-
-            for participant in &fleet {
-                let mut participant_rng = round_rng.derive((round * 1000 + participant.id) as u64);
-                let reference_tokens = participant
-                    .tokens_per_round()
-                    .saturating_mul(cfg.reference_token_scale)
-                    .max(1);
-                let out = match method {
-                    Method::Fmd => fmd_local_round(
-                        participant,
-                        &global,
-                        &cost,
-                        reference_tokens,
-                        cfg.learning_rate,
-                        cfg.batch_size,
-                    ),
-                    Method::Fmq => fmq_local_round(
-                        participant,
-                        &global,
-                        &cost,
-                        reference_tokens,
-                        cfg.learning_rate,
-                        cfg.batch_size,
-                    ),
-                    Method::Fmes => {
-                        let profile = fmes_profiles[participant.id]
-                            .get_or_insert_with(|| global.profile(&participant.train_data));
-                        fmes_local_round(
-                            participant,
-                            &global,
-                            profile,
-                            &cost,
-                            reference_tokens,
-                            cfg.learning_rate,
-                            cfg.batch_size,
-                        )
-                    }
-                    Method::Flux => self.flux_local_round(
-                        participant,
-                        &global,
-                        &cost,
-                        round,
-                        &mut assigner,
-                        &mut flux_states[participant.id],
-                        &mut participant_rng,
-                    ),
-                };
+            let mut tokens_trained = 0usize;
+            for (participant, result) in fleet.iter().zip(results) {
+                if let Some(bootstrap) = &result.bootstrap_utilities {
+                    assigner.report_utilities(participant.id, bootstrap);
+                }
+                if !result.reported_utilities.is_empty() {
+                    assigner.report_utilities(participant.id, &result.reported_utilities);
+                }
+                let out = result.output;
                 loss_sum += out.train_loss;
+                tokens_trained += out.trained_tokens;
                 expert_updates.extend(out.expert_updates);
                 if let Some(head) = out.head_update {
                     head_updates.push(head);
@@ -379,6 +464,7 @@ impl FederatedRun {
                 score: eval.score,
                 train_loss: loss_sum / fleet.len().max(1) as f32,
                 round_seconds,
+                tokens_trained,
                 breakdown: critical_path,
             });
         }
@@ -396,6 +482,10 @@ impl FederatedRun {
     /// One Flux participant round: stale profiling, role assignment,
     /// adaptive merging, local fine-tuning of exploitation experts, utility
     /// reporting and cost accounting.
+    ///
+    /// Runs against a *read-only* assigner so rounds can execute on worker
+    /// threads; utility reports are returned for the driver to apply in
+    /// participant-id order.
     #[allow(clippy::too_many_arguments)]
     fn flux_local_round(
         &self,
@@ -403,10 +493,10 @@ impl FederatedRun {
         global: &MoeModel,
         cost: &CostModel,
         round: usize,
-        assigner: &mut RoleAssigner,
+        assigner: &RoleAssigner,
         state: &mut FluxState,
         rng: &mut SeededRng,
-    ) -> LocalRoundOutput {
+    ) -> ParticipantRound {
         let cfg = &self.config;
         let config = &global.config;
         let device = &participant.device;
@@ -441,10 +531,17 @@ impl FederatedRun {
                 .refresh_blocking(global, &participant.train_data)
         };
 
-        // Bootstrap utilities from activation frequencies in the first round.
-        if assigner.utilities_of(participant.id).is_none() {
-            assigner.report_utilities(participant.id, &initial_utilities(&profile));
-        }
+        // Bootstrap utilities from activation frequencies in the first
+        // round. The bootstrap is used locally for this round's assignment
+        // and handed back to the driver, which reports it to the shared
+        // assigner before the refreshed utilities — the same order the
+        // sequential protocol produced.
+        let bootstrap_utilities: Option<Vec<ExpertUtility>> =
+            if assigner.utilities_of(participant.id).is_none() {
+                Some(initial_utilities(&profile))
+            } else {
+                None
+            };
 
         // Role assignment (§6).
         let capacity = participant.expert_capacity(config);
@@ -453,7 +550,14 @@ impl FederatedRun {
             .min(capacity);
         let non_tuning_budget = capacity.saturating_sub(tuning_budget).max(1);
         let all_keys = global.expert_keys();
-        let assignment = assigner.assign(participant.id, &all_keys, tuning_budget, round, rng);
+        let assignment = match &bootstrap_utilities {
+            Some(bootstrap) => {
+                let table: HashMap<ExpertKey, ExpertUtility> =
+                    bootstrap.iter().map(|u| (u.key, *u)).collect();
+                assigner.assign_with_table(Some(&table), &all_keys, tuning_budget, round, rng)
+            }
+            None => assigner.assign(participant.id, &all_keys, tuning_budget, round, rng),
+        };
         let tuning_set = assignment.tuning_set();
 
         // Adaptive merging (§5).
@@ -522,8 +626,11 @@ impl FederatedRun {
         let mut exploration_estimates = 0usize;
         for original in explored {
             if let Some(compact_key) = key_map.get(original) {
-                let mut estimate = estimator.estimate_utility(
-                    &compact,
+                // In-place estimation: the compact model's expert is
+                // perturbed and restored exactly, so no per-expert model
+                // clone is paid.
+                let mut estimate = estimator.estimate_utility_in_place(
+                    &mut compact,
                     *compact_key,
                     &train_samples,
                     profile.samples_of(*original).len(),
@@ -534,7 +641,6 @@ impl FederatedRun {
                 exploration_estimates += 1;
             }
         }
-        assigner.report_utilities(participant.id, &utilities);
 
         // Upload the exploitation experts' updated parameters.
         let weight = train_samples.len().max(1) as f32;
@@ -589,11 +695,16 @@ impl FederatedRun {
             offloading_s: 0.0,
             communication_s: cost.communication_time_s(device, config, expert_updates.len().max(1)),
         };
-        LocalRoundOutput {
-            expert_updates,
-            head_update: Some((head, weight)),
-            train_loss: loss,
-            cost: breakdown,
+        ParticipantRound {
+            output: LocalRoundOutput {
+                expert_updates,
+                head_update: Some((head, weight)),
+                train_loss: loss,
+                trained_tokens: train_tokens,
+                cost: breakdown,
+            },
+            bootstrap_utilities,
+            reported_utilities: utilities,
         }
     }
 }
@@ -648,6 +759,34 @@ mod tests {
         for (x, y) in a.rounds.iter().zip(b.rounds.iter()) {
             assert_eq!(x.score, y.score);
             assert_eq!(x.round_seconds, y.round_seconds);
+        }
+    }
+
+    #[test]
+    fn run_is_bit_identical_across_thread_counts() {
+        // The parallel round fan-out must never change results: worker
+        // outputs are reduced in participant-id order, so one thread and
+        // four threads produce bit-identical records for every method.
+        for method in Method::all() {
+            let sequential = FederatedRun::new(quick_config(), 17)
+                .with_threads(1)
+                .run(method);
+            let threaded = FederatedRun::new(quick_config(), 17)
+                .with_threads(4)
+                .run(method);
+            assert_eq!(
+                sequential.rounds,
+                threaded.rounds,
+                "{} rounds diverged across thread counts",
+                method.label()
+            );
+            assert_eq!(sequential.final_score, threaded.final_score);
+            assert_eq!(
+                sequential.tracker.points(),
+                threaded.tracker.points(),
+                "{} tracker diverged across thread counts",
+                method.label()
+            );
         }
     }
 

@@ -87,18 +87,29 @@ impl Attention {
         let q = input.matmul(&self.wq);
         let k = input.matmul(&self.wk);
         let v = input.matmul(&self.wv);
-        let scores = q.matmul(&k.transpose()).scale(1.0 / d.sqrt());
+        // Q·Kᵀ via the fused-transpose kernel: no transposed copy of K.
+        let mut scores = q.matmul_transb(&k).expect("q/k widths match");
+        scores.scale_in_place(1.0 / d.sqrt());
         let probs = ops::softmax_rows(&scores);
+        scores.recycle();
         let mixed = probs.matmul(&v);
         let output = mixed.matmul(&self.wo);
+        mixed.recycle();
         (output, AttentionCache { q, k, v, probs })
     }
 
     /// Forward pass without a cache; also returns the per-token received
     /// attention (the profiling path needs the scores but not gradients).
+    /// Numerically identical to [`Attention::forward`], with every
+    /// intermediate recycled into the scratch pool.
     pub fn forward_no_cache(&self, input: &Matrix) -> (Matrix, Vec<f32>) {
         let (out, cache) = self.forward(input);
-        (out, cache.received_attention())
+        let received = cache.received_attention();
+        cache.q.recycle();
+        cache.k.recycle();
+        cache.v.recycle();
+        cache.probs.recycle();
+        (out, received)
     }
 
     /// Backward pass returning the gradient with respect to the input.
@@ -108,28 +119,37 @@ impl Attention {
         let d = self.d_model() as f32;
         let scale = 1.0 / d.sqrt();
         // output = mixed · Wo.
-        let grad_mixed = grad_output.matmul(&self.wo.transpose());
+        let grad_mixed = grad_output.matmul_transb(&self.wo).expect("widths match");
         // mixed = probs · V.
-        let grad_probs = grad_mixed.matmul(&cache.v.transpose());
-        let grad_v = cache.probs.transpose().matmul(&grad_mixed);
+        let grad_probs = grad_mixed.matmul_transb(&cache.v).expect("widths match");
+        let grad_v = cache.probs.matmul_transa(&grad_mixed).expect("rows match");
+        grad_mixed.recycle();
         // probs = softmax(scores) row-wise.
-        let mut grad_scores = Matrix::zeros(cache.probs.rows(), cache.probs.cols());
+        let mut grad_scores = Matrix::zeros_pooled(cache.probs.rows(), cache.probs.cols());
         for r in 0..cache.probs.rows() {
-            let g = ops::softmax_backward_row(cache.probs.row(r), grad_probs.row(r));
-            grad_scores.row_mut(r).copy_from_slice(&g);
+            ops::softmax_backward_row_into(
+                cache.probs.row(r),
+                grad_probs.row(r),
+                grad_scores.row_mut(r),
+            );
         }
+        grad_probs.recycle();
         grad_scores.scale_in_place(scale);
         // scores = Q · Kᵀ (scaled).
         let grad_q = grad_scores.matmul(&cache.k);
-        let grad_k = grad_scores.transpose().matmul(&cache.q);
+        let grad_k = grad_scores.matmul_transa(&cache.q).expect("rows match");
+        grad_scores.recycle();
         // Q = X·Wq, K = X·Wk, V = X·Wv.
-        let mut grad_input = grad_q.matmul(&self.wq.transpose());
-        grad_input
-            .add_scaled(&grad_k.matmul(&self.wk.transpose()), 1.0)
-            .expect("same shape");
-        grad_input
-            .add_scaled(&grad_v.matmul(&self.wv.transpose()), 1.0)
-            .expect("same shape");
+        let mut grad_input = grad_q.matmul_transb(&self.wq).expect("widths match");
+        let from_k = grad_k.matmul_transb(&self.wk).expect("widths match");
+        grad_input.add_scaled(&from_k, 1.0).expect("same shape");
+        from_k.recycle();
+        let from_v = grad_v.matmul_transb(&self.wv).expect("widths match");
+        grad_input.add_scaled(&from_v, 1.0).expect("same shape");
+        from_v.recycle();
+        grad_q.recycle();
+        grad_k.recycle();
+        grad_v.recycle();
         grad_input
     }
 }

@@ -76,20 +76,24 @@ impl Expert {
     ///
     /// Returns the expert output `(n, d_model)` and a cache for backward.
     pub fn forward(&self, input: &Matrix) -> (Matrix, ExpertCache) {
+        self.forward_owned(input.clone())
+    }
+
+    /// Forward pass that takes ownership of the input rows, storing them in
+    /// the cache without the defensive copy [`Expert::forward`] pays.
+    pub fn forward_owned(&self, input: Matrix) -> (Matrix, ExpertCache) {
         debug_assert_eq!(input.cols(), self.d_model());
         let pre = input
-            .matmul(&self.w1)
-            .add_row_broadcast(&self.b1)
+            .try_matmul_bias(&self.w1, &self.b1)
             .expect("bias length matches d_ff");
         let hidden = ops::gelu(&pre);
         let output = hidden
-            .matmul(&self.w2)
-            .add_row_broadcast(&self.b2)
+            .try_matmul_bias(&self.w2, &self.b2)
             .expect("bias length matches d_model");
         (
             output,
             ExpertCache {
-                input: input.clone(),
+                input,
                 pre_activation: pre,
                 hidden,
             },
@@ -98,14 +102,13 @@ impl Expert {
 
     /// Forward pass without building a cache (inference / profiling path).
     pub fn forward_no_cache(&self, input: &Matrix) -> Matrix {
-        let pre = input
-            .matmul(&self.w1)
-            .add_row_broadcast(&self.b1)
-            .expect("bias length matches d_ff");
-        ops::gelu(&pre)
-            .matmul(&self.w2)
-            .add_row_broadcast(&self.b2)
-            .expect("bias length matches d_model")
+        let hidden =
+            ops::matmul_bias_gelu(input, &self.w1, &self.b1).expect("bias length matches d_ff");
+        let output = hidden
+            .try_matmul_bias(&self.w2, &self.b2)
+            .expect("bias length matches d_model");
+        hidden.recycle();
+        output
     }
 
     /// Backward pass.
@@ -115,16 +118,22 @@ impl Expert {
     /// to the expert input.
     pub fn backward(&self, cache: &ExpertCache, grad_output: &Matrix) -> (ExpertGrad, Matrix) {
         debug_assert_eq!(grad_output.shape(), (cache.input.rows(), self.d_model()));
-        // Output layer: y = hidden·W2 + b2.
-        let grad_w2 = cache.hidden.transpose().matmul(grad_output);
+        // Output layer: y = hidden·W2 + b2. The fused-transpose kernels
+        // avoid materializing any transposed weight or activation matrix.
+        let grad_w2 = cache.hidden.matmul_transa(grad_output).expect("row counts");
         let grad_b2 = grad_output.sum_rows();
-        let grad_hidden = grad_output.matmul(&self.w2.transpose());
+        let grad_hidden = grad_output.matmul_transb(&self.w2).expect("col counts");
         // Activation.
-        let grad_pre = ops::gelu_backward(&cache.pre_activation, &grad_hidden);
+        // The cached hidden activations carry tanh(u) implicitly, sparing
+        // its recomputation (see `ops::gelu_backward_cached`).
+        let grad_pre =
+            ops::gelu_backward_cached(&cache.pre_activation, &cache.hidden, &grad_hidden);
+        grad_hidden.recycle();
         // Input layer: pre = x·W1 + b1.
-        let grad_w1 = cache.input.transpose().matmul(&grad_pre);
+        let grad_w1 = cache.input.matmul_transa(&grad_pre).expect("row counts");
         let grad_b1 = grad_pre.sum_rows();
-        let grad_input = grad_pre.matmul(&self.w1.transpose());
+        let grad_input = grad_pre.matmul_transb(&self.w1).expect("col counts");
+        grad_pre.recycle();
         (
             ExpertGrad {
                 w1: grad_w1,
@@ -151,6 +160,56 @@ impl Expert {
         }
         for (b, g) in self.b2.iter_mut().zip(grad.b2.iter()) {
             *b -= learning_rate * g;
+        }
+    }
+
+    /// Overwrites this expert's parameters with `base`'s (no allocation;
+    /// dimensions must match).
+    pub fn copy_from(&mut self, base: &Expert) {
+        debug_assert_eq!(self.w1.shape(), base.w1.shape());
+        debug_assert_eq!(self.w2.shape(), base.w2.shape());
+        self.w1.as_mut_slice().copy_from_slice(base.w1.as_slice());
+        self.b1.copy_from_slice(&base.b1);
+        self.w2.as_mut_slice().copy_from_slice(base.w2.as_slice());
+        self.b2.copy_from_slice(&base.b2);
+    }
+
+    /// Overwrites this expert's parameters with `base + scale · direction`,
+    /// where `direction` is laid out like [`Expert::flatten_params`]
+    /// (`w1`, `b1`, `w2`, `b2`).
+    ///
+    /// This is the allocation-free primitive behind SPSA / forward-only
+    /// gradient estimation: the plus/minus perturbed experts are written
+    /// into one reusable work expert instead of being cloned per
+    /// perturbation, and restoring is a [`Expert::copy_from`] of the base.
+    pub fn assign_perturbed(&mut self, base: &Expert, direction: &[f32], scale: f32) {
+        debug_assert_eq!(direction.len(), base.num_params());
+        let mut cursor = 0;
+        for (x, &b) in self
+            .w1
+            .as_mut_slice()
+            .iter_mut()
+            .zip(base.w1.as_slice().iter())
+        {
+            *x = b + scale * direction[cursor];
+            cursor += 1;
+        }
+        for (x, &b) in self.b1.iter_mut().zip(base.b1.iter()) {
+            *x = b + scale * direction[cursor];
+            cursor += 1;
+        }
+        for (x, &b) in self
+            .w2
+            .as_mut_slice()
+            .iter_mut()
+            .zip(base.w2.as_slice().iter())
+        {
+            *x = b + scale * direction[cursor];
+            cursor += 1;
+        }
+        for (x, &b) in self.b2.iter_mut().zip(base.b2.iter()) {
+            *x = b + scale * direction[cursor];
+            cursor += 1;
         }
     }
 
@@ -404,6 +463,24 @@ mod tests {
         assert!((acc.norm() - 2.0 * g.norm()).abs() < 1e-3);
         acc.scale(0.5);
         assert!((acc.norm() - g.norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn assign_perturbed_matches_flatten_layout_and_restores() {
+        let base = expert(15);
+        let mut work = base.clone();
+        let mut rng = SeededRng::new(16);
+        let direction: Vec<f32> = (0..base.num_params()).map(|_| rng.normal()).collect();
+        work.assign_perturbed(&base, &direction, 0.25);
+        // Perturbation follows the flatten_params layout exactly.
+        let flat_base = base.flatten_params();
+        let flat_work = work.flatten_params();
+        for ((w, b), d) in flat_work.iter().zip(&flat_base).zip(&direction) {
+            assert!((w - (b + 0.25 * d)).abs() < 1e-6);
+        }
+        // copy_from restores the base bit-for-bit.
+        work.copy_from(&base);
+        assert_eq!(work, base);
     }
 
     #[test]

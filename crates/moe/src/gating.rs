@@ -45,10 +45,14 @@ impl Gate {
     /// Routes a single token row, returning its top-k routing decision.
     pub fn route(&self, token: &[f32]) -> TokenRouting {
         debug_assert_eq!(token.len(), self.weight.rows());
-        let logits: Vec<f32> = (0..self.weight.cols())
-            .map(|e| stats::dot(token, &self.weight.col(e)))
-            .collect();
-        let probs = ops::softmax_row(&logits);
+        // Vector–matrix fast path: streams the weight rows once instead of
+        // gathering one column per expert.
+        let logits = self.weight.vecmat(token).expect("token width matches");
+        self.route_logits(&logits)
+    }
+
+    fn route_logits(&self, logits: &[f32]) -> TokenRouting {
+        let probs = ops::softmax_row(logits);
         let k = self.top_k.min(probs.len());
         let top = stats::top_k_indices(&probs, k);
         let mass: f32 = top.iter().map(|&i| probs[i]).sum();
@@ -70,10 +74,18 @@ impl Gate {
     }
 
     /// Routes every row of a hidden-state matrix.
+    ///
+    /// All logits come from one blocked matmul; because the matmul kernel
+    /// and [`flux_tensor::Matrix::vecmat`] share their accumulation order,
+    /// the decisions are bit-identical to routing each row via
+    /// [`Gate::route`].
     pub fn route_all(&self, hidden: &Matrix) -> Vec<TokenRouting> {
-        (0..hidden.rows())
-            .map(|r| self.route(hidden.row(r)))
-            .collect()
+        let logits = hidden.matmul(&self.weight);
+        let routings = (0..hidden.rows())
+            .map(|r| self.route_logits(logits.row(r)))
+            .collect();
+        logits.recycle();
+        routings
     }
 }
 

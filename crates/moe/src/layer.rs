@@ -1,8 +1,9 @@
 //! MoE feed-forward layers and full transformer blocks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
 
 use flux_tensor::{ops, Matrix, SeededRng};
 
@@ -13,6 +14,25 @@ use crate::tracker::ActivationTracker;
 
 /// Epsilon used by all layer norms in the model.
 pub const LN_EPS: f32 = 1e-5;
+
+/// Minimum number of fused multiply-adds in a layer's routed expert work
+/// before the per-expert batches are fanned out to worker threads. Below
+/// this, thread spawn cost dwarfs the matmuls (the tiny test models stay
+/// sequential); above it, expert batches are embarrassingly parallel.
+const EXPERT_PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Pool used for per-expert fan-out: the shared `FLUX_THREADS`-sized pool
+/// when the routed work is heavy enough, otherwise an inline single-thread
+/// pool. Results are always reduced in ascending compact-expert order, so
+/// the choice affects wall time only — never the output bits.
+fn expert_pool(routed_rows: usize, d_model: usize, d_ff: usize, experts_used: usize) -> ThreadPool {
+    let flops = 4 * routed_rows * d_model * d_ff;
+    if experts_used > 1 && flops >= EXPERT_PARALLEL_FLOP_THRESHOLD {
+        ThreadPool::from_env()
+    } else {
+        ThreadPool::new(1)
+    }
+}
 
 /// The MoE feed-forward sub-layer: a gate over the *original* expert ids plus
 /// the (possibly merged/compact) expert list and the routing map connecting
@@ -79,6 +99,16 @@ impl MoeLayer {
         self.gate.num_experts()
     }
 
+    /// Hidden width the layer operates on.
+    fn d_model(&self) -> usize {
+        self.gate.weight.rows()
+    }
+
+    /// Expert feed-forward width (0 for a layer with no experts).
+    fn d_ff(&self) -> usize {
+        self.experts.first().map(|e| e.d_ff()).unwrap_or(0)
+    }
+
     /// Forward pass over `(seq, d_model)` hidden states.
     ///
     /// `received_attention` carries the per-token attention scores from the
@@ -89,40 +119,37 @@ impl MoeLayer {
         hidden: &Matrix,
         layer_idx: usize,
         received_attention: &[f32],
-        mut tracker: Option<&mut ActivationTracker>,
+        tracker: Option<&mut ActivationTracker>,
     ) -> (Matrix, MoeLayerCache) {
         let seq = hidden.rows();
-        let routings = self.gate.route_all(hidden);
-        // Group token rows by the compact expert serving them.
-        let mut groups: HashMap<usize, (Vec<usize>, Vec<f32>)> = HashMap::new();
-        for (row, routing) in routings.iter().enumerate() {
-            if let Some(t) = tracker.as_deref_mut() {
-                t.record_layer_token(layer_idx);
-            }
-            for (slot, &original) in routing.experts.iter().enumerate() {
-                let compact = self.routing_map.redirect(original);
-                let weight = routing.weights[slot];
-                let entry = groups.entry(compact).or_default();
-                entry.0.push(row);
-                entry.1.push(weight);
-                if let Some(t) = tracker.as_deref_mut() {
-                    let att = received_attention.get(row).copied().unwrap_or(0.0);
-                    t.record(layer_idx, original, att);
+        let (routings, groups) =
+            self.route_and_group(hidden, layer_idx, received_attention, tracker);
+        // Run each used expert on its token batch — fanned out to worker
+        // threads when the routed work warrants it — then scatter results
+        // sequentially in ascending expert order.
+        let routed_rows: usize = groups.values().map(|(rows, _)| rows.len()).sum();
+        let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), groups.len());
+        let tasks: Vec<_> = groups
+            .into_iter()
+            .map(|(compact, (rows, weights))| {
+                let experts = &self.experts;
+                move || {
+                    let batch_input = hidden.select_rows(&rows);
+                    let (batch_output, cache) = experts[compact].forward_owned(batch_input);
+                    (compact, rows, weights, batch_output, cache)
                 }
-            }
-        }
-        // Run each used expert on its token batch and scatter the results.
+            })
+            .collect();
         let mut output = Matrix::zeros(seq, hidden.cols());
         let mut expert_batches = HashMap::new();
-        for (compact, (rows, weights)) in groups {
-            let batch_input = hidden.select_rows(&rows);
-            let (batch_output, cache) = self.experts[compact].forward(&batch_input);
+        for (compact, rows, weights, batch_output, cache) in pool.run(tasks) {
             for (slot, (&row, &w)) in rows.iter().zip(weights.iter()).enumerate() {
                 let out_row = output.row_mut(row);
                 for (o, &v) in out_row.iter_mut().zip(batch_output.row(slot)) {
                     *o += w * v;
                 }
             }
+            batch_output.recycle();
             expert_batches.insert(
                 compact,
                 ExpertBatch {
@@ -142,6 +169,81 @@ impl MoeLayer {
         )
     }
 
+    /// Routes every token and groups the routed rows by compact expert —
+    /// the shared front half of [`MoeLayer::forward`] and
+    /// [`MoeLayer::forward_no_cache`], including tracker recording. The
+    /// ordered map fixes the expert iteration (and hence float
+    /// accumulation) order, which keeps runs bit-identical across
+    /// processes and thread counts.
+    #[allow(clippy::type_complexity)]
+    fn route_and_group(
+        &self,
+        hidden: &Matrix,
+        layer_idx: usize,
+        received_attention: &[f32],
+        mut tracker: Option<&mut ActivationTracker>,
+    ) -> (Vec<TokenRouting>, BTreeMap<usize, (Vec<usize>, Vec<f32>)>) {
+        let routings = self.gate.route_all(hidden);
+        let mut groups: BTreeMap<usize, (Vec<usize>, Vec<f32>)> = BTreeMap::new();
+        for (row, routing) in routings.iter().enumerate() {
+            if let Some(t) = tracker.as_deref_mut() {
+                t.record_layer_token(layer_idx);
+            }
+            for (slot, &original) in routing.experts.iter().enumerate() {
+                let compact = self.routing_map.redirect(original);
+                let weight = routing.weights[slot];
+                let entry = groups.entry(compact).or_default();
+                entry.0.push(row);
+                entry.1.push(weight);
+                if let Some(t) = tracker.as_deref_mut() {
+                    let att = received_attention.get(row).copied().unwrap_or(0.0);
+                    t.record(layer_idx, original, att);
+                }
+            }
+        }
+        (routings, groups)
+    }
+
+    /// Forward pass that keeps no backward cache (inference, profiling and
+    /// loss-probe paths). Routing, tracking and output are identical to
+    /// [`MoeLayer::forward`]; the expert activations are simply not
+    /// retained, which removes the cache clones from every loss-only call.
+    pub fn forward_no_cache(
+        &self,
+        hidden: &Matrix,
+        layer_idx: usize,
+        received_attention: &[f32],
+        tracker: Option<&mut ActivationTracker>,
+    ) -> Matrix {
+        let seq = hidden.rows();
+        let (_, groups) = self.route_and_group(hidden, layer_idx, received_attention, tracker);
+        let routed_rows: usize = groups.values().map(|(rows, _)| rows.len()).sum();
+        let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), groups.len());
+        let tasks: Vec<_> = groups
+            .into_iter()
+            .map(|(compact, (rows, weights))| {
+                let experts = &self.experts;
+                move || {
+                    let batch_input = hidden.select_rows(&rows);
+                    let batch_output = experts[compact].forward_no_cache(&batch_input);
+                    batch_input.recycle();
+                    (rows, weights, batch_output)
+                }
+            })
+            .collect();
+        let mut output = Matrix::zeros(seq, hidden.cols());
+        for (rows, weights, batch_output) in pool.run(tasks) {
+            for (slot, (&row, &w)) in rows.iter().zip(weights.iter()).enumerate() {
+                let out_row = output.row_mut(row);
+                for (o, &v) in out_row.iter_mut().zip(batch_output.row(slot)) {
+                    *o += w * v;
+                }
+            }
+            batch_output.recycle();
+        }
+        output
+    }
+
     /// Backward pass.
     ///
     /// Computes parameter gradients for the compact experts listed in
@@ -153,23 +255,46 @@ impl MoeLayer {
         grad_output: &Matrix,
         tuning_experts: Option<&[usize]>,
     ) -> (HashMap<usize, ExpertGrad>, Matrix) {
+        // Ascending expert order, mirroring the forward pass: deterministic
+        // float accumulation and a stable parallel reduction order.
+        let mut batches: Vec<(usize, &ExpertBatch)> = cache
+            .expert_batches
+            .iter()
+            .map(|(&compact, batch)| (compact, batch))
+            .collect();
+        batches.sort_unstable_by_key(|&(compact, _)| compact);
+        let routed_rows: usize = batches.iter().map(|(_, b)| b.token_rows.len()).sum();
+        let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), batches.len());
+        let tasks: Vec<_> = batches
+            .into_iter()
+            .map(|(compact, batch)| {
+                let experts = &self.experts;
+                move || {
+                    // Gather the upstream gradient rows for this expert,
+                    // scaled by the routing weight each token assigned to it.
+                    let mut grad_rows =
+                        Matrix::zeros_pooled(batch.token_rows.len(), grad_output.cols());
+                    for (slot, (&row, &w)) in batch
+                        .token_rows
+                        .iter()
+                        .zip(batch.weights.iter())
+                        .enumerate()
+                    {
+                        for (o, &g) in grad_rows.row_mut(slot).iter_mut().zip(grad_output.row(row))
+                        {
+                            *o = w * g;
+                        }
+                    }
+                    let (grad, grad_batch_input) =
+                        experts[compact].backward(&batch.cache, &grad_rows);
+                    grad_rows.recycle();
+                    (compact, batch, grad, grad_batch_input)
+                }
+            })
+            .collect();
         let mut grad_input = Matrix::zeros(cache.input.rows(), cache.input.cols());
         let mut expert_grads = HashMap::new();
-        for (&compact, batch) in &cache.expert_batches {
-            // Gather the upstream gradient rows for this expert, scaled by
-            // the routing weight each token assigned to it.
-            let mut grad_rows = Matrix::zeros(batch.token_rows.len(), grad_output.cols());
-            for (slot, (&row, &w)) in batch
-                .token_rows
-                .iter()
-                .zip(batch.weights.iter())
-                .enumerate()
-            {
-                for (o, &g) in grad_rows.row_mut(slot).iter_mut().zip(grad_output.row(row)) {
-                    *o = w * g;
-                }
-            }
-            let (grad, grad_batch_input) = self.experts[compact].backward(&batch.cache, &grad_rows);
+        for (compact, batch, grad, grad_batch_input) in pool.run(tasks) {
             // Scatter the input gradient back to the token rows.
             for (slot, &row) in batch.token_rows.iter().enumerate() {
                 for (o, &g) in grad_input
@@ -180,6 +305,7 @@ impl MoeLayer {
                     *o += g;
                 }
             }
+            grad_batch_input.recycle();
             let wanted = tuning_experts.is_none_or(|set| set.contains(&compact));
             if wanted {
                 expert_grads.insert(compact, grad);
@@ -234,11 +360,15 @@ impl TransformerLayer {
     ) -> (Matrix, TransformerLayerCache) {
         let attn_in = ops::layer_norm(input, LN_EPS);
         let (attn_out, attn_cache) = self.attention.forward(&attn_in);
+        attn_in.recycle();
         let received = attn_cache.received_attention();
         let post_attention = input.add(&attn_out).expect("residual shapes match");
+        attn_out.recycle();
         let moe_in = ops::layer_norm(&post_attention, LN_EPS);
         let (moe_out, moe_cache) = self.moe.forward(&moe_in, layer_idx, &received, tracker);
+        moe_in.recycle();
         let output = post_attention.add(&moe_out).expect("residual shapes match");
+        moe_out.recycle();
         (
             output,
             TransformerLayerCache {
@@ -249,6 +379,31 @@ impl TransformerLayer {
                 received_attention: received,
             },
         )
+    }
+
+    /// Forward pass that keeps no backward cache (see
+    /// [`MoeLayer::forward_no_cache`]). Numerically identical to
+    /// [`TransformerLayer::forward`].
+    pub fn forward_no_cache(
+        &self,
+        input: &Matrix,
+        layer_idx: usize,
+        tracker: Option<&mut ActivationTracker>,
+    ) -> Matrix {
+        let attn_in = ops::layer_norm(input, LN_EPS);
+        let (attn_out, received) = self.attention.forward_no_cache(&attn_in);
+        attn_in.recycle();
+        let post_attention = input.add(&attn_out).expect("residual shapes match");
+        attn_out.recycle();
+        let moe_in = ops::layer_norm(&post_attention, LN_EPS);
+        let moe_out = self
+            .moe
+            .forward_no_cache(&moe_in, layer_idx, &received, tracker);
+        moe_in.recycle();
+        let output = post_attention.add(&moe_out).expect("residual shapes match");
+        moe_out.recycle();
+        post_attention.recycle();
+        output
     }
 
     /// Backward pass returning expert gradients (for the selected tuning
@@ -265,17 +420,22 @@ impl TransformerLayer {
                 .backward(&cache.moe_cache, grad_output, tuning_experts);
         let mut grad_post_attention = grad_output.clone();
         let grad_from_moe = ops::layer_norm_backward(&cache.post_attention, &grad_moe_in, LN_EPS);
+        grad_moe_in.recycle();
         grad_post_attention
             .add_scaled(&grad_from_moe, 1.0)
             .expect("same shape");
+        grad_from_moe.recycle();
         // post_attention = input + attention(ln(input)).
-        let grad_attn_out = grad_post_attention.clone();
-        let grad_attn_in = self.attention.backward(&cache.attn_cache, &grad_attn_out);
+        let grad_attn_in = self
+            .attention
+            .backward(&cache.attn_cache, &grad_post_attention);
         let mut grad_input = grad_post_attention;
         let grad_from_attention = ops::layer_norm_backward(&cache.input, &grad_attn_in, LN_EPS);
+        grad_attn_in.recycle();
         grad_input
             .add_scaled(&grad_from_attention, 1.0)
             .expect("same shape");
+        grad_from_attention.recycle();
         (expert_grads, grad_input)
     }
 }

@@ -214,6 +214,12 @@ impl MoeModel {
     /// Embeds a token sequence and adds sinusoidal positional encodings.
     pub fn embed(&self, tokens: &[u32]) -> Matrix {
         let d = self.config.d_model;
+        // The per-dimension rates depend only on `i`, not the position:
+        // hoist the `powf` out of the token loop (it dominated the embed
+        // cost at small d_model).
+        let rates: Vec<f32> = (0..d)
+            .map(|i| 1.0 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32))
+            .collect();
         let mut out = Matrix::zeros(tokens.len(), d);
         for (pos, &tok) in tokens.iter().enumerate() {
             let tok = (tok as usize).min(self.config.vocab_size - 1);
@@ -221,8 +227,7 @@ impl MoeModel {
             let out_row = out.row_mut(pos);
             out_row.copy_from_slice(row);
             // Sinusoidal positional encoding.
-            for (i, value) in out_row.iter_mut().enumerate() {
-                let rate = 1.0 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32);
+            for (i, (value, &rate)) in out_row.iter_mut().zip(&rates).enumerate() {
                 let angle = pos as f32 * rate;
                 *value += if i % 2 == 0 { angle.sin() } else { angle.cos() } * 0.1;
             }
@@ -251,6 +256,38 @@ impl MoeModel {
         }
     }
 
+    /// Forward pass that keeps no backward state: only the final hidden
+    /// states (after the last layer norm) are produced. Numerically
+    /// identical to [`MoeModel::forward`], but every per-layer cache clone
+    /// is skipped — this is the path for evaluation, activation profiling
+    /// and SPSA loss probes.
+    pub fn forward_no_cache(
+        &self,
+        tokens: &[u32],
+        mut tracker: Option<&mut ActivationTracker>,
+    ) -> Matrix {
+        let mut hidden = self.embed(tokens);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let next = layer.forward_no_cache(&hidden, idx, tracker.as_deref_mut());
+            hidden.recycle();
+            hidden = next;
+        }
+        let final_hidden = ops::layer_norm(&hidden, LN_EPS);
+        hidden.recycle();
+        final_hidden
+    }
+
+    /// Wraps a loss-only forward result in a [`ForwardCache`] whose
+    /// backward-only fields are empty (the loss/prediction paths read only
+    /// `final_hidden`).
+    fn light_cache(final_hidden: Matrix) -> ForwardCache {
+        ForwardCache {
+            layer_caches: Vec::new(),
+            final_hidden,
+            last_block_output: Matrix::zeros(0, 0),
+        }
+    }
+
     /// Computes the loss and the gradient of the head logits for a sample.
     ///
     /// Returns `(loss, grad_final_hidden, head_grad)`.
@@ -268,8 +305,10 @@ impl MoeModel {
                     .map(|&t| (t as usize).min(self.config.vocab_size - 1))
                     .collect();
                 let (loss, grad_logits) = ops::cross_entropy(&logits, &targets);
-                let head_grad = tail_hidden.transpose().matmul(&grad_logits);
-                let grad_tail = grad_logits.matmul(&self.lm_head.transpose());
+                let head_grad = tail_hidden.matmul_transa(&grad_logits).expect("row counts");
+                let grad_tail = grad_logits
+                    .matmul_transb(&self.lm_head)
+                    .expect("col counts");
                 let mut grad_hidden =
                     Matrix::zeros(cache.final_hidden.rows(), cache.final_hidden.cols());
                 for (slot, &row) in rows.iter().enumerate() {
@@ -294,8 +333,8 @@ impl MoeModel {
                 let pooled = Matrix::from_vec(1, self.config.d_model, pooled_vec).expect("shape");
                 let logits = pooled.matmul(head);
                 let (loss, grad_logits) = ops::cross_entropy(&logits, &[*label]);
-                let head_grad = pooled.transpose().matmul(&grad_logits);
-                let grad_pooled = grad_logits.matmul(&head.transpose());
+                let head_grad = pooled.matmul_transa(&grad_logits).expect("row counts");
+                let grad_pooled = grad_logits.matmul_transb(head).expect("col counts");
                 // Mean-pool backward: every position receives grad/seq.
                 let mut grad_hidden =
                     Matrix::zeros(cache.final_hidden.rows(), cache.final_hidden.cols());
@@ -415,7 +454,13 @@ impl MoeModel {
     /// Predicts the output for one sample (greedy decoding for generation,
     /// argmax for classification).
     pub fn predict(&self, sample: &Sample) -> Prediction {
-        let cache = self.forward(&sample.tokens, None);
+        let cache = Self::light_cache(self.forward_no_cache(&sample.tokens, None));
+        self.predict_from_cache(sample, &cache)
+    }
+
+    /// Prediction from an existing forward cache (lets evaluation reuse the
+    /// forward pass it already ran for the loss).
+    fn predict_from_cache(&self, sample: &Sample, cache: &ForwardCache) -> Prediction {
         match &sample.task {
             Task::Generation { reference } => {
                 let seq = cache.final_hidden.rows();
@@ -446,6 +491,54 @@ impl MoeModel {
         }
     }
 
+    /// Loss of one sample (forward only — no parameter or input gradients).
+    ///
+    /// This is the cheap path for loss probes such as SPSA perturbation
+    /// evaluations, which previously paid a full backward pass per probe.
+    pub fn sample_loss(&self, sample: &Sample) -> f32 {
+        let final_hidden = self.forward_no_cache(&sample.tokens, None);
+        let loss = self.head_loss(sample, &final_hidden);
+        final_hidden.recycle();
+        loss
+    }
+
+    /// Head loss from the final hidden states, with no gradient work: the
+    /// loss halves of the [`MoeModel::loss_and_head_grads`] branches without
+    /// the head/hidden gradient matmuls those also pay.
+    fn head_loss(&self, sample: &Sample, final_hidden: &Matrix) -> f32 {
+        match &sample.task {
+            Task::Generation { reference } => {
+                let seq = final_hidden.rows();
+                let r = reference.len().min(seq);
+                let tail_start = seq - r;
+                let rows: Vec<usize> = (tail_start..seq).collect();
+                let tail_hidden = final_hidden.select_rows(&rows);
+                let logits = tail_hidden.matmul(&self.lm_head);
+                let targets: Vec<usize> = reference[reference.len() - r..]
+                    .iter()
+                    .map(|&t| (t as usize).min(self.config.vocab_size - 1))
+                    .collect();
+                let loss = ops::cross_entropy_loss(&logits, &targets);
+                logits.recycle();
+                loss
+            }
+            Task::Classification { label, .. } => {
+                let head = self
+                    .cls_head
+                    .as_ref()
+                    .expect("classification sample requires a classification head");
+                let seq = final_hidden.rows() as f32;
+                let pooled_vec: Vec<f32> =
+                    final_hidden.sum_rows().iter().map(|x| x / seq).collect();
+                let pooled = Matrix::from_vec(1, self.config.d_model, pooled_vec).expect("shape");
+                let logits = pooled.matmul(head);
+                let loss = ops::cross_entropy_loss(&logits, &[*label]);
+                logits.recycle();
+                loss
+            }
+        }
+    }
+
     /// Evaluates the model on a dataset: mean ROUGE-L for generation, exact
     /// match accuracy for classification, plus the mean loss.
     pub fn evaluate(&self, dataset: &Dataset) -> EvalResult {
@@ -459,10 +552,9 @@ impl MoeModel {
         let mut score_sum = 0.0;
         let mut loss_sum = 0.0;
         for sample in &dataset.samples {
-            let cache = self.forward(&sample.tokens, None);
-            let (loss, _, _) = self.loss_and_head_grads(sample, &cache);
-            loss_sum += loss;
-            match (&sample.task, self.predict(sample)) {
+            let cache = Self::light_cache(self.forward_no_cache(&sample.tokens, None));
+            loss_sum += self.head_loss(sample, &cache.final_hidden);
+            match (&sample.task, self.predict_from_cache(sample, &cache)) {
                 (Task::Generation { reference }, Prediction::Tokens(pred)) => {
                     score_sum += flux_metrics_rouge(&pred, reference);
                 }
@@ -483,14 +575,9 @@ impl MoeModel {
     /// Mean-pooled final hidden state of a sample, used as the "final token
     /// embeddings" in the paper's output-error measurements (Fig. 8).
     pub fn final_embedding(&self, sample: &Sample) -> Vec<f32> {
-        let cache = self.forward(&sample.tokens, None);
-        let seq = cache.final_hidden.rows() as f32;
-        cache
-            .final_hidden
-            .sum_rows()
-            .iter()
-            .map(|x| x / seq)
-            .collect()
+        let final_hidden = self.forward_no_cache(&sample.tokens, None);
+        let seq = final_hidden.rows() as f32;
+        final_hidden.sum_rows().iter().map(|x| x / seq).collect()
     }
 
     /// Runs a forward-only profiling pass over a dataset, recording expert
@@ -503,7 +590,8 @@ impl MoeModel {
         );
         for (id, sample) in dataset.samples.iter().enumerate() {
             tracker.begin_sample(id);
-            let _ = self.forward(&sample.tokens, Some(&mut tracker));
+            self.forward_no_cache(&sample.tokens, Some(&mut tracker))
+                .recycle();
         }
         tracker.finish()
     }

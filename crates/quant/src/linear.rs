@@ -27,19 +27,39 @@ pub fn quantized_matmul(x: &Matrix, w: &QuantizedMatrix) -> Result<Matrix> {
             rhs: w.shape(),
         });
     }
-    let mut out = Matrix::zeros(x.rows(), w.cols());
+    let n = w.cols();
+    let mut out = Matrix::zeros_pooled(x.rows(), n);
+    let scales = w.scales();
     for i in 0..x.rows() {
-        for k in 0..x.cols() {
-            let a = x.get(i, k);
-            if a == 0.0 {
-                continue;
+        let x_row = x.row(i);
+        let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        // Dequantize-on-the-fly accumulation, unrolled 4-way over the depth
+        // so each output row is written once per four weight rows. Slices
+        // are pre-sized to `n` so the inner loop runs without bounds checks.
+        let mut k = 0;
+        while k + 4 <= x_row.len() {
+            let (c0, c1, c2, c3) = (
+                x_row[k] * scales[k],
+                x_row[k + 1] * scales[k + 1],
+                x_row[k + 2] * scales[k + 2],
+                x_row[k + 3] * scales[k + 3],
+            );
+            let l0 = &w.levels_row(k)[..n];
+            let l1 = &w.levels_row(k + 1)[..n];
+            let l2 = &w.levels_row(k + 2)[..n];
+            let l3 = &w.levels_row(k + 3)[..n];
+            for j in 0..n {
+                out_row[j] +=
+                    c0 * l0[j] as f32 + c1 * l1[j] as f32 + c2 * l2[j] as f32 + c3 * l3[j] as f32;
             }
-            let scale = w.scales()[k];
-            let coeff = a * scale;
-            let out_row = out.row_mut(i);
-            for (c, o) in out_row.iter_mut().enumerate() {
-                *o += coeff * w.level(k, c) as f32;
+            k += 4;
+        }
+        while k < x_row.len() {
+            let coeff = x_row[k] * scales[k];
+            for (o, &level) in out_row.iter_mut().zip(w.levels_row(k)) {
+                *o += coeff * level as f32;
             }
+            k += 1;
         }
     }
     Ok(out)

@@ -133,8 +133,16 @@ impl QuantizedMatrix {
     }
 
     /// Raw integer level at `(row, col)`.
+    #[inline]
     pub fn level(&self, row: usize, col: usize) -> i8 {
         self.levels[row * self.cols + col]
+    }
+
+    /// All integer levels of one row (the matmul kernel iterates these as a
+    /// slice rather than paying a bounds check per element).
+    #[inline]
+    pub fn levels_row(&self, row: usize) -> &[i8] {
+        &self.levels[row * self.cols..(row + 1) * self.cols]
     }
 
     /// Per-row scale factors.

@@ -32,6 +32,7 @@ pub mod ops;
 pub mod optim;
 pub mod pca;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 
 pub use error::TensorError;

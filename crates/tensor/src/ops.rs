@@ -6,6 +6,7 @@
 //! the same layout as their forward inputs.
 
 use crate::matrix::Matrix;
+use crate::Result;
 
 /// Numerically stable softmax over a single row.
 ///
@@ -46,9 +47,41 @@ pub fn softmax_backward_row(probs: &[f32], grad: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Allocation-free variant of [`softmax_backward_row`] writing into `out`.
+pub fn softmax_backward_row_into(probs: &[f32], grad: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(probs.len(), grad.len());
+    debug_assert_eq!(probs.len(), out.len());
+    let dot: f32 = probs.iter().zip(grad.iter()).map(|(p, g)| p * g).sum();
+    for ((o, &p), &g) in out.iter_mut().zip(probs).zip(grad) {
+        *o = p * (g - dot);
+    }
+}
+
 /// GELU activation (tanh approximation), applied element-wise.
 pub fn gelu(x: &Matrix) -> Matrix {
     x.map(gelu_scalar)
+}
+
+/// GELU applied in place (no allocation).
+pub fn gelu_in_place(x: &mut Matrix) {
+    for v in x.as_mut_slice() {
+        *v = gelu_scalar(*v);
+    }
+}
+
+/// Fused `GELU(x · w + bias)`: one kernel pass, bias folded into the output
+/// initialization, activation applied in place. This is the shape of both
+/// expert projections, so the inference/profiling path allocates exactly
+/// one matrix per projection.
+///
+/// # Errors
+///
+/// Returns a shape mismatch when the inner dimensions or bias length
+/// disagree.
+pub fn matmul_bias_gelu(x: &Matrix, w: &Matrix, bias: &[f32]) -> Result<Matrix> {
+    let mut out = x.try_matmul_bias(w, bias)?;
+    gelu_in_place(&mut out);
+    Ok(out)
 }
 
 /// Derivative of the GELU activation with respect to its input.
@@ -61,6 +94,40 @@ pub fn gelu_backward(x: &Matrix, grad: &Matrix) -> Matrix {
         .zip(x.as_slice().iter().zip(grad.as_slice().iter()))
     {
         *o = gelu_grad_scalar(*xi) * gi;
+    }
+    out
+}
+
+/// Backward pass of GELU reusing the cached forward *output*.
+///
+/// `y = gelu(x) = 0.5·x·(1 + tanh(u))` stores `tanh(u)` implicitly:
+/// `t = 2y/x − 1`. Recovering it spares the `tanh` recomputation that
+/// dominated the expert backward pass at small model widths (the hyperbolic
+/// is ~10× the cost of the surrounding matmul work there). Near `x = 0` the
+/// division is ill-conditioned, so the exact scalar path is used instead;
+/// everywhere else the recovered `t` matches the recomputed value to a few
+/// ulps, well inside the noise of the f32 gradient itself.
+///
+/// Shapes must satisfy `x.shape() == y.shape() == grad.shape()`.
+pub fn gelu_backward_cached(x: &Matrix, y: &Matrix, grad: &Matrix) -> Matrix {
+    debug_assert_eq!(x.shape(), y.shape());
+    debug_assert_eq!(x.shape(), grad.shape());
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    let mut out = Matrix::zeros_pooled(x.rows(), x.cols());
+    for (o, ((&xi, &yi), &gi)) in out.as_mut_slice().iter_mut().zip(
+        x.as_slice()
+            .iter()
+            .zip(y.as_slice().iter())
+            .zip(grad.as_slice().iter()),
+    ) {
+        let d = if xi.abs() > 1e-3 {
+            let t = (2.0 * yi / xi - 1.0).clamp(-1.0, 1.0);
+            let sech2 = 1.0 - t * t;
+            0.5 * (1.0 + t) + 0.5 * xi * sech2 * C * (1.0 + 3.0 * 0.044715 * xi * xi)
+        } else {
+            gelu_grad_scalar(xi)
+        };
+        *o = d * gi;
     }
     out
 }
@@ -167,6 +234,25 @@ pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
     (total_loss / n as f32, grad)
 }
 
+/// Loss-only variant of [`cross_entropy`]: no gradient matrix is built
+/// (loss probes such as SPSA evaluations discard the gradients).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target index is out of
+/// range for the number of classes.
+pub fn cross_entropy_loss(logits: &Matrix, targets: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), targets.len(), "one target per logits row");
+    let n = logits.rows().max(1);
+    let mut total_loss = 0.0;
+    for (r, &target) in targets.iter().enumerate() {
+        assert!(target < logits.cols(), "target class out of range");
+        let probs = softmax_row(logits.row(r));
+        total_loss += -(probs[target].max(1e-12)).ln();
+    }
+    total_loss / n as f32
+}
+
 /// Clips the Frobenius norm of a gradient matrix to `max_norm`.
 ///
 /// Returns the scaling factor applied (1.0 when no clipping occurred).
@@ -262,6 +348,22 @@ mod tests {
                 "x={x}: {} vs {}",
                 gelu_grad_scalar(x),
                 numeric
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_backward_cached_matches_recompute() {
+        let mut rng = crate::SeededRng::new(17);
+        let x = Matrix::random_normal(13, 9, 2.0, &mut rng);
+        let y = gelu(&x);
+        let grad = Matrix::random_normal(13, 9, 1.0, &mut rng);
+        let cached = gelu_backward_cached(&x, &y, &grad);
+        let recomputed = gelu_backward(&x, &grad);
+        for (a, b) in cached.as_slice().iter().zip(recomputed.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                "cached {a} vs recomputed {b}"
             );
         }
     }

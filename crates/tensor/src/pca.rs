@@ -104,19 +104,22 @@ impl Pca {
                 rhs: (1, d),
             });
         }
-        let k = self.components.rows();
-        let mut out = Matrix::zeros(data.rows(), k);
+        // Center once, then project every row against every component with
+        // the fused `A·Bᵀ` kernel (contiguous dot products, no per-row
+        // temporary).
+        let mut centered = Matrix::zeros_pooled(data.rows(), d);
         for r in 0..data.rows() {
-            let row = data.row(r);
-            let centered: Vec<f32> = row
-                .iter()
+            for ((c, &x), &m) in centered
+                .row_mut(r)
+                .iter_mut()
+                .zip(data.row(r))
                 .zip(self.mean.iter())
-                .map(|(x, m)| x - m)
-                .collect();
-            for c in 0..k {
-                out.set(r, c, stats::dot(&centered, self.components.row(c)));
+            {
+                *c = x - m;
             }
         }
+        let out = centered.matmul_transb(&self.components)?;
+        centered.recycle();
         Ok(out)
     }
 
@@ -137,19 +140,22 @@ fn dominant_direction(x: &Matrix, rng: &mut SeededRng) -> (Vec<f32>, f32) {
     let (n, d) = x.shape();
     let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
     normalize(&mut v);
-    let iterations = 50;
-    for _ in 0..iterations {
-        // w = Xᵀ (X v) computed without forming the covariance matrix.
-        let mut xv = vec![0.0f32; n];
-        for (r, xv_r) in xv.iter_mut().enumerate() {
-            *xv_r = stats::dot(x.row(r), &v);
-        }
-        let mut w = vec![0.0f32; d];
-        for (r, &coeff) in xv.iter().enumerate() {
-            for (wi, &xi) in w.iter_mut().zip(x.row(r)) {
-                *wi += coeff * xi;
-            }
-        }
+    // Power iteration converges geometrically in the eigenvalue-gap ratio,
+    // and the downstream consumer is similarity clustering, which needs the
+    // dominant directions only approximately (randomized-SVD practice uses
+    // 4–8 power iterations for the same reason). Iterate to a fixed-point
+    // tolerance with a small cap. The cap is a deliberate accuracy/speed
+    // trade: with a small but nonzero eigenvalue gap the returned direction
+    // can still carry contamination from neighbouring components — fine
+    // for K-Means features over expert parameters, but raise the cap if
+    // this module is ever reused where exact principal axes matter.
+    let max_iterations = 8;
+    let mut prev = v.clone();
+    for _ in 0..max_iterations {
+        // w = Xᵀ (X v) computed without forming the covariance matrix,
+        // using the blocked matvec/vecmat kernels.
+        let xv = x.matvec(&v).expect("direction length matches features");
+        let w = x.vecmat(&xv).expect("projection length matches samples");
         let norm = stats::l2_norm(&w);
         if norm < 1e-12 {
             // Residual is (numerically) zero: any unit vector works.
@@ -158,13 +164,16 @@ fn dominant_direction(x: &Matrix, rng: &mut SeededRng) -> (Vec<f32>, f32) {
         for (vi, wi) in v.iter_mut().zip(w.iter()) {
             *vi = wi / norm;
         }
+        // Converged when the direction is a fixed point (up to sign).
+        let alignment = stats::dot(&v, &prev).abs();
+        if 1.0 - alignment < 1e-5 {
+            break;
+        }
+        prev.copy_from_slice(&v);
     }
     // Explained variance = ||X v||² / n.
-    let mut xv_norm2 = 0.0;
-    for r in 0..n {
-        let p = stats::dot(x.row(r), &v);
-        xv_norm2 += p * p;
-    }
+    let xv = x.matvec(&v).expect("direction length matches features");
+    let xv_norm2: f32 = xv.iter().map(|p| p * p).sum();
     (v, xv_norm2 / n.max(1) as f32)
 }
 

@@ -1,0 +1,108 @@
+//! Thread-local reusable `f32` scratch buffers.
+//!
+//! The training hot path (matmul panel packing, gather/scatter of routed
+//! token batches, SPSA perturbation directions) needs short-lived buffers of
+//! a handful of recurring sizes every call. Allocating them fresh each time
+//! dominated small-model profiles, so this module keeps a small per-thread
+//! pool of retired buffers: steady-state training reuses the same
+//! allocations round after round. Buffers are per-thread, so the pool needs
+//! no locking and stays deterministic under any thread count.
+
+use std::cell::RefCell;
+
+/// Upper bound on pooled buffers per thread; beyond this, retired buffers
+/// are simply freed. Generous enough for the deepest forward/backward
+/// nesting the models here produce.
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    // Kept sorted ascending by capacity so `take` is a best-fit binary
+    // search: small requests never consume large buffers, and the pool
+    // stays effective when hot paths retire buffers of many sizes.
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a zero-filled buffer of exactly `len` elements from the pool,
+/// allocating only when no pooled buffer has enough capacity.
+pub fn take(len: usize) -> Vec<f32> {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        // Best fit: the smallest pooled buffer whose capacity suffices.
+        let i = pool.partition_point(|b| b.capacity() < len);
+        if i < pool.len() {
+            let mut buf = pool.remove(i);
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        } else {
+            vec![0.0; len]
+        }
+    })
+}
+
+/// Returns a buffer to the pool for reuse by a later [`take`].
+pub fn give(buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            let at = pool.partition_point(|b| b.capacity() < buf.capacity());
+            pool.insert(at, buf);
+        }
+    });
+}
+
+/// Runs `f` with a zero-filled scratch slice of `len` elements, recycling
+/// the backing buffer afterwards.
+pub fn with<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = take(len);
+    let result = f(&mut buf);
+    give(buf);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_requested_length() {
+        let mut buf = take(16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        buf.iter_mut().for_each(|x| *x = 7.0);
+        give(buf);
+        // A recycled buffer comes back zeroed even though it was dirtied.
+        let again = take(16);
+        assert!(again.iter().all(|&x| x == 0.0));
+        give(again);
+    }
+
+    #[test]
+    fn pool_reuses_capacity() {
+        let buf = take(1024);
+        let ptr = buf.as_ptr();
+        give(buf);
+        let again = take(512);
+        assert_eq!(again.as_ptr(), ptr, "smaller request reuses the buffer");
+        give(again);
+    }
+
+    #[test]
+    fn with_recycles_after_use() {
+        let sum = with(8, |s| {
+            s.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32);
+            s.iter().sum::<f32>()
+        });
+        assert_eq!(sum, 28.0);
+    }
+
+    #[test]
+    fn zero_length_take_is_fine() {
+        let buf = take(0);
+        assert!(buf.is_empty());
+        give(buf);
+    }
+}

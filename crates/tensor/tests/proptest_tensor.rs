@@ -11,6 +11,53 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Strategy producing a compatible matmul pair `(m×k, k×n)`, including the
+/// degenerate shapes (0 rows, 0 inner dimension, single columns) the blocked
+/// kernel's remainder paths must handle.
+fn matmul_pair_strategy() -> impl Strategy<Value = (Matrix, Matrix)> {
+    // Entries are kept O(1) so the 1e-4 relative tolerance is meaningful:
+    // with large entries, f32 accumulation of a cancelling sum legitimately
+    // drifts past any fixed relative-to-output bound.
+    (0usize..=21, 0usize..=21, 0usize..=21).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-2.0f32..2.0, m * k),
+            prop::collection::vec(-2.0f32..2.0, k * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(m, k, a).unwrap(),
+                    Matrix::from_vec(k, n, b).unwrap(),
+                )
+            })
+    })
+}
+
+/// Naive triple-loop reference matmul, accumulated in `f64`.
+fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+            }
+            out.set(i, j, acc as f32);
+        }
+    }
+    out
+}
+
+/// Asserts two matrices agree within a relative tolerance of `tol`.
+fn assert_close(actual: &Matrix, expected: &Matrix, tol: f32) {
+    assert_eq!(actual.shape(), expected.shape());
+    for (x, y) in actual.as_slice().iter().zip(expected.as_slice()) {
+        assert!(
+            (x - y).abs() <= tol * y.abs().max(1.0),
+            "kernel {x} vs reference {y}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -139,6 +186,65 @@ proptest! {
         prop_assert!(clusters <= k.max(1));
         prop_assert!(result.assignments.iter().all(|&a| a < clusters));
         prop_assert_eq!(result.assignments.len(), 20);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference(pair in matmul_pair_strategy()) {
+        // The cache-blocked, panel-packed kernel (all of its paths: 4-row
+        // register tiles, row remainders, depth remainders, degenerate
+        // shapes) agrees with a naive triple loop within 1e-4 relative.
+        let (a, b) = pair;
+        let reference = matmul_reference(&a, &b);
+        assert_close(&a.try_matmul(&b).unwrap(), &reference, 1e-4);
+        // The sparse-aware entry point computes the same product.
+        assert_close(&a.try_matmul_sparse(&b).unwrap(), &reference, 1e-4);
+    }
+
+    #[test]
+    fn blocked_matmul_handles_deep_inner_dimension(seed in 0u64..200) {
+        // Depth > KC exercises the k-blocking path.
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random_normal(5, 300, 0.3, &mut rng);
+        let b = Matrix::random_normal(300, 3, 0.3, &mut rng);
+        assert_close(&a.try_matmul(&b).unwrap(), &matmul_reference(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match_explicit_transpose(pair in matmul_pair_strategy()) {
+        let (a, b) = pair;
+        let reference = matmul_reference(&a, &b);
+        // (aᵀ)ᵀ·b via matmul_transa == a·b.
+        assert_close(&a.transpose().matmul_transa(&b).unwrap(), &reference, 1e-4);
+        // a·(bᵀ)ᵀ via matmul_transb == a·b.
+        assert_close(&a.matmul_transb(&b.transpose()).unwrap(), &reference, 1e-4);
+    }
+
+    #[test]
+    fn matmul_bias_matches_matmul_plus_broadcast(pair in matmul_pair_strategy()) {
+        let (a, b) = pair;
+        let bias: Vec<f32> = (0..b.cols()).map(|j| j as f32 - 1.5).collect();
+        let fused = a.try_matmul_bias(&b, &bias).unwrap();
+        let separate = a.try_matmul(&b).unwrap().add_row_broadcast(&bias).unwrap();
+        assert_close(&fused, &separate, 1e-4);
+    }
+
+    #[test]
+    fn vector_fast_paths_match_matmul(pair in matmul_pair_strategy()) {
+        let (a, b) = pair;
+        if a.rows() > 0 {
+            // matvec == matmul with a column vector.
+            let x: Vec<f32> = (0..a.cols()).map(|i| (i as f32).sin()).collect();
+            let col = Matrix::from_vec(a.cols(), 1, x.clone()).unwrap();
+            let product = a.matmul(&col);
+            for (i, y) in a.matvec(&x).unwrap().iter().enumerate() {
+                prop_assert!((y - product.get(i, 0)).abs() <= 1e-4 * product.get(i, 0).abs().max(1.0));
+            }
+        }
+        // vecmat is documented bit-identical to a 1×k matmul.
+        let x: Vec<f32> = (0..b.rows()).map(|i| (i as f32).cos()).collect();
+        let row = Matrix::from_vec(1, b.rows(), x.clone()).unwrap();
+        let product = row.matmul(&b);
+        prop_assert_eq!(b.vecmat(&x).unwrap().as_slice(), product.as_slice());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Offline stand-in for a scoped thread-pool crate.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! provides the fork-join surface the workspace needs — a bounded pool of
+//! workers executing borrowed closures with results returned in submission
+//! order, in the spirit of `rayon::scope` — on top of `std::thread::scope`.
+//! Workers are spawned per fork-join region rather than kept warm; the
+//! regions the workspace parallelizes (per-participant federated rounds,
+//! per-expert batched forwards) run for milliseconds to seconds, so the
+//! microseconds of spawn cost are noise. Swapping this for `rayon` is a
+//! one-line change in the root `Cargo.toml`.
+//!
+//! Determinism: [`ThreadPool::run`] returns results indexed by submission
+//! order regardless of which worker executed which task, so callers that
+//! reduce results sequentially get bit-identical output for any thread
+//! count (including 1, which runs inline with no threads at all).
+//!
+//! Known cost of the per-region spawning: worker threads start with cold
+//! thread-local state, so e.g. the tensor crate's scratch-buffer pool is
+//! empty at the start of every fork-join region and dropped at its end —
+//! allocation reuse across regions currently only applies on the calling
+//! thread. A persistent-worker pool would lift that (tracked in ROADMAP).
+
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable overriding the worker count used by
+/// [`ThreadPool::from_env`]. `1` disables threading entirely.
+pub const THREADS_ENV: &str = "FLUX_THREADS";
+
+thread_local! {
+    // Set while a thread is executing tasks as a pool worker, so nested
+    // code can avoid fanning out a second level of threads.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A fixed-width fork-join thread pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that uses up to `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized from the `FLUX_THREADS` environment variable,
+    /// falling back to the machine's available parallelism. The resolved
+    /// count is cached after the first call (hot paths size a pool per
+    /// fork-join region, and the environment does not change mid-process),
+    /// and a thread that is itself a pool worker gets an inline pool so
+    /// nested fan-outs never oversubscribe the machine.
+    pub fn from_env() -> Self {
+        if Self::current_is_worker() {
+            return Self::new(1);
+        }
+        static RESOLVED: OnceLock<usize> = OnceLock::new();
+        let threads = *RESOLVED.get_or_init(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+        });
+        Self::new(threads)
+    }
+
+    /// Whether the calling thread is currently executing as a pool worker.
+    pub fn current_is_worker() -> bool {
+        IS_WORKER.with(|w| w.get())
+    }
+
+    /// Maximum number of workers this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task, returning the results in submission order.
+    ///
+    /// With one worker (or one task) the tasks run inline on the calling
+    /// thread. Otherwise up to `threads` scoped workers drain a shared
+    /// queue; each result lands in the slot of its task's index, so the
+    /// returned `Vec` is independent of scheduling. Panics in a task
+    /// propagate to the caller when the scope joins.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let mut results: Vec<Option<T>> = Vec::with_capacity(tasks.len());
+        results.resize_with(tasks.len(), || None);
+        let queue: Mutex<Vec<(F, &mut Option<T>)>> =
+            Mutex::new(tasks.into_iter().zip(results.iter_mut()).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IS_WORKER.with(|w| w.set(true));
+                    loop {
+                        let job = queue.lock().expect("task queue lock").pop();
+                        match job {
+                            Some((task, slot)) => *slot = Some(task()),
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        drop(queue);
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every task ran to completion"))
+            .collect()
+    }
+
+    /// Scoped spawn API in the spirit of `rayon::scope`: closures registered
+    /// via [`Scope::spawn`] are joined before `scope` returns.
+    pub fn scope<'env, F>(&self, f: F)
+    where
+        F: FnOnce(&mut Scope<'env>),
+    {
+        let mut scope = Scope { tasks: Vec::new() };
+        f(&mut scope);
+        let _: Vec<()> = self.run(scope.tasks);
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Collects borrowed closures for [`ThreadPool::scope`].
+pub struct Scope<'env> {
+    tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Registers a task; it runs (possibly on a worker thread) before the
+    /// enclosing [`ThreadPool::scope`] call returns.
+    pub fn spawn(&mut self, f: impl FnOnce() + Send + 'env) {
+        self.tasks.push(Box::new(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_preserves_submission_order() {
+        let pool = ThreadPool::new(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let main_thread = std::thread::current().id();
+        let results = pool.run(vec![move || std::thread::current().id() == main_thread]);
+        assert_eq!(results, vec![true]);
+    }
+
+    #[test]
+    fn tasks_borrow_disjoint_mutable_state() {
+        let pool = ThreadPool::new(3);
+        let mut slots = vec![0usize; 8];
+        let tasks: Vec<_> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                move || {
+                    *slot = i + 1;
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(slots, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn from_env_has_at_least_one_thread() {
+        assert!(ThreadPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn nested_from_env_inside_worker_is_inline() {
+        let pool = ThreadPool::new(4);
+        let nested_sizes = pool.run(vec![
+            || ThreadPool::from_env().threads(),
+            || ThreadPool::from_env().threads(),
+            || ThreadPool::from_env().threads(),
+            || ThreadPool::from_env().threads(),
+        ]);
+        // Every task ran on a worker thread (4 workers for 4 tasks), where
+        // a nested from_env pool must collapse to inline execution.
+        assert!(nested_sizes.iter().all(|&n| n == 1), "{nested_sizes:?}");
+    }
+}
