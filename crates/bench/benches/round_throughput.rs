@@ -48,6 +48,30 @@ fn local_train_step(c: &mut Criterion) {
     });
 }
 
+/// Batched multi-sample gradients against the per-sample reference loop, at
+/// the paper's mini-batch size of 16 — the hot path the batched-execution
+/// engine optimizes.
+fn batched_vs_reference(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let mut config = MoeConfig::tiny();
+    if let Some(classes) = DatasetKind::Gsm8k.num_classes() {
+        config = config.with_classes(classes);
+    }
+    let model = MoeModel::new(config, &mut rng);
+    let data = DatasetGenerator::new(
+        DatasetConfig::for_kind(DatasetKind::Gsm8k, model.config.vocab_size).with_num_samples(16),
+    )
+    .generate(&mut rng);
+    let mut group = c.benchmark_group("batch_gradients_16");
+    group.bench_function("batched", |b| {
+        b.iter(|| model.batch_gradients(&data.samples, None));
+    });
+    group.bench_function("per_sample_reference", |b| {
+        b.iter(|| model.batch_gradients_reference(&data.samples, None));
+    });
+    group.finish();
+}
+
 fn federated_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("quick_demo_round");
     for method in Method::all() {
@@ -69,6 +93,6 @@ fn federated_round(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = matmul_kernels, local_train_step, federated_round
+    targets = matmul_kernels, local_train_step, batched_vs_reference, federated_round
 }
 criterion_main!(benches);

@@ -397,10 +397,9 @@ impl ForwardGradEstimator {
 }
 
 fn mean_loss_of(model: &MoeModel, samples: &[&Sample]) -> f32 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.iter().map(|s| model.sample_loss(s)).sum::<f32>() / samples.len() as f32
+    // One packed forward over all evaluation samples (see
+    // `MoeModel::batch_loss`) instead of one forward per sample.
+    model.batch_loss(samples)
 }
 
 #[cfg(test)]

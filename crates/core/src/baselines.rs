@@ -45,8 +45,13 @@ pub struct LocalRoundOutput {
 }
 
 /// Runs local SGD over the samples in mini-batches, restricted to the given
-/// tuning experts (compact ids of `model`). Returns the mean loss and the
-/// gradient set of the *last* batch (used for utility computation).
+/// tuning experts (compact ids of `model`). Returns the per-sample mean
+/// loss and the gradient set of the *last* batch (used for utility
+/// computation).
+///
+/// The reported loss weights every batch by its sample count, so a ragged
+/// final chunk (10 samples at batch size 4 → 4/4/2) contributes its 2
+/// samples' worth — not a full batch's worth — to `train_loss`.
 pub fn local_train(
     model: &mut MoeModel,
     samples: &[Sample],
@@ -59,7 +64,7 @@ pub fn local_train(
     }
     let batch_size = batch_size.max(1);
     let mut total_loss = 0.0;
-    let mut batches = 0.0f32;
+    let mut total_samples = 0usize;
     let mut last_grads = None;
     for chunk in samples.chunks(batch_size) {
         let mut grads = model.batch_gradients(chunk, tuning);
@@ -69,11 +74,11 @@ pub fn local_train(
             g.scale(scale);
         }
         model.apply_gradients(&grads, learning_rate);
-        total_loss += grads.loss;
-        batches += 1.0;
+        total_loss += grads.loss * grads.samples as f32;
+        total_samples += grads.samples;
         last_grads = Some(grads);
     }
-    (total_loss / batches.max(1.0), last_grads)
+    (total_loss / total_samples.max(1) as f32, last_grads)
 }
 
 /// Extracts expert updates (original ids) from a locally trained model with
@@ -385,6 +390,64 @@ mod tests {
         assert!(
             second_loss <= first_loss * 1.2,
             "{first_loss} -> {second_loss}"
+        );
+    }
+
+    #[test]
+    fn local_train_weights_ragged_last_batch_by_sample_count() {
+        // Regression: with 10 samples at batch size 4 (chunks of 4/4/2) the
+        // reported loss used to be the mean of batch means, over-weighting
+        // the 2-sample tail. It must be the per-sample mean: each chunk's
+        // loss weighted by its sample count.
+        let (model, fleet, _) = setup();
+        let samples: Vec<_> = fleet
+            .iter()
+            .flat_map(|p| p.train_data.samples.iter().cloned())
+            .take(10)
+            .collect();
+        assert_eq!(samples.len(), 10);
+        let mut trained = model.clone();
+        let (reported, _) = local_train(&mut trained, &samples, None, 0.05, 4);
+        // Replay the same schedule manually to get per-chunk losses.
+        let mut replay = model.clone();
+        let mut expected_num = 0.0f32;
+        for chunk in samples.chunks(4) {
+            let mut grads = replay.batch_gradients(chunk, None);
+            let scale = 1.0 / grads.samples.max(1) as f32;
+            grads.head_grad.scale_in_place(scale);
+            for g in grads.expert_grads.values_mut() {
+                g.scale(scale);
+            }
+            replay.apply_gradients(&grads, 0.05);
+            expected_num += grads.loss * grads.samples as f32;
+        }
+        let expected = expected_num / 10.0;
+        assert!(
+            (reported - expected).abs() < 1e-6,
+            "ragged loss weighting: reported {reported}, expected {expected}"
+        );
+        // And it must differ from the buggy mean-of-batch-means whenever the
+        // chunk losses differ (which they do here).
+        let batch_means: Vec<f32> = {
+            let mut replay = model.clone();
+            samples
+                .chunks(4)
+                .map(|chunk| {
+                    let mut grads = replay.batch_gradients(chunk, None);
+                    let scale = 1.0 / grads.samples.max(1) as f32;
+                    grads.head_grad.scale_in_place(scale);
+                    for g in grads.expert_grads.values_mut() {
+                        g.scale(scale);
+                    }
+                    replay.apply_gradients(&grads, 0.05);
+                    grads.loss
+                })
+                .collect()
+        };
+        let buggy = batch_means.iter().sum::<f32>() / batch_means.len() as f32;
+        assert!(
+            (reported - buggy).abs() > 1e-7,
+            "test vacuous: weighted and unweighted means coincide ({reported} vs {buggy})"
         );
     }
 

@@ -767,6 +767,12 @@ mod tests {
         // The parallel round fan-out must never change results: worker
         // outputs are reduced in participant-id order, so one thread and
         // four threads produce bit-identical records for every method.
+        //
+        // Local training inside each round runs the *batched*
+        // multi-sample path, whose per-expert GEMM fan-out sizes its own
+        // pool from FLUX_THREADS — CI re-runs this test under
+        // FLUX_THREADS=1 and =4, so the batched path is pinned
+        // bit-identical across expert-pool widths too.
         for method in Method::all() {
             let sequential = FederatedRun::new(quick_config(), 17)
                 .with_threads(1)

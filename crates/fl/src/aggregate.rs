@@ -46,11 +46,20 @@ pub fn fedavg_experts(updates: &[ExpertUpdate]) -> HashMap<ExpertKey, Expert> {
 
 /// FedAvg over matrices (task heads): weighted element-wise average.
 ///
-/// Returns `None` when the input is empty. Entries with mismatched shapes
-/// are skipped (a participant running a different head cannot be averaged).
+/// Returns `None` when the input is empty. The target shape is the shape of
+/// the first entry carrying positive weight (falling back to the first
+/// entry when no weight is positive), so a zero-weight straggler at the
+/// front cannot dictate the shape every real update gets skipped against.
+/// Entries with a different shape are skipped (a participant running a
+/// different head cannot be averaged); when every shape-compatible weight
+/// is non-positive the result is their *uniform* average, mirroring
+/// [`fedavg_experts`].
 pub fn fedavg_matrices(updates: &[(Matrix, f32)]) -> Option<Matrix> {
-    let (first, _) = updates.first()?;
-    let shape = first.shape();
+    let shape = updates
+        .iter()
+        .find(|(_, w)| *w > 0.0)
+        .map(|(m, _)| m.shape())
+        .or_else(|| updates.first().map(|(m, _)| m.shape()))?;
     let mut acc = Matrix::zeros(shape.0, shape.1);
     let mut total_weight = 0.0f32;
     for (m, w) in updates {
@@ -61,7 +70,16 @@ pub fn fedavg_matrices(updates: &[(Matrix, f32)]) -> Option<Matrix> {
         total_weight += *w;
     }
     if total_weight <= 0.0 {
-        return Some(first.clone());
+        // Uniform fallback over the shape-compatible entries.
+        let mut count = 0.0f32;
+        for (m, _) in updates {
+            if m.shape() == shape {
+                acc.add_scaled(m, 1.0).expect("same shape");
+                count += 1.0;
+            }
+        }
+        acc.scale_in_place(1.0 / count.max(1.0));
+        return Some(acc);
     }
     acc.scale_in_place(1.0 / total_weight);
     Some(acc)
@@ -199,9 +217,39 @@ mod tests {
     }
 
     #[test]
-    fn matrix_fedavg_all_zero_weights_returns_first() {
+    fn matrix_fedavg_all_zero_weights_falls_back_to_uniform() {
+        // Regression: the fallback used to return `first.clone()`, silently
+        // discarding every other participant's head. It must mirror
+        // `fedavg_experts` and average uniformly instead.
         let a = Matrix::filled(1, 2, 4.0);
-        let avg = fedavg_matrices(&[(a.clone(), 0.0)]).unwrap();
-        assert_eq!(avg, a);
+        let b = Matrix::filled(1, 2, 8.0);
+        let avg = fedavg_matrices(&[(a.clone(), 0.0), (b, -1.0)]).unwrap();
+        assert!(avg.as_slice().iter().all(|&x| (x - 6.0).abs() < 1e-6));
+        // A single zero-weight entry still averages to itself.
+        let single = fedavg_matrices(&[(a.clone(), 0.0)]).unwrap();
+        assert_eq!(single, a);
+    }
+
+    #[test]
+    fn matrix_fedavg_zero_weight_first_does_not_dictate_shape() {
+        // Regression: a zero-weight (or wrong-shape) straggler at the front
+        // used to fix the target shape, so every real update was skipped
+        // and the straggler itself was returned.
+        let straggler = Matrix::filled(3, 3, 99.0);
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        let avg = fedavg_matrices(&[(straggler, 0.0), (a, 1.0), (b, 1.0)]).unwrap();
+        assert_eq!(avg.shape(), (2, 2));
+        assert!(avg.as_slice().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn matrix_fedavg_uniform_fallback_skips_mismatched_shapes() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let odd = Matrix::filled(1, 4, 10.0);
+        let b = Matrix::filled(2, 2, 4.0);
+        let avg = fedavg_matrices(&[(a, 0.0), (odd, 0.0), (b, 0.0)]).unwrap();
+        assert_eq!(avg.shape(), (2, 2));
+        assert!(avg.as_slice().iter().all(|&x| (x - 3.0).abs() < 1e-6));
     }
 }

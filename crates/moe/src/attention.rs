@@ -39,6 +39,55 @@ pub struct AttentionCache {
     probs: Matrix,
 }
 
+/// Forward-pass cache of [`Attention::forward_batch`]: packed projections
+/// plus one per-sample attention matrix (attention never crosses sample
+/// boundaries, so the packed scores are block-diagonal and only the blocks
+/// are materialized).
+#[derive(Debug, Clone)]
+pub struct AttentionBatchCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Row-softmaxed `(seq_i, seq_i)` attention per sample, in batch order.
+    probs: Vec<Matrix>,
+}
+
+impl AttentionBatchCache {
+    /// Average attention received by each token, concatenated across the
+    /// batch (per-sample column means, like
+    /// [`AttentionCache::received_attention`]).
+    pub fn received_attention(&self) -> Vec<f32> {
+        let total: usize = self.probs.iter().map(|p| p.rows()).sum();
+        let mut received = Vec::with_capacity(total);
+        for probs in &self.probs {
+            let seq = probs.rows();
+            let offset = received.len();
+            received.resize(offset + seq, 0.0);
+            let segment = &mut received[offset..];
+            for r in 0..seq {
+                for (c, x) in segment.iter_mut().enumerate() {
+                    *x += probs.get(r, c);
+                }
+            }
+            for x in segment {
+                *x /= seq as f32;
+            }
+        }
+        received
+    }
+
+    /// Retires every buffer into the scratch pool (loss-only callers that
+    /// never run the backward pass).
+    pub fn recycle(self) {
+        self.q.recycle();
+        self.k.recycle();
+        self.v.recycle();
+        for p in self.probs {
+            p.recycle();
+        }
+    }
+}
+
 impl AttentionCache {
     /// Average attention received by each token (column means of the
     /// attention matrix). Length equals the sequence length.
@@ -110,6 +159,121 @@ impl Attention {
         cache.v.recycle();
         cache.probs.recycle();
         (out, received)
+    }
+
+    /// Batched forward pass over a packed `(total_tokens, d_model)` input.
+    ///
+    /// The Q/K/V/output projections run as single wide GEMMs over the whole
+    /// batch; only the attention scores are computed per sample (`bounds`
+    /// gives each sample's row range), since tokens must never attend
+    /// across sample boundaries. Because the matmul kernel's per-row
+    /// accumulation order is independent of the operand's row count, every
+    /// token's output is bit-identical to running [`Attention::forward`] on
+    /// that sample alone.
+    pub fn forward_batch(
+        &self,
+        input: &Matrix,
+        bounds: &[(usize, usize)],
+    ) -> (Matrix, AttentionBatchCache) {
+        let d = self.d_model() as f32;
+        let q = input.matmul(&self.wq);
+        let k = input.matmul(&self.wk);
+        let v = input.matmul(&self.wv);
+        let mut mixed = Matrix::zeros_pooled(input.rows(), self.d_model());
+        let mut probs_all = Vec::with_capacity(bounds.len());
+        for &(start, end) in bounds {
+            let qs = q.copy_rows(start, end);
+            let ks = k.copy_rows(start, end);
+            let mut scores = qs.matmul_transb(&ks).expect("q/k widths match");
+            qs.recycle();
+            ks.recycle();
+            scores.scale_in_place(1.0 / d.sqrt());
+            let probs = ops::softmax_rows(&scores);
+            scores.recycle();
+            let vs = v.copy_rows(start, end);
+            let mixed_block = probs.matmul(&vs);
+            vs.recycle();
+            mixed.paste_rows(start, &mixed_block);
+            mixed_block.recycle();
+            probs_all.push(probs);
+        }
+        let output = mixed.matmul(&self.wo);
+        mixed.recycle();
+        (
+            output,
+            AttentionBatchCache {
+                q,
+                k,
+                v,
+                probs: probs_all,
+            },
+        )
+    }
+
+    /// Batched backward pass mirroring [`Attention::forward_batch`]: the
+    /// projection backward GEMMs run packed, the softmax/score backward runs
+    /// per sample block. Per-token gradients are bit-identical to
+    /// [`Attention::backward`] over each sample alone.
+    pub fn backward_batch(
+        &self,
+        cache: &AttentionBatchCache,
+        bounds: &[(usize, usize)],
+        grad_output: &Matrix,
+    ) -> Matrix {
+        let d = self.d_model() as f32;
+        let scale = 1.0 / d.sqrt();
+        // output = mixed · Wo.
+        let grad_mixed = grad_output.matmul_transb(&self.wo).expect("widths match");
+        let mut grad_q = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
+        let mut grad_k = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
+        let mut grad_v = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
+        for (&(start, end), probs) in bounds.iter().zip(&cache.probs) {
+            let grad_mixed_s = grad_mixed.copy_rows(start, end);
+            let vs = cache.v.copy_rows(start, end);
+            // mixed = probs · V (per sample block).
+            let grad_probs = grad_mixed_s.matmul_transb(&vs).expect("widths match");
+            vs.recycle();
+            let grad_v_s = probs.matmul_transa(&grad_mixed_s).expect("rows match");
+            grad_mixed_s.recycle();
+            // probs = softmax(scores) row-wise.
+            let mut grad_scores = Matrix::zeros_pooled(probs.rows(), probs.cols());
+            for r in 0..probs.rows() {
+                ops::softmax_backward_row_into(
+                    probs.row(r),
+                    grad_probs.row(r),
+                    grad_scores.row_mut(r),
+                );
+            }
+            grad_probs.recycle();
+            grad_scores.scale_in_place(scale);
+            // scores = Q · Kᵀ (scaled).
+            let ks = cache.k.copy_rows(start, end);
+            let grad_q_s = grad_scores.matmul(&ks);
+            ks.recycle();
+            let qs = cache.q.copy_rows(start, end);
+            let grad_k_s = grad_scores.matmul_transa(&qs).expect("rows match");
+            qs.recycle();
+            grad_scores.recycle();
+            grad_q.paste_rows(start, &grad_q_s);
+            grad_k.paste_rows(start, &grad_k_s);
+            grad_v.paste_rows(start, &grad_v_s);
+            grad_q_s.recycle();
+            grad_k_s.recycle();
+            grad_v_s.recycle();
+        }
+        grad_mixed.recycle();
+        // Q = X·Wq, K = X·Wk, V = X·Wv (packed GEMMs).
+        let mut grad_input = grad_q.matmul_transb(&self.wq).expect("widths match");
+        let from_k = grad_k.matmul_transb(&self.wk).expect("widths match");
+        grad_input.add_scaled(&from_k, 1.0).expect("same shape");
+        from_k.recycle();
+        let from_v = grad_v.matmul_transb(&self.wv).expect("widths match");
+        grad_input.add_scaled(&from_v, 1.0).expect("same shape");
+        from_v.recycle();
+        grad_q.recycle();
+        grad_k.recycle();
+        grad_v.recycle();
+        grad_input
     }
 
     /// Backward pass returning the gradient with respect to the input.
@@ -235,5 +399,42 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let attn = Attention::new(16, &mut rng);
         assert_eq!(attn.num_params(), 4 * 16 * 16);
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_bitwise() {
+        let mut rng = SeededRng::new(7);
+        let attn = Attention::new(8, &mut rng);
+        let a = Matrix::random_normal(5, 8, 1.0, &mut rng);
+        let b = Matrix::random_normal(3, 8, 1.0, &mut rng);
+        let packed = Matrix::vstack(&[&a, &b]).unwrap();
+        let bounds = [(0usize, 5usize), (5, 8)];
+        let (out, cache) = attn.forward_batch(&packed, &bounds);
+        let (out_a, cache_a) = attn.forward(&a);
+        let (out_b, cache_b) = attn.forward(&b);
+        assert_eq!(out.copy_rows(0, 5), out_a);
+        assert_eq!(out.copy_rows(5, 8), out_b);
+        let mut received = cache_a.received_attention();
+        received.extend(cache_b.received_attention());
+        assert_eq!(cache.received_attention(), received);
+    }
+
+    #[test]
+    fn batched_backward_matches_per_sample_bitwise() {
+        let mut rng = SeededRng::new(8);
+        let attn = Attention::new(8, &mut rng);
+        let a = Matrix::random_normal(4, 8, 1.0, &mut rng);
+        let b = Matrix::random_normal(6, 8, 1.0, &mut rng);
+        let packed = Matrix::vstack(&[&a, &b]).unwrap();
+        let bounds = [(0usize, 4usize), (4, 10)];
+        let grad = Matrix::random_normal(10, 8, 1.0, &mut rng);
+        let (_, batch_cache) = attn.forward_batch(&packed, &bounds);
+        let grad_in = attn.backward_batch(&batch_cache, &bounds, &grad);
+        let (_, cache_a) = attn.forward(&a);
+        let (_, cache_b) = attn.forward(&b);
+        let grad_a = attn.backward(&cache_a, &grad.copy_rows(0, 4));
+        let grad_b = attn.backward(&cache_b, &grad.copy_rows(4, 10));
+        assert_eq!(grad_in.copy_rows(0, 4), grad_a);
+        assert_eq!(grad_in.copy_rows(4, 10), grad_b);
     }
 }

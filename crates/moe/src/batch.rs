@@ -1,0 +1,71 @@
+//! Token packing for batched multi-sample training.
+//!
+//! The batched training path concatenates every sample of a mini-batch into
+//! one `(total_tokens, d_model)` activation matrix per layer, so that the
+//! row-parallel stages (projections, layer norms, gating logits, expert
+//! GEMMs) each run as one wide kernel call instead of one skinny call per
+//! sample. [`PackedBatch`] records where each sample's rows live inside the
+//! packed matrices; stages that must not mix samples (attention scores, the
+//! pooled classification head) walk these bounds.
+
+/// Row layout of a packed mini-batch: sample `i` occupies the half-open row
+/// range `bounds()[i]` of every packed `(total_tokens, d)` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBatch {
+    bounds: Vec<(usize, usize)>,
+}
+
+impl PackedBatch {
+    /// Builds the packed layout from per-sample sequence lengths.
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Self {
+        let mut bounds = Vec::new();
+        let mut cursor = 0;
+        for len in lengths {
+            bounds.push((cursor, cursor + len));
+            cursor += len;
+        }
+        Self { bounds }
+    }
+
+    /// Per-sample `(start, end)` row ranges, in sample order.
+    pub fn bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+
+    /// Number of samples packed.
+    pub fn num_samples(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total rows across all samples.
+    pub fn total_tokens(&self) -> usize {
+        self.bounds.last().map(|&(_, end)| end).unwrap_or(0)
+    }
+
+    /// Sequence length of sample `i`.
+    pub fn seq_len(&self, i: usize) -> usize {
+        let (start, end) = self.bounds[i];
+        end - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_is_contiguous_and_ordered() {
+        let batch = PackedBatch::from_lengths([3, 5, 2]);
+        assert_eq!(batch.num_samples(), 3);
+        assert_eq!(batch.total_tokens(), 10);
+        assert_eq!(batch.bounds(), &[(0, 3), (3, 8), (8, 10)]);
+        assert_eq!(batch.seq_len(1), 5);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = PackedBatch::from_lengths([]);
+        assert_eq!(batch.num_samples(), 0);
+        assert_eq!(batch.total_tokens(), 0);
+    }
+}

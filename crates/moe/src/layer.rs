@@ -7,9 +7,9 @@ use threadpool::ThreadPool;
 
 use flux_tensor::{ops, Matrix, SeededRng};
 
-use crate::attention::{Attention, AttentionCache};
+use crate::attention::{Attention, AttentionBatchCache, AttentionCache};
 use crate::expert::{Expert, ExpertCache, ExpertGrad};
-use crate::gating::{Gate, RoutingMap, TokenRouting};
+use crate::gating::{Gate, RoutingMap};
 use crate::tracker::ActivationTracker;
 
 /// Epsilon used by all layer norms in the model.
@@ -50,8 +50,6 @@ pub struct MoeLayer {
 /// Per-layer forward cache needed for the backward pass.
 #[derive(Debug, Clone)]
 pub struct MoeLayerCache {
-    /// Routing decision per token.
-    pub routings: Vec<TokenRouting>,
     /// For each compact expert used: the rows (token indices), routing
     /// weights, and the expert's forward cache.
     pub expert_batches: HashMap<usize, ExpertBatch>,
@@ -122,8 +120,7 @@ impl MoeLayer {
         tracker: Option<&mut ActivationTracker>,
     ) -> (Matrix, MoeLayerCache) {
         let seq = hidden.rows();
-        let (routings, groups) =
-            self.route_and_group(hidden, layer_idx, received_attention, tracker);
+        let groups = self.route_and_group(hidden, layer_idx, received_attention, tracker, None);
         // Run each used expert on its token batch — fanned out to worker
         // threads when the routed work warrants it — then scatter results
         // sequentially in ascending expert order.
@@ -162,7 +159,6 @@ impl MoeLayer {
         (
             output,
             MoeLayerCache {
-                routings,
                 expert_batches,
                 input: hidden.clone(),
             },
@@ -175,23 +171,68 @@ impl MoeLayer {
     /// ordered map fixes the expert iteration (and hence float
     /// accumulation) order, which keeps runs bit-identical across
     /// processes and thread counts.
-    #[allow(clippy::type_complexity)]
+    ///
+    /// Routing reuses per-token buffers instead of building
+    /// [`TokenRouting`] values: the softmax, stable top-k selection and
+    /// renormalized weights follow [`Gate::route`]'s arithmetic exactly,
+    /// without its three heap allocations per token (a measurable share of
+    /// the forward pass at small model widths).
+    ///
+    /// `row_samples`, when given, maps each packed row to its sample id so
+    /// a tracker attributes routed tokens correctly inside a multi-sample
+    /// batch (the batched profiling path).
     fn route_and_group(
         &self,
         hidden: &Matrix,
         layer_idx: usize,
         received_attention: &[f32],
         mut tracker: Option<&mut ActivationTracker>,
-    ) -> (Vec<TokenRouting>, BTreeMap<usize, (Vec<usize>, Vec<f32>)>) {
-        let routings = self.gate.route_all(hidden);
+        row_samples: Option<&[usize]>,
+    ) -> BTreeMap<usize, (Vec<usize>, Vec<f32>)> {
+        let num_experts = self.gate.num_experts();
+        let k = self.gate.top_k.min(num_experts);
+        let logits = hidden.matmul(&self.gate.weight);
+        let mut probs = vec![0.0f32; num_experts];
+        let mut order: Vec<usize> = Vec::with_capacity(num_experts);
         let mut groups: BTreeMap<usize, (Vec<usize>, Vec<f32>)> = BTreeMap::new();
-        for (row, routing) in routings.iter().enumerate() {
+        for row in 0..hidden.rows() {
+            let logit_row = logits.row(row);
+            // Softmax with `ops::softmax_row`'s exact arithmetic.
+            let max = logit_row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            for (p, &x) in probs.iter_mut().zip(logit_row) {
+                *p = (x - max).exp();
+            }
+            let sum: f32 = probs.iter().sum();
+            if sum <= 0.0 || !sum.is_finite() {
+                probs.fill(1.0 / num_experts as f32);
+            } else {
+                for p in &mut probs {
+                    *p /= sum;
+                }
+            }
+            // Stable descending sort, mirroring `stats::top_k_indices`.
+            order.clear();
+            order.extend(0..num_experts);
+            order.sort_by(|&a, &b| {
+                probs[b]
+                    .partial_cmp(&probs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let top = &order[..k];
+            let mass: f32 = top.iter().map(|&i| probs[i]).sum();
             if let Some(t) = tracker.as_deref_mut() {
+                if let Some(rows) = row_samples {
+                    t.begin_sample(rows[row]);
+                }
                 t.record_layer_token(layer_idx);
             }
-            for (slot, &original) in routing.experts.iter().enumerate() {
+            for &original in top {
+                let weight = if mass > 0.0 {
+                    probs[original] / mass
+                } else {
+                    1.0 / k as f32
+                };
                 let compact = self.routing_map.redirect(original);
-                let weight = routing.weights[slot];
                 let entry = groups.entry(compact).or_default();
                 entry.0.push(row);
                 entry.1.push(weight);
@@ -201,7 +242,8 @@ impl MoeLayer {
                 }
             }
         }
-        (routings, groups)
+        logits.recycle();
+        groups
     }
 
     /// Forward pass that keeps no backward cache (inference, profiling and
@@ -215,8 +257,22 @@ impl MoeLayer {
         received_attention: &[f32],
         tracker: Option<&mut ActivationTracker>,
     ) -> Matrix {
+        self.forward_no_cache_attributed(hidden, layer_idx, received_attention, tracker, None)
+    }
+
+    /// [`MoeLayer::forward_no_cache`] with an explicit row→sample map so a
+    /// tracker attributes tokens of a packed multi-sample batch correctly.
+    pub fn forward_no_cache_attributed(
+        &self,
+        hidden: &Matrix,
+        layer_idx: usize,
+        received_attention: &[f32],
+        tracker: Option<&mut ActivationTracker>,
+        row_samples: Option<&[usize]>,
+    ) -> Matrix {
         let seq = hidden.rows();
-        let (_, groups) = self.route_and_group(hidden, layer_idx, received_attention, tracker);
+        let groups =
+            self.route_and_group(hidden, layer_idx, received_attention, tracker, row_samples);
         let routed_rows: usize = groups.values().map(|(rows, _)| rows.len()).sum();
         let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), groups.len());
         let tasks: Vec<_> = groups
@@ -336,6 +392,21 @@ pub struct TransformerLayerCache {
     pub received_attention: Vec<f32>,
 }
 
+/// Forward cache of one transformer block over a packed multi-sample batch.
+///
+/// Identical to [`TransformerLayerCache`] except that the attention cache
+/// holds per-sample score blocks and no received-attention vector is kept
+/// (that signal only feeds activation trackers, which the batched training
+/// path never carries); the MoE cache is row-generic and is shared between
+/// both paths.
+#[derive(Debug, Clone)]
+pub struct TransformerLayerBatchCache {
+    input: Matrix,
+    attn_cache: AttentionBatchCache,
+    post_attention: Matrix,
+    moe_cache: MoeLayerCache,
+}
+
 impl TransformerLayer {
     /// Creates a block with `num_experts` experts.
     pub fn new(
@@ -406,6 +477,119 @@ impl TransformerLayer {
         output
     }
 
+    /// Batched forward pass over a packed `(total_tokens, d_model)` batch.
+    ///
+    /// Layer norms, gating and the expert GEMMs are row-parallel and run
+    /// over the whole packed batch (each routed expert sees one wide batch
+    /// of rows drawn from every sample); only the attention scores are
+    /// computed per sample via [`Attention::forward_batch`]. The training
+    /// path keeps no tracker, so none is taken here and the per-token
+    /// received attention is not extracted (it is a tracker-only signal) —
+    /// profiling stays on the tracked batched no-cache path.
+    pub fn forward_batch(
+        &self,
+        input: &Matrix,
+        bounds: &[(usize, usize)],
+        layer_idx: usize,
+    ) -> (Matrix, TransformerLayerBatchCache) {
+        let attn_in = ops::layer_norm(input, LN_EPS);
+        let (attn_out, attn_cache) = self.attention.forward_batch(&attn_in, bounds);
+        attn_in.recycle();
+        let post_attention = input.add(&attn_out).expect("residual shapes match");
+        attn_out.recycle();
+        let moe_in = ops::layer_norm(&post_attention, LN_EPS);
+        let (moe_out, moe_cache) = self.moe.forward(&moe_in, layer_idx, &[], None);
+        moe_in.recycle();
+        let output = post_attention.add(&moe_out).expect("residual shapes match");
+        moe_out.recycle();
+        (
+            output,
+            TransformerLayerBatchCache {
+                input: input.clone(),
+                attn_cache,
+                post_attention,
+                moe_cache,
+            },
+        )
+    }
+
+    /// Batched forward pass that keeps no backward cache (the loss-probe
+    /// path of SPSA estimation, batched evaluation and batched profiling).
+    ///
+    /// `tracking` carries the activation tracker plus the row→sample map of
+    /// the packed batch; the per-token received attention is only computed
+    /// when a tracker wants it.
+    pub fn forward_no_cache_batch(
+        &self,
+        input: &Matrix,
+        bounds: &[(usize, usize)],
+        layer_idx: usize,
+        tracking: Option<(&mut ActivationTracker, &[usize])>,
+    ) -> Matrix {
+        let attn_in = ops::layer_norm(input, LN_EPS);
+        let (attn_out, attn_cache) = self.attention.forward_batch(&attn_in, bounds);
+        attn_in.recycle();
+        let received = if tracking.is_some() {
+            attn_cache.received_attention()
+        } else {
+            Vec::new()
+        };
+        attn_cache.recycle();
+        let post_attention = input.add(&attn_out).expect("residual shapes match");
+        attn_out.recycle();
+        let moe_in = ops::layer_norm(&post_attention, LN_EPS);
+        let moe_out = match tracking {
+            Some((tracker, row_samples)) => self.moe.forward_no_cache_attributed(
+                &moe_in,
+                layer_idx,
+                &received,
+                Some(tracker),
+                Some(row_samples),
+            ),
+            None => self.moe.forward_no_cache(&moe_in, layer_idx, &[], None),
+        };
+        moe_in.recycle();
+        let output = post_attention.add(&moe_out).expect("residual shapes match");
+        moe_out.recycle();
+        post_attention.recycle();
+        output
+    }
+
+    /// Batched backward pass mirroring [`TransformerLayer::backward`]; the
+    /// MoE backward is row-generic and shared, only the attention backward
+    /// walks the per-sample blocks.
+    pub fn backward_batch(
+        &self,
+        cache: &TransformerLayerBatchCache,
+        bounds: &[(usize, usize)],
+        grad_output: &Matrix,
+        tuning_experts: Option<&[usize]>,
+    ) -> (HashMap<usize, ExpertGrad>, Matrix) {
+        // output = post_attention + moe(ln(post_attention)).
+        let (expert_grads, grad_moe_in) =
+            self.moe
+                .backward(&cache.moe_cache, grad_output, tuning_experts);
+        let mut grad_post_attention = grad_output.clone();
+        let grad_from_moe = ops::layer_norm_backward(&cache.post_attention, &grad_moe_in, LN_EPS);
+        grad_moe_in.recycle();
+        grad_post_attention
+            .add_scaled(&grad_from_moe, 1.0)
+            .expect("same shape");
+        grad_from_moe.recycle();
+        // post_attention = input + attention(ln(input)).
+        let grad_attn_in =
+            self.attention
+                .backward_batch(&cache.attn_cache, bounds, &grad_post_attention);
+        let mut grad_input = grad_post_attention;
+        let grad_from_attention = ops::layer_norm_backward(&cache.input, &grad_attn_in, LN_EPS);
+        grad_attn_in.recycle();
+        grad_input
+            .add_scaled(&grad_from_attention, 1.0)
+            .expect("same shape");
+        grad_from_attention.recycle();
+        (expert_grads, grad_input)
+    }
+
     /// Backward pass returning expert gradients (for the selected tuning
     /// experts) and the gradient with respect to the block input.
     pub fn backward(
@@ -459,7 +643,13 @@ mod tests {
         let received = vec![0.1; 6];
         let (out, cache) = l.forward(&hidden, 0, &received, Some(&mut tracker));
         assert_eq!(out.shape(), (6, 8));
-        assert_eq!(cache.routings.len(), 6);
+        // Every token contributed top_k routed rows across the expert batches.
+        let routed_rows: usize = cache
+            .expert_batches
+            .values()
+            .map(|b| b.token_rows.len())
+            .sum();
+        assert_eq!(routed_rows, 6 * 2);
         let profile = tracker.finish();
         // With top-2 routing, per-layer frequencies sum to ~2.
         let total: f32 = profile.frequencies[0].iter().sum();
@@ -521,6 +711,44 @@ mod tests {
             (numeric - analytic).abs() < 0.1 * numeric.abs().max(0.5),
             "numeric {numeric} analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn inlined_routing_matches_gate_route_all() {
+        // The forward path's allocation-free routing (route_and_group)
+        // duplicates Gate::route's softmax/top-k/renormalize arithmetic;
+        // this pins the two implementations to each other bit for bit.
+        // Merged routing map so the original→compact redirect is exercised.
+        let mut l = layer(20);
+        let merged = Expert::weighted_merge(&[&l.experts[1], &l.experts[3]], &[1.0, 1.0]);
+        l.experts.truncate(3);
+        l.experts[1] = merged;
+        l.routing_map = RoutingMap::from_table(vec![0, 1, 2, 1]);
+        let mut rng = SeededRng::new(21);
+        let hidden = Matrix::random_normal(12, 8, 1.5, &mut rng);
+        let (_, cache) = l.forward(&hidden, 0, &[0.0; 12], None);
+        // Rebuild the expected per-expert groups from the reference path.
+        let mut expected: std::collections::BTreeMap<usize, (Vec<usize>, Vec<f32>)> =
+            std::collections::BTreeMap::new();
+        for (row, routing) in l.gate.route_all(&hidden).iter().enumerate() {
+            for (slot, &original) in routing.experts.iter().enumerate() {
+                let entry = expected
+                    .entry(l.routing_map.redirect(original))
+                    .or_default();
+                entry.0.push(row);
+                entry.1.push(routing.weights[slot]);
+            }
+        }
+        assert_eq!(
+            cache.expert_batches.len(),
+            expected.len(),
+            "expert coverage diverged"
+        );
+        for (compact, (rows, weights)) in &expected {
+            let batch = &cache.expert_batches[compact];
+            assert_eq!(&batch.token_rows, rows, "rows of expert {compact}");
+            assert_eq!(&batch.weights, weights, "weights of expert {compact}");
+        }
     }
 
     #[test]

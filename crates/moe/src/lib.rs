@@ -27,6 +27,7 @@
 //!   Flux's local profiling.
 
 pub mod attention;
+pub mod batch;
 pub mod checkpoint;
 pub mod config;
 pub mod expert;
@@ -35,8 +36,9 @@ pub mod layer;
 pub mod model;
 pub mod tracker;
 
+pub use batch::PackedBatch;
 pub use config::{ModelCatalogEntry, MoeConfig};
 pub use expert::{Expert, ExpertGrad};
 pub use gating::RoutingMap;
-pub use model::{EvalResult, ForwardCache, GradientSet, MoeModel};
+pub use model::{BatchForwardCache, EvalResult, ForwardCache, GradientSet, MoeModel};
 pub use tracker::{ActivationProfile, ActivationTracker, ExpertKey};

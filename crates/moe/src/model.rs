@@ -8,11 +8,16 @@ use flux_data::{Dataset, Sample, Task};
 use flux_quant::{BitWidth, QuantizedMatrix};
 use flux_tensor::{init, ops, Matrix, SeededRng};
 
+use crate::batch::PackedBatch;
 use crate::config::MoeConfig;
 use crate::expert::{Expert, ExpertGrad};
 use crate::gating::RoutingMap;
-use crate::layer::{TransformerLayer, TransformerLayerCache, LN_EPS};
+use crate::layer::{TransformerLayer, TransformerLayerBatchCache, TransformerLayerCache, LN_EPS};
 use crate::tracker::{ActivationProfile, ActivationTracker, ExpertKey};
+
+/// Samples evaluated per packed forward pass during [`MoeModel::evaluate`]
+/// (the paper's local mini-batch size).
+const EVAL_BATCH: usize = 16;
 
 /// A trainable MoE transformer.
 ///
@@ -43,6 +48,20 @@ pub struct ForwardCache {
     pub final_hidden: Matrix,
     /// Output of the last transformer block (before the final layer norm).
     last_block_output: Matrix,
+}
+
+/// Cache produced by a packed multi-sample forward pass
+/// ([`MoeModel::forward_batch`]), consumed by the batched backward.
+#[derive(Debug, Clone)]
+pub struct BatchForwardCache {
+    layer_caches: Vec<TransformerLayerBatchCache>,
+    /// Packed `(total_tokens, d_model)` hidden states after the final layer
+    /// norm.
+    pub final_hidden: Matrix,
+    /// Packed output of the last transformer block (pre final layer norm).
+    last_block_output: Matrix,
+    /// Row layout of the packed batch.
+    pub batch: PackedBatch,
 }
 
 /// Gradients produced by one backward pass (or an accumulation of several).
@@ -211,28 +230,52 @@ impl MoeModel {
         copy
     }
 
-    /// Embeds a token sequence and adds sinusoidal positional encodings.
-    pub fn embed(&self, tokens: &[u32]) -> Matrix {
+    /// The per-dimension sinusoidal rates. They depend only on the dimension
+    /// index, so both embed paths hoist the `powf` out of the token loop (it
+    /// dominated the embed cost at small d_model).
+    fn positional_rates(&self) -> Vec<f32> {
         let d = self.config.d_model;
-        // The per-dimension rates depend only on `i`, not the position:
-        // hoist the `powf` out of the token loop (it dominated the embed
-        // cost at small d_model).
-        let rates: Vec<f32> = (0..d)
+        (0..d)
             .map(|i| 1.0 / 10_000f32.powf((2 * (i / 2)) as f32 / d as f32))
-            .collect();
-        let mut out = Matrix::zeros(tokens.len(), d);
+            .collect()
+    }
+
+    /// Embeds one token sequence into `out` starting at `row_offset`, with
+    /// positions counted from the sequence start (not the packed row).
+    fn embed_into(&self, tokens: &[u32], rates: &[f32], out: &mut Matrix, row_offset: usize) {
         for (pos, &tok) in tokens.iter().enumerate() {
             let tok = (tok as usize).min(self.config.vocab_size - 1);
             let row = self.embedding.row(tok);
-            let out_row = out.row_mut(pos);
+            let out_row = out.row_mut(row_offset + pos);
             out_row.copy_from_slice(row);
             // Sinusoidal positional encoding.
-            for (i, (value, &rate)) in out_row.iter_mut().zip(&rates).enumerate() {
+            for (i, (value, &rate)) in out_row.iter_mut().zip(rates).enumerate() {
                 let angle = pos as f32 * rate;
                 *value += if i % 2 == 0 { angle.sin() } else { angle.cos() } * 0.1;
             }
         }
+    }
+
+    /// Embeds a token sequence and adds sinusoidal positional encodings.
+    pub fn embed(&self, tokens: &[u32]) -> Matrix {
+        let rates = self.positional_rates();
+        let mut out = Matrix::zeros(tokens.len(), self.config.d_model);
+        self.embed_into(tokens, &rates, &mut out, 0);
         out
+    }
+
+    /// Embeds every sample of a mini-batch into one packed
+    /// `(total_tokens, d_model)` matrix. Positions restart at every sample
+    /// boundary, so each row is bit-identical to the corresponding row of
+    /// [`MoeModel::embed`] over that sample alone.
+    pub fn embed_batch(&self, samples: &[&Sample]) -> (Matrix, PackedBatch) {
+        let batch = PackedBatch::from_lengths(samples.iter().map(|s| s.tokens.len()));
+        let rates = self.positional_rates();
+        let mut out = Matrix::zeros(batch.total_tokens(), self.config.d_model);
+        for (sample, &(start, _)) in samples.iter().zip(batch.bounds()) {
+            self.embed_into(&sample.tokens, &rates, &mut out, start);
+        }
+        (out, batch)
     }
 
     /// Runs the transformer stack over a token sequence.
@@ -275,6 +318,45 @@ impl MoeModel {
         let final_hidden = ops::layer_norm(&hidden, LN_EPS);
         hidden.recycle();
         final_hidden
+    }
+
+    /// Runs the transformer stack over a packed mini-batch (see
+    /// [`MoeModel::embed_batch`]). Per-token hidden states are bit-identical
+    /// to running [`MoeModel::forward`] on each sample alone; the speedup
+    /// comes from every row-parallel stage (projections, gating, expert
+    /// GEMMs) running once over the whole batch, with tokens grouped by
+    /// routed expert across all samples.
+    pub fn forward_batch(&self, samples: &[&Sample]) -> BatchForwardCache {
+        let (mut hidden, batch) = self.embed_batch(samples);
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (next, cache) = layer.forward_batch(&hidden, batch.bounds(), idx);
+            layer_caches.push(cache);
+            hidden = next;
+        }
+        let final_hidden = ops::layer_norm(&hidden, LN_EPS);
+        BatchForwardCache {
+            layer_caches,
+            final_hidden,
+            last_block_output: hidden,
+            batch,
+        }
+    }
+
+    /// Packed batched forward keeping no backward state — the batched
+    /// analogue of [`MoeModel::forward_no_cache`], used by loss probes and
+    /// evaluation. Returns the packed final hidden states and the batch
+    /// layout.
+    pub fn forward_no_cache_batch(&self, samples: &[&Sample]) -> (Matrix, PackedBatch) {
+        let (mut hidden, batch) = self.embed_batch(samples);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let next = layer.forward_no_cache_batch(&hidden, batch.bounds(), idx, None);
+            hidden.recycle();
+            hidden = next;
+        }
+        let final_hidden = ops::layer_norm(&hidden, LN_EPS);
+        hidden.recycle();
+        (final_hidden, batch)
     }
 
     /// Wraps a loss-only forward result in a [`ForwardCache`] whose
@@ -387,8 +469,229 @@ impl MoeModel {
         }
     }
 
+    /// Batched loss + head gradients over a packed batch.
+    ///
+    /// Returns `(mean_loss, grad_final_hidden, head_grad)` where the loss is
+    /// the mean of per-sample losses, `grad_final_hidden` is packed like
+    /// `final_hidden`, and `head_grad` is the *sum* of per-sample head
+    /// gradients (matching what merging per-sample [`GradientSet`]s
+    /// accumulates; callers average by sample count). Generation samples'
+    /// tail logits run as one GEMM against the LM head; classification
+    /// samples pool per segment and share one GEMM against the class head.
+    /// Head-gradient contributions whose shape differs from the active head
+    /// (a generation sample in a classification model) are dropped, exactly
+    /// as [`GradientSet::merge`] drops them.
+    fn batch_loss_and_head_grads(
+        &self,
+        samples: &[&Sample],
+        final_hidden: &Matrix,
+        batch: &PackedBatch,
+    ) -> (f32, Matrix, Matrix) {
+        let head_shape = match &self.cls_head {
+            Some(h) => h.shape(),
+            None => self.lm_head.shape(),
+        };
+        let mut head_grad = Matrix::zeros(head_shape.0, head_shape.1);
+        let mut grad_hidden = Matrix::zeros(final_hidden.rows(), final_hidden.cols());
+        let mut loss_sum = 0.0f32;
+
+        // Generation samples: gather every reference-tail row across the
+        // batch. `row_div[i]` is the tail length of the row's sample, so the
+        // per-row gradient carries the same 1/r scaling the per-sample
+        // cross-entropy applied.
+        let mut tail_rows: Vec<usize> = Vec::new();
+        let mut targets: Vec<usize> = Vec::new();
+        let mut row_div: Vec<f32> = Vec::new();
+        // Classification samples, by batch index.
+        let mut cls_samples: Vec<usize> = Vec::new();
+        for (i, sample) in samples.iter().enumerate() {
+            let (start, end) = batch.bounds()[i];
+            match &sample.task {
+                Task::Generation { reference } => {
+                    let seq = end - start;
+                    let r = reference.len().min(seq);
+                    for (slot, &t) in reference[reference.len() - r..].iter().enumerate() {
+                        tail_rows.push(end - r + slot);
+                        targets.push((t as usize).min(self.config.vocab_size - 1));
+                        row_div.push(r as f32);
+                    }
+                }
+                Task::Classification { .. } => cls_samples.push(i),
+            }
+        }
+
+        if !tail_rows.is_empty() {
+            let tail_hidden = final_hidden.select_rows(&tail_rows);
+            let logits = tail_hidden.matmul(&self.lm_head);
+            let mut grad_logits = Matrix::zeros_pooled(logits.rows(), logits.cols());
+            let mut row = 0;
+            while row < logits.rows() {
+                // Rows of one sample share a divisor; its loss is the mean
+                // of its rows' raw losses, accumulated per sample so the
+                // value matches the per-sample cross-entropy bit for bit.
+                let div = row_div[row];
+                let mut sample_raw = 0.0f32;
+                let sample_end = row + div as usize;
+                while row < sample_end {
+                    let probs = ops::softmax_row(logits.row(row));
+                    sample_raw += -(probs[targets[row]].max(1e-12)).ln();
+                    let g = grad_logits.row_mut(row);
+                    for (c, &p) in probs.iter().enumerate() {
+                        g[c] = (p - if c == targets[row] { 1.0 } else { 0.0 }) / div;
+                    }
+                    row += 1;
+                }
+                loss_sum += sample_raw / div;
+            }
+            let head_contrib = tail_hidden.matmul_transa(&grad_logits).expect("row counts");
+            if head_contrib.shape() == head_grad.shape() {
+                head_grad
+                    .add_scaled(&head_contrib, 1.0)
+                    .expect("same shape");
+            }
+            head_contrib.recycle();
+            let grad_tail = grad_logits
+                .matmul_transb(&self.lm_head)
+                .expect("col counts");
+            grad_logits.recycle();
+            for (slot, &row) in tail_rows.iter().enumerate() {
+                grad_hidden
+                    .row_mut(row)
+                    .copy_from_slice(grad_tail.row(slot));
+            }
+            grad_tail.recycle();
+            tail_hidden.recycle();
+            logits.recycle();
+        }
+
+        if !cls_samples.is_empty() {
+            let head = self
+                .cls_head
+                .as_ref()
+                .expect("classification sample requires a classification head");
+            let mut pooled = Matrix::zeros_pooled(cls_samples.len(), self.config.d_model);
+            let mut labels = Vec::with_capacity(cls_samples.len());
+            for (slot, &i) in cls_samples.iter().enumerate() {
+                let (start, end) = batch.bounds()[i];
+                let seq = (end - start) as f32;
+                let row = pooled.row_mut(slot);
+                for r in start..end {
+                    for (o, &v) in row.iter_mut().zip(final_hidden.row(r)) {
+                        *o += v;
+                    }
+                }
+                for o in row.iter_mut() {
+                    *o /= seq;
+                }
+                match &samples[i].task {
+                    Task::Classification { label, .. } => labels.push(*label),
+                    Task::Generation { .. } => unreachable!("partitioned above"),
+                }
+            }
+            let logits = pooled.matmul(head);
+            let mut grad_logits = Matrix::zeros_pooled(logits.rows(), logits.cols());
+            for (slot, &label) in labels.iter().enumerate() {
+                let probs = ops::softmax_row(logits.row(slot));
+                loss_sum += -(probs[label].max(1e-12)).ln();
+                let g = grad_logits.row_mut(slot);
+                for (c, &p) in probs.iter().enumerate() {
+                    g[c] = p - if c == label { 1.0 } else { 0.0 };
+                }
+            }
+            logits.recycle();
+            let head_contrib = pooled.matmul_transa(&grad_logits).expect("row counts");
+            if head_contrib.shape() == head_grad.shape() {
+                head_grad
+                    .add_scaled(&head_contrib, 1.0)
+                    .expect("same shape");
+            }
+            head_contrib.recycle();
+            let grad_pooled = grad_logits.matmul_transb(head).expect("col counts");
+            grad_logits.recycle();
+            pooled.recycle();
+            // Mean-pool backward: every position receives grad/seq.
+            for (slot, &i) in cls_samples.iter().enumerate() {
+                let (start, end) = batch.bounds()[i];
+                let seq = (end - start) as f32;
+                for r in start..end {
+                    for (o, &g) in grad_hidden.row_mut(r).iter_mut().zip(grad_pooled.row(slot)) {
+                        *o = g / seq;
+                    }
+                }
+            }
+            grad_pooled.recycle();
+        }
+
+        let mean_loss = loss_sum / samples.len().max(1) as f32;
+        (mean_loss, grad_hidden, head_grad)
+    }
+
     /// Forward + backward over a batch of samples, accumulating gradients.
+    ///
+    /// This is the batched training path: all samples' tokens are packed
+    /// into one activation matrix per layer, tokens are grouped by routed
+    /// expert across the whole batch (one wide GEMM per expert instead of
+    /// one skinny matmul per sample), and parameter gradients accumulate
+    /// batch-wise inside the kernels. Per-token activations and input
+    /// gradients are bit-identical to the per-sample reference
+    /// ([`MoeModel::batch_gradients_reference`]); accumulated quantities
+    /// (expert/head parameter gradients, the mean loss) differ only by
+    /// float-summation order, within ~1e-4 relative tolerance at f32.
     pub fn batch_gradients(
+        &self,
+        samples: &[Sample],
+        tuning: Option<&HashSet<ExpertKey>>,
+    ) -> GradientSet {
+        let head_shape = match &self.cls_head {
+            Some(h) => h.shape(),
+            None => self.lm_head.shape(),
+        };
+        if samples.is_empty() {
+            return GradientSet {
+                expert_grads: HashMap::new(),
+                head_grad: Matrix::zeros(head_shape.0, head_shape.1),
+                loss: 0.0,
+                samples: 0,
+            };
+        }
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let cache = self.forward_batch(&refs);
+        let (loss, grad_final_hidden, head_grad) =
+            self.batch_loss_and_head_grads(&refs, &cache.final_hidden, &cache.batch);
+        let mut grad =
+            ops::layer_norm_backward(&cache.last_block_output, &grad_final_hidden, LN_EPS);
+        let mut expert_grads: HashMap<ExpertKey, ExpertGrad> = HashMap::new();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let tuning_for_layer: Option<Vec<usize>> = tuning.map(|set| {
+                set.iter()
+                    .filter(|k| k.layer == idx)
+                    .map(|k| k.expert)
+                    .collect()
+            });
+            let (grads, grad_input) = layer.backward_batch(
+                &cache.layer_caches[idx],
+                cache.batch.bounds(),
+                &grad,
+                tuning_for_layer.as_deref(),
+            );
+            for (compact, g) in grads {
+                expert_grads.insert(ExpertKey::new(idx, compact), g);
+            }
+            grad = grad_input;
+        }
+        GradientSet {
+            expert_grads,
+            head_grad,
+            loss,
+            samples: samples.len(),
+        }
+    }
+
+    /// The per-sample reference implementation of
+    /// [`MoeModel::batch_gradients`]: one forward/backward per sample,
+    /// merged sequentially. Kept as the ground truth the batched path is
+    /// equivalence-tested against.
+    pub fn batch_gradients_reference(
         &self,
         samples: &[Sample],
         tuning: Option<&HashSet<ExpertKey>>,
@@ -502,6 +805,25 @@ impl MoeModel {
         loss
     }
 
+    /// Mean per-sample loss over a mini-batch, with one packed forward pass
+    /// (no parameter or input gradients). The batched analogue of averaging
+    /// [`MoeModel::sample_loss`] over the samples — SPSA loss probes call
+    /// this so each perturbation evaluation pays one batched forward.
+    pub fn batch_loss(&self, samples: &[&Sample]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let (final_hidden, batch) = self.forward_no_cache_batch(samples);
+        let mut sum = 0.0;
+        for (sample, &(start, end)) in samples.iter().zip(batch.bounds()) {
+            let segment = final_hidden.copy_rows(start, end);
+            sum += self.head_loss(sample, &segment);
+            segment.recycle();
+        }
+        final_hidden.recycle();
+        sum / samples.len() as f32
+    }
+
     /// Head loss from the final hidden states, with no gradient work: the
     /// loss halves of the [`MoeModel::loss_and_head_grads`] branches without
     /// the head/hidden gradient matmuls those also pay.
@@ -551,18 +873,28 @@ impl MoeModel {
         }
         let mut score_sum = 0.0;
         let mut loss_sum = 0.0;
-        for sample in &dataset.samples {
-            let cache = Self::light_cache(self.forward_no_cache(&sample.tokens, None));
-            loss_sum += self.head_loss(sample, &cache.final_hidden);
-            match (&sample.task, self.predict_from_cache(sample, &cache)) {
-                (Task::Generation { reference }, Prediction::Tokens(pred)) => {
-                    score_sum += flux_metrics_rouge(&pred, reference);
+        // Packed batched forward per chunk; per-sample scoring reads each
+        // sample's row block (bit-identical to the per-sample forward).
+        for chunk in dataset.samples.chunks(EVAL_BATCH) {
+            let refs: Vec<&Sample> = chunk.iter().collect();
+            let (final_hidden, batch) = self.forward_no_cache_batch(&refs);
+            for (sample, &(start, end)) in chunk.iter().zip(batch.bounds()) {
+                let cache = Self::light_cache(final_hidden.copy_rows(start, end));
+                loss_sum += self.head_loss(sample, &cache.final_hidden);
+                match (&sample.task, self.predict_from_cache(sample, &cache)) {
+                    (Task::Generation { reference }, Prediction::Tokens(pred)) => {
+                        score_sum += flux_metrics_rouge(&pred, reference);
+                    }
+                    (Task::Classification { label, .. }, Prediction::Class(pred))
+                        if pred == *label =>
+                    {
+                        score_sum += 1.0;
+                    }
+                    _ => {}
                 }
-                (Task::Classification { label, .. }, Prediction::Class(pred)) if pred == *label => {
-                    score_sum += 1.0;
-                }
-                _ => {}
+                cache.final_hidden.recycle();
             }
+            final_hidden.recycle();
         }
         let n = dataset.len() as f32;
         EvalResult {
@@ -582,16 +914,38 @@ impl MoeModel {
 
     /// Runs a forward-only profiling pass over a dataset, recording expert
     /// activation into a fresh tracker and returning the resulting profile.
+    ///
+    /// The pass runs batched: samples are packed [`EVAL_BATCH`] at a time
+    /// and the tracker attributes each packed row to its sample via the
+    /// row→sample map, producing the identical profile the per-sample loop
+    /// produced (row order within each `(layer, expert)` bucket is
+    /// unchanged, so even the f32 attention sums accumulate in the same
+    /// order). The final layer norm is skipped — no profiling signal reads
+    /// the normalized output.
     pub fn profile(&self, dataset: &Dataset) -> ActivationProfile {
         let mut tracker = ActivationTracker::new(
             (0..self.layers.len())
                 .map(|l| self.layers[l].moe.num_original_experts())
                 .collect(),
         );
-        for (id, sample) in dataset.samples.iter().enumerate() {
-            tracker.begin_sample(id);
-            self.forward_no_cache(&sample.tokens, Some(&mut tracker))
-                .recycle();
+        for (chunk_idx, chunk) in dataset.samples.chunks(EVAL_BATCH).enumerate() {
+            let refs: Vec<&Sample> = chunk.iter().collect();
+            let (mut hidden, batch) = self.embed_batch(&refs);
+            let mut row_samples = Vec::with_capacity(batch.total_tokens());
+            for (i, &(start, end)) in batch.bounds().iter().enumerate() {
+                row_samples.extend(std::iter::repeat_n(chunk_idx * EVAL_BATCH + i, end - start));
+            }
+            for (idx, layer) in self.layers.iter().enumerate() {
+                let next = layer.forward_no_cache_batch(
+                    &hidden,
+                    batch.bounds(),
+                    idx,
+                    Some((&mut tracker, &row_samples)),
+                );
+                hidden.recycle();
+                hidden = next;
+            }
+            hidden.recycle();
         }
         tracker.finish()
     }

@@ -366,6 +366,35 @@ impl Matrix {
         out
     }
 
+    /// Copies the contiguous row range `[start, end)` into a new matrix
+    /// whose buffer comes from the scratch pool. This is the segment-slicing
+    /// primitive of the batched training path: per-sample blocks of a packed
+    /// `(total_tokens, d)` activation matrix are carved out without touching
+    /// the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn copy_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        let mut out = Matrix::zeros_pooled(end - start, self.cols);
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..end * self.cols]);
+        out
+    }
+
+    /// Writes `block` over the rows starting at `start` (the inverse of
+    /// [`Matrix::copy_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or the block overruns the rows.
+    pub fn paste_rows(&mut self, start: usize, block: &Matrix) {
+        assert_eq!(self.cols, block.cols, "paste_rows column mismatch");
+        assert!(start + block.rows <= self.rows, "paste_rows overruns rows");
+        self.data[start * self.cols..(start + block.rows) * self.cols].copy_from_slice(&block.data);
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Self {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -925,6 +954,48 @@ mod tests {
         let a = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let s = a.select_rows(&[3, 1]);
         assert_eq!(s.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn copy_and_paste_rows_round_trip() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]);
+        let block = a.copy_rows(1, 3);
+        assert_eq!(block.shape(), (2, 2));
+        assert_eq!(block.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        let mut b = Matrix::zeros(3, 2);
+        b.paste_rows(1, &block);
+        assert_eq!(b.row(0), &[0.0, 0.0]);
+        assert_eq!(b.row(1), &[2.0, 3.0]);
+        assert_eq!(b.row(2), &[4.0, 5.0]);
+        // An empty range is a valid (0, cols) matrix.
+        assert_eq!(a.copy_rows(2, 2).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn copy_rows_rejects_overrun() {
+        Matrix::zeros(2, 2).copy_rows(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns rows")]
+    fn paste_rows_rejects_overrun() {
+        let block = Matrix::zeros(2, 2);
+        Matrix::zeros(2, 2).paste_rows(1, &block);
+    }
+
+    #[test]
+    fn matmul_rows_are_independent_of_row_count() {
+        // The batched training path relies on this: packing more rows into
+        // one operand must not change any individual row's result bits.
+        let mut rng = SeededRng::new(7);
+        let a = Matrix::random_normal(9, 150, 1.0, &mut rng);
+        let b = Matrix::random_normal(150, 31, 1.0, &mut rng);
+        let full = a.matmul(&b);
+        for r in 0..a.rows() {
+            let single = a.copy_rows(r, r + 1).matmul(&b);
+            assert_eq!(single.as_slice(), full.row(r), "row {r} diverged");
+        }
     }
 
     #[test]

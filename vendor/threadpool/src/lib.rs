@@ -21,7 +21,9 @@
 //! allocation reuse across regions currently only applies on the calling
 //! thread. A persistent-worker pool would lift that (tracked in ROADMAP).
 
-use std::sync::{Mutex, OnceLock};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Environment variable overriding the worker count used by
 /// [`ThreadPool::from_env`]. `1` disables threading entirely.
@@ -87,8 +89,18 @@ impl ThreadPool {
     /// With one worker (or one task) the tasks run inline on the calling
     /// thread. Otherwise up to `threads` scoped workers drain a shared
     /// queue; each result lands in the slot of its task's index, so the
-    /// returned `Vec` is independent of scheduling. Panics in a task
-    /// propagate to the caller when the scope joins.
+    /// returned `Vec` is independent of scheduling.
+    ///
+    /// A panicking task re-raises its *own* panic (same payload) on the
+    /// calling thread after every task has run — on the inline path and on
+    /// the threaded path alike. Workers catch task panics instead of
+    /// unwinding through the scope — an unwinding worker would let
+    /// `std::thread::scope` replace the payload with a generic
+    /// "a scoped thread panicked", and a worker dying while the queue mutex
+    /// is poisoned would mask the message further behind a lock failure.
+    /// Sibling tasks still run to completion; when several tasks panic, the
+    /// first submitted panicking task's payload wins inline, the first
+    /// observed one threaded.
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -96,20 +108,46 @@ impl ThreadPool {
     {
         let workers = self.threads.min(tasks.len());
         if workers <= 1 {
-            return tasks.into_iter().map(|task| task()).collect();
+            // Same panic contract as the threaded path: run everything,
+            // then re-raise the first panic with its original payload.
+            let mut first_panic: Option<Box<dyn Any + Send>> = None;
+            let mut results = Vec::with_capacity(tasks.len());
+            for task in tasks {
+                match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(value) => results.push(value),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            return results;
         }
         let mut results: Vec<Option<T>> = Vec::with_capacity(tasks.len());
         results.resize_with(tasks.len(), || None);
         let queue: Mutex<Vec<(F, &mut Option<T>)>> =
             Mutex::new(tasks.into_iter().zip(results.iter_mut()).collect());
+        let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     IS_WORKER.with(|w| w.set(true));
                     loop {
-                        let job = queue.lock().expect("task queue lock").pop();
+                        // The queue state is a plain Vec whose pop cannot be
+                        // observed half-done, so a poisoned mutex is safe to
+                        // recover from (and with panics caught below, no
+                        // unwinding path holds the guard anyway).
+                        let job = lock_unpoisoned(&queue).pop();
                         match job {
-                            Some((task, slot)) => *slot = Some(task()),
+                            Some((task, slot)) => match catch_unwind(AssertUnwindSafe(task)) {
+                                Ok(value) => *slot = Some(value),
+                                Err(payload) => {
+                                    let mut first = lock_unpoisoned(&first_panic);
+                                    first.get_or_insert(payload);
+                                }
+                            },
                             None => break,
                         }
                     }
@@ -117,6 +155,9 @@ impl ThreadPool {
             }
         });
         drop(queue);
+        if let Some(payload) = lock_unpoisoned(&first_panic).take() {
+            resume_unwind(payload);
+        }
         results
             .into_iter()
             .map(|slot| slot.expect("every task ran to completion"))
@@ -139,6 +180,13 @@ impl Default for ThreadPool {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// Acquires the mutex, recovering from poisoning: the protected queue is
+/// structurally consistent at every point a panic can unwind through, so the
+/// poison flag carries no information here and must not kill the worker.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Collects borrowed closures for [`ThreadPool::scope`].
@@ -214,6 +262,83 @@ mod tests {
     #[test]
     fn from_env_has_at_least_one_thread() {
         assert!(ThreadPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn panicking_task_propagates_original_message_and_siblings_finish() {
+        // Regression: a worker dying on the queue mutex (e.g. observing it
+        // poisoned) used to surface as "task queue lock", masking the
+        // panicking task's own message. The original panic must propagate
+        // intact, and every non-panicking task must still run.
+        let pool = ThreadPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| {
+                let completed = &completed;
+                let task: Box<dyn FnOnce() -> usize + Send> = if i == 3 {
+                    Box::new(|| panic!("original task panic"))
+                } else {
+                    Box::new(move || {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                };
+                task
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(tasks)));
+        let payload = outcome.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert!(
+            message.contains("original task panic"),
+            "first panic must survive intact, got: {message}"
+        );
+        assert_eq!(completed.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn inline_pool_panic_also_propagates_after_siblings_finish() {
+        // The single-worker (inline) path honors the same contract as the
+        // threaded path: every task runs, then the first panic re-raises.
+        let pool = ThreadPool::new(1);
+        let completed = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|i| {
+                let completed = &completed;
+                let task: Box<dyn FnOnce() + Send> = if i == 1 {
+                    Box::new(|| panic!("inline task panic"))
+                } else {
+                    Box::new(move || {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    })
+                };
+                task
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(tasks)));
+        let payload = outcome.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-string payload>");
+        assert!(message.contains("inline task panic"), "got: {message}");
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_queue_state() {
+        let mutex = Mutex::new(vec![1, 2, 3]);
+        // Poison the mutex by panicking while holding the guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(mutex.is_poisoned());
+        assert_eq!(lock_unpoisoned(&mutex).pop(), Some(3));
     }
 
     #[test]
