@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use flux_core::driver::{FederatedRun, Method, RunConfig};
+use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig};
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
 use flux_moe::{MoeConfig, MoeModel};
 use flux_tensor::{Matrix, SeededRng};
@@ -90,9 +90,29 @@ fn federated_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The async round pipeline against the barriered fork-join reference,
+/// over a full quick-demo run (3 rounds — the overlap needs at least two
+/// rounds to have a tail to hide). Results are bit-identical; only the
+/// schedule differs.
+fn pipeline_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_schedule");
+    for (label, mode) in [
+        ("pipelined", ExecutionMode::Pipelined),
+        ("barriered", ExecutionMode::Barriered),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
+                FederatedRun::new(cfg, 42).with_mode(mode).run(Method::Flux)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = matmul_kernels, local_train_step, batched_vs_reference, federated_round
+    targets = matmul_kernels, local_train_step, batched_vs_reference, federated_round, pipeline_on_off
 }
 criterion_main!(benches);

@@ -1,22 +1,29 @@
 //! `perf_report`: wall-clock performance report for the quick-demo round.
 //!
 //! Runs `RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)` once
-//! per [`Method`], measuring real wall time (not the simulated cost model),
-//! and writes `BENCH_round.json` with per-method wall milliseconds, training
-//! tokens/sec, and the simulated per-phase breakdown. The JSON also embeds
-//! the pre-optimization baseline measured at the commit before the compute
-//! engine landed, so every subsequent PR has a trajectory to beat.
+//! per [`Method`] in both round schedules — the asynchronous pipeline
+//! (default) and the barriered fork-join reference — measuring real wall
+//! time (not the simulated cost model), and writes `BENCH_round.json` with
+//! per-method wall milliseconds, training tokens/sec, the simulated
+//! per-phase breakdown, and the pipeline-on/off comparison. The JSON also
+//! embeds the pre-optimization baselines measured at earlier commits, so
+//! every subsequent PR has a trajectory to beat.
 //!
 //! Environment:
 //! * `FLUX_THREADS` — worker-thread count (default: available parallelism).
 //! * `FLUX_PERF_REPS` — timing repetitions per method (default 3; the
 //!   minimum is reported, which is the noise-robust estimator).
 //! * `FLUX_PERF_OUT` — output path (default `BENCH_round.json`).
+//! * `FLUX_PERF_BASELINE_PATH` — optional path to a previously committed
+//!   `BENCH_round.json`; when set, the process exits non-zero if the new
+//!   pipelined total regresses more than `FLUX_PERF_MAX_REGRESSION`
+//!   (default `0.10`, i.e. 10%) against that file's total — the CI
+//!   perf gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use flux_core::driver::{FederatedRun, Method, RunConfig, RunResult};
+use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig, RunResult};
 use flux_data::DatasetKind;
 use flux_moe::MoeConfig;
 
@@ -33,18 +40,43 @@ const BASELINE_WALL_MS: [(&str, f64); 4] = [
 
 /// Total quick-demo wall time at commit `8e3fb9a` (the parallel compute
 /// engine, still per-sample training), measured the same way on the same
-/// 1-core container. The batched-execution PR is gated on beating this by
-/// ≥ 1.5×.
+/// 1-core container.
 const PR2_COMMIT: &str = "8e3fb9a";
 const PR2_TOTAL_WALL_MS: f64 = 275.5;
+
+/// Total quick-demo wall time at commit `89f051a` (batched multi-sample
+/// training, barriered rounds), measured the same way on the same 1-core
+/// container. The async-pipeline PR is gated on improving on this.
+const PR3_COMMIT: &str = "89f051a";
+const PR3_TOTAL_WALL_MS: f64 = 158.7;
 
 struct MethodReport {
     label: &'static str,
     wall_ms: f64,
+    barriered_wall_ms: f64,
     tokens_trained: usize,
     tokens_per_sec: f64,
     final_score: f32,
     result: RunResult,
+}
+
+/// Minimum wall ms over `reps` repetitions of one method in one schedule,
+/// plus the result of the fastest repetition.
+fn measure(method: Method, mode: ExecutionMode, reps: usize) -> (f64, RunResult) {
+    let mut best_ms = f64::INFINITY;
+    let mut best: Option<RunResult> = None;
+    for _ in 0..reps {
+        let cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
+        let run = FederatedRun::new(cfg, 42).with_mode(mode);
+        let start = Instant::now();
+        let result = run.run(method);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            best = Some(result);
+        }
+    }
+    (best_ms, best.expect("at least one repetition ran"))
 }
 
 fn main() {
@@ -64,35 +96,26 @@ fn main() {
 
     let mut reports = Vec::new();
     for method in Method::all() {
-        let mut best_ms = f64::INFINITY;
-        let mut best: Option<RunResult> = None;
-        for _ in 0..reps {
-            let cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
-            let run = FederatedRun::new(cfg, 42);
-            let start = Instant::now();
-            let result = run.run(method);
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            if ms < best_ms {
-                best_ms = ms;
-                best = Some(result);
-            }
-        }
-        let result = best.expect("at least one repetition ran");
+        let (wall_ms, result) = measure(method, ExecutionMode::Pipelined, reps);
+        let (barriered_wall_ms, _) = measure(method, ExecutionMode::Barriered, reps);
         let tokens_trained: usize = result.rounds.iter().map(|r| r.tokens_trained).sum();
         reports.push(MethodReport {
             label: method.label(),
-            wall_ms: best_ms,
+            wall_ms,
+            barriered_wall_ms,
             tokens_trained,
-            tokens_per_sec: tokens_trained as f64 / (best_ms / 1e3),
+            tokens_per_sec: tokens_trained as f64 / (wall_ms / 1e3),
             final_score: result.final_score,
             result,
         });
     }
 
     let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
+    let barriered_total_ms: f64 = reports.iter().map(|r| r.barriered_wall_ms).sum();
     let baseline_total: f64 = BASELINE_WALL_MS.iter().map(|(_, ms)| ms).sum();
     let speedup = baseline_total / total_ms;
     let speedup_vs_pr2 = PR2_TOTAL_WALL_MS / total_ms;
+    let speedup_vs_pr3 = PR3_TOTAL_WALL_MS / total_ms;
 
     println!(
         "perf_report: quick_demo(tiny, gsm8k), {reps} reps (min reported), \
@@ -100,36 +123,82 @@ fn main() {
     );
     for r in &reports {
         println!(
-            "  {:<5} wall_ms={:>7.1}  tokens/s={:>9.0}  final_score={:.3}",
-            r.label, r.wall_ms, r.tokens_per_sec, r.final_score
+            "  {:<5} wall_ms={:>7.1} (barriered {:>7.1})  tokens/s={:>9.0}  final_score={:.3}",
+            r.label, r.wall_ms, r.barriered_wall_ms, r.tokens_per_sec, r.final_score
         );
     }
     println!(
-        "  TOTAL wall_ms={total_ms:.1}  baseline({BASELINE_COMMIT})={baseline_total:.1}  \
-         speedup={speedup:.2}x  vs_pr2({PR2_COMMIT})={speedup_vs_pr2:.2}x"
+        "  TOTAL pipelined={total_ms:.1}ms barriered={barriered_total_ms:.1}ms  \
+         baseline({BASELINE_COMMIT})={baseline_total:.1}  speedup={speedup:.2}x  \
+         vs_pr2({PR2_COMMIT})={speedup_vs_pr2:.2}x  vs_pr3({PR3_COMMIT})={speedup_vs_pr3:.2}x"
     );
 
     let json = render_json(
         &reports,
-        total_ms,
-        baseline_total,
-        speedup,
-        speedup_vs_pr2,
+        Totals {
+            total_ms,
+            barriered_total_ms,
+            baseline_total,
+            speedup,
+            speedup_vs_pr2,
+            speedup_vs_pr3,
+        },
         threads,
         host_parallelism,
         reps,
     );
     std::fs::write(&out_path, json).expect("write BENCH_round.json");
     println!("wrote {out_path}");
+
+    // CI regression gate: compare against a committed report when asked.
+    if let Ok(baseline_path) = std::env::var("FLUX_PERF_BASELINE_PATH") {
+        let max_regression: f64 = std::env::var("FLUX_PERF_MAX_REGRESSION")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.10);
+        let committed = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let committed_total = parse_top_level_total(&committed)
+            .unwrap_or_else(|| panic!("no top-level total_wall_ms in {baseline_path}"));
+        let limit = committed_total * (1.0 + max_regression);
+        println!(
+            "perf gate: new total {total_ms:.1} ms vs committed {committed_total:.1} ms \
+             (limit {limit:.1} ms, +{:.0}%)",
+            max_regression * 100.0
+        );
+        if total_ms > limit {
+            eprintln!(
+                "perf gate FAILED: total round time regressed more than \
+                 {:.0}% versus the committed baseline",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    reports: &[MethodReport],
+/// Extracts the top-level `"total_wall_ms"` from a rendered report. The
+/// baseline blocks also carry a `total_wall_ms`, but the top-level entry is
+/// rendered last, so the final occurrence is the one the gate compares.
+fn parse_top_level_total(json: &str) -> Option<f64> {
+    json.lines().rev().find_map(|line| {
+        let rest = line.trim().strip_prefix("\"total_wall_ms\":")?;
+        rest.trim().trim_end_matches(',').parse::<f64>().ok()
+    })
+}
+
+struct Totals {
     total_ms: f64,
+    barriered_total_ms: f64,
     baseline_total: f64,
     speedup: f64,
     speedup_vs_pr2: f64,
+    speedup_vs_pr3: f64,
+}
+
+fn render_json(
+    reports: &[MethodReport],
+    totals: Totals,
     threads: usize,
     host_parallelism: usize,
     reps: usize,
@@ -138,7 +207,7 @@ fn render_json(
     // enough to render by hand.
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v2\",");
     let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
     let _ = writeln!(s, "  \"flux_threads\": {threads},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
@@ -154,7 +223,7 @@ fn render_json(
     for (label, ms) in BASELINE_WALL_MS {
         let _ = writeln!(s, "    \"{label}_wall_ms\": {ms:.1},");
     }
-    let _ = writeln!(s, "    \"total_wall_ms\": {baseline_total:.1}");
+    let _ = writeln!(s, "    \"total_wall_ms\": {:.1}", totals.baseline_total);
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"methods\": [");
     for (i, r) in reports.iter().enumerate() {
@@ -162,6 +231,11 @@ fn render_json(
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"method\": \"{}\",", r.label);
         let _ = writeln!(s, "      \"wall_ms\": {:.2},", r.wall_ms);
+        let _ = writeln!(
+            s,
+            "      \"barriered_wall_ms\": {:.2},",
+            r.barriered_wall_ms
+        );
         let _ = writeln!(s, "      \"tokens_trained\": {},", r.tokens_trained);
         let _ = writeln!(s, "      \"tokens_per_sec\": {:.1},", r.tokens_per_sec);
         let _ = writeln!(s, "      \"final_score\": {:.4},", r.final_score);
@@ -178,6 +252,25 @@ fn render_json(
         let _ = writeln!(s, "    }}{comma}");
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"pipeline\": {{");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"asynchronous round schedule (persistent workers, incremental sharded \
+         aggregation, overlapped server tail) vs the barriered fork-join reference; both \
+         schedules are bit-identical in results\","
+    );
+    let _ = writeln!(s, "    \"on_total_wall_ms\": {:.1},", totals.total_ms);
+    let _ = writeln!(
+        s,
+        "    \"off_total_wall_ms\": {:.1},",
+        totals.barriered_total_ms
+    );
+    let _ = writeln!(
+        s,
+        "    \"overlap_speedup\": {:.3}",
+        totals.barriered_total_ms / totals.total_ms
+    );
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"pr2_baseline\": {{");
     let _ = writeln!(s, "    \"commit\": \"{PR2_COMMIT}\",");
     let _ = writeln!(
@@ -186,9 +279,18 @@ fn render_json(
     );
     let _ = writeln!(s, "    \"total_wall_ms\": {PR2_TOTAL_WALL_MS:.1}");
     let _ = writeln!(s, "  }},");
-    let _ = writeln!(s, "  \"total_wall_ms\": {total_ms:.1},");
-    let _ = writeln!(s, "  \"speedup_vs_baseline\": {speedup:.2},");
-    let _ = writeln!(s, "  \"speedup_vs_pr2\": {speedup_vs_pr2:.2}");
+    let _ = writeln!(s, "  \"pr3_baseline\": {{");
+    let _ = writeln!(s, "    \"commit\": \"{PR3_COMMIT}\",");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"batched multi-sample training, barriered rounds\","
+    );
+    let _ = writeln!(s, "    \"total_wall_ms\": {PR3_TOTAL_WALL_MS:.1}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"total_wall_ms\": {:.1},", totals.total_ms);
+    let _ = writeln!(s, "  \"speedup_vs_baseline\": {:.2},", totals.speedup);
+    let _ = writeln!(s, "  \"speedup_vs_pr2\": {:.2},", totals.speedup_vs_pr2);
+    let _ = writeln!(s, "  \"speedup_vs_pr3\": {:.2}", totals.speedup_vs_pr3);
     s.push_str("}\n");
     s
 }

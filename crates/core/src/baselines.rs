@@ -44,6 +44,20 @@ pub struct LocalRoundOutput {
     pub cost: RoundCostBreakdown,
 }
 
+impl LocalRoundOutput {
+    /// Moves the upload payload (expert updates + task head) out of the
+    /// output, leaving the reduction bookkeeping (loss, tokens, cost) in
+    /// place. The pipelined driver stages the payload into the server's
+    /// sharded aggregator the moment a participant finishes, while the
+    /// participant-id-ordered reduction still consumes the rest.
+    pub fn take_upload(&mut self) -> (Vec<ExpertUpdate>, Option<(Matrix, f32)>) {
+        (
+            std::mem::take(&mut self.expert_updates),
+            self.head_update.take(),
+        )
+    }
+}
+
 /// Runs local SGD over the samples in mini-batches, restricted to the given
 /// tuning experts (compact ids of `model`). Returns the per-sample mean
 /// loss and the gradient set of the *last* batch (used for utility

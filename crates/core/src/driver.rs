@@ -8,6 +8,27 @@
 //! comes from the `flux-fl` cost model; both feed the
 //! [`flux_metrics::TimeToAccuracyTracker`] that the experiment harness uses
 //! to regenerate the paper's convergence and time-to-accuracy figures.
+//!
+//! # Round execution modes
+//!
+//! Rounds execute in one of two schedules (see [`ExecutionMode`]):
+//!
+//! * **Barriered** — the reference fork-join schedule: dispatch every
+//!   participant, wait for all of them, aggregate, evaluate, repeat.
+//! * **Pipelined** (default) — the asynchronous schedule: participant
+//!   uploads are staged into the server's sharded aggregator *as they
+//!   arrive* (any thread, any order), and the server-side tail of round
+//!   *k* — evaluation of the freshly aggregated model, plus the simulated
+//!   aggregation latency — overlaps round *k+1*'s participant dispatch on
+//!   the same worker pool.
+//!
+//! Both schedules reduce in participant-id order (the aggregator sorts its
+//! shards by participant id before the weighted merges), so they produce
+//! **bit-identical losses, scores and weights** for every thread count and
+//! every arrival order; only the simulated timeline differs, because the
+//! pipeline hides each non-final round's server tail behind the next
+//! round's dispatch. `tests/integration_pipeline.rs` pins the equivalence
+//! with a golden trace.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -16,11 +37,11 @@ use threadpool::ThreadPool;
 
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
-    build_fleet, CostModel, ExpertUpdate, ParameterServer, Participant, PhaseTimes,
-    RoundCostBreakdown, SimClock,
+    build_fleet, CostModel, ExpertUpdate, ParameterServer, Participant, ParticipantBehavior,
+    PhaseTimes, RoundCostBreakdown, ShardedAggregator, SimClock,
 };
 use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
-use flux_moe::{ActivationProfile, ExpertKey, MoeConfig, MoeModel};
+use flux_moe::{ActivationProfile, EvalResult, ExpertKey, MoeConfig, MoeModel};
 use flux_tensor::SeededRng;
 
 use crate::assignment::{
@@ -32,6 +53,11 @@ use crate::baselines::{
 };
 use crate::merging::{CompactModelPlan, MergingConfig};
 use crate::profiling::{ProfilingConfig, StaleProfiler};
+
+/// Simulated server-side aggregation latency per round, in seconds
+/// (constant, small). The pipelined schedule hides it behind the next
+/// round's dispatch for every round but the last.
+const AGGREGATION_S: f64 = 1.0;
 
 /// Federated fine-tuning methods compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,6 +88,19 @@ impl Method {
             Method::Fmes => "FMES",
         }
     }
+}
+
+/// How the driver schedules rounds onto the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Strict fork-join rounds: dispatch, barrier, aggregate, evaluate.
+    /// Kept as the golden reference the pipelined schedule is pinned
+    /// against.
+    Barriered,
+    /// Asynchronous round pipeline: uploads aggregate incrementally as
+    /// they arrive and each round's server tail overlaps the next round's
+    /// dispatch. Bit-identical results to [`ExecutionMode::Barriered`].
+    Pipelined,
 }
 
 /// Configuration of one federated run.
@@ -222,6 +261,9 @@ pub struct RunResult {
     pub phase_times: PhaseTimes,
     /// Final evaluation score.
     pub final_score: f32,
+    /// The aggregated global model at the end of the run (the artifact the
+    /// golden-trace suite checksums).
+    pub final_model: MoeModel,
 }
 
 impl RunResult {
@@ -270,11 +312,62 @@ impl ParticipantRound {
     }
 }
 
+/// One task's result in a round's fan-out.
+enum TaskOut {
+    /// A participant finished its local round.
+    Participant(Box<ParticipantRound>),
+    /// The participant was absent this round (dropout scenario).
+    Dropped,
+    /// The overlapped evaluation of the *previous* round's aggregated
+    /// model (pipelined mode only).
+    Eval(EvalResult),
+}
+
+/// Everything a round's ordered reduction produces.
+#[derive(Default)]
+struct RoundReduction {
+    loss_sum: f32,
+    active: usize,
+    tokens_trained: usize,
+    critical: RoundCostBreakdown,
+}
+
+/// One participant's retained upload: id, expert updates, optional head.
+type RetainedUpload = (usize, Vec<ExpertUpdate>, Option<(flux_tensor::Matrix, f32)>);
+
+/// A round whose compute has finished but whose evaluation is still in
+/// flight on the pipeline.
+struct PendingRound {
+    round: usize,
+    elapsed_hours: f64,
+    train_loss: f32,
+    round_seconds: f64,
+    tokens_trained: usize,
+    breakdown: RoundCostBreakdown,
+}
+
+impl PendingRound {
+    fn finish(self, score: f32) -> RoundRecord {
+        RoundRecord {
+            round: self.round,
+            elapsed_hours: self.elapsed_hours,
+            score,
+            train_loss: self.train_loss,
+            round_seconds: self.round_seconds,
+            tokens_trained: self.tokens_trained,
+            breakdown: self.breakdown,
+        }
+    }
+}
+
 /// A federated fine-tuning run.
 pub struct FederatedRun {
     config: RunConfig,
     seed: u64,
     threads: Option<usize>,
+    mode: ExecutionMode,
+    behaviors: HashMap<usize, ParticipantBehavior>,
+    arrival_seed: Option<u64>,
 }
 
 impl FederatedRun {
@@ -282,13 +375,18 @@ impl FederatedRun {
     ///
     /// Participant-local rounds run concurrently on a pool sized from the
     /// `FLUX_THREADS` environment variable (default: available parallelism;
-    /// `1` reproduces fully sequential execution). Results are reduced in
-    /// participant-id order, so the thread count never changes the output.
+    /// `1` reproduces fully sequential execution), in the
+    /// [`ExecutionMode::Pipelined`] schedule. Results are reduced in
+    /// participant-id order, so neither the thread count nor the schedule
+    /// ever changes the output.
     pub fn new(config: RunConfig, seed: u64) -> Self {
         Self {
             config,
             seed,
             threads: None,
+            mode: ExecutionMode::Pipelined,
+            behaviors: HashMap::new(),
+            arrival_seed: None,
         }
     }
 
@@ -296,6 +394,29 @@ impl FederatedRun {
     /// `FLUX_THREADS` environment variable.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the round schedule (default: [`ExecutionMode::Pipelined`]).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Assigns a fault/latency behavior to one participant (straggler and
+    /// dropout scenarios).
+    pub fn with_behavior(mut self, participant_id: usize, behavior: ParticipantBehavior) -> Self {
+        self.behaviors.insert(participant_id, behavior);
+        self
+    }
+
+    /// Verification knob: in pipelined mode, defer the incremental upload
+    /// submissions and replay them in a seeded-shuffled participant order
+    /// instead of completion order. Results must not change — the
+    /// golden-trace suite uses this to prove arrival-order invariance
+    /// deterministically.
+    pub fn with_shuffled_arrivals(mut self, seed: u64) -> Self {
+        self.arrival_seed = Some(seed);
         self
     }
 
@@ -346,127 +467,191 @@ impl FederatedRun {
             })
             .collect();
         let mut fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
-        let mut records = Vec::new();
+        let mut records: Vec<RoundRecord> = Vec::new();
         let pool = match self.threads {
             Some(threads) => ThreadPool::new(threads),
             None => ThreadPool::from_env(),
         };
 
-        for round in 0..cfg.rounds {
-            let global = server.global_model();
+        // A round awaiting its overlapped evaluation (pipelined mode).
+        let mut pending: Option<PendingRound> = None;
 
-            // Every participant's local round is independent: it derives its
-            // own RNG, reads the shared global model/assigner, and mutates
-            // only its own slots (profiler state, FMES profile cache). The
-            // rounds therefore fan out to the pool; the reduction below
-            // walks the results in participant-id order, so scores, costs
-            // and aggregation are bit-identical for any thread count.
-            let round_rng = &round_rng;
-            let global_ref = &global;
-            let cost_ref = &cost;
-            let assigner_ref = &assigner;
-            let tasks: Vec<_> = fleet
-                .iter()
-                .zip(flux_states.iter_mut())
-                .zip(fmes_profiles.iter_mut())
-                .map(|((participant, state), fmes_profile)| {
-                    move || {
-                        let mut participant_rng =
-                            round_rng.derive((round * 1000 + participant.id) as u64);
-                        let reference_tokens = participant
-                            .tokens_per_round()
-                            .saturating_mul(cfg.reference_token_scale)
-                            .max(1);
-                        match method {
-                            Method::Fmd => ParticipantRound::plain(fmd_local_round(
-                                participant,
-                                global_ref,
-                                cost_ref,
-                                reference_tokens,
-                                cfg.learning_rate,
-                                cfg.batch_size,
-                            )),
-                            Method::Fmq => ParticipantRound::plain(fmq_local_round(
-                                participant,
-                                global_ref,
-                                cost_ref,
-                                reference_tokens,
-                                cfg.learning_rate,
-                                cfg.batch_size,
-                            )),
-                            Method::Fmes => {
-                                let profile = fmes_profile.get_or_insert_with(|| {
-                                    global_ref.profile(&participant.train_data)
-                                });
-                                ParticipantRound::plain(fmes_local_round(
-                                    participant,
-                                    global_ref,
-                                    profile,
-                                    cost_ref,
-                                    reference_tokens,
-                                    cfg.learning_rate,
-                                    cfg.batch_size,
-                                ))
-                            }
-                            Method::Flux => self.flux_local_round(
-                                participant,
-                                global_ref,
-                                cost_ref,
-                                round,
-                                assigner_ref,
-                                state,
-                                &mut participant_rng,
-                            ),
-                        }
+        for round in 0..cfg.rounds {
+            let pipelined = self.mode == ExecutionMode::Pipelined;
+            let aggregator = server.begin_round();
+            // In pipelined mode uploads stream into the aggregator the
+            // moment each participant finishes — unless the arrival
+            // shuffle knob is on, in which case they are replayed in a
+            // seeded order below (either way the aggregator's pid-ordered
+            // finalize makes arrival order unobservable).
+            let submit_on_completion = pipelined && self.arrival_seed.is_none();
+
+            // Fan out the round under a read borrow of the global model:
+            // every participant (and the overlapped evaluation) reads the
+            // same snapshot without cloning it; aggregation — the only
+            // writer — runs strictly after this borrow ends.
+            let (mut results, eval_of_pending) = server.with_global(|global_ref| {
+                let aggregator_ref = &aggregator;
+                let round_rng = &round_rng;
+                let assigner_ref = &assigner;
+                let cost_ref = &cost;
+                let eval_set_ref = &eval_set;
+                let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> = Vec::new();
+                for ((participant, state), fmes_profile) in fleet
+                    .iter()
+                    .zip(flux_states.iter_mut())
+                    .zip(fmes_profiles.iter_mut())
+                {
+                    let behavior = self
+                        .behaviors
+                        .get(&participant.id)
+                        .copied()
+                        .unwrap_or_default();
+                    if behavior.is_dropped(round) {
+                        tasks.push(Box::new(|| TaskOut::Dropped));
+                        continue;
                     }
-                })
-                .collect();
-            let results = pool.run(tasks);
+                    tasks.push(Box::new(move || {
+                        let mut result = self.method_local_round(
+                            method,
+                            participant,
+                            global_ref,
+                            cost_ref,
+                            round,
+                            assigner_ref,
+                            state,
+                            fmes_profile,
+                            round_rng,
+                        );
+                        // A straggler computes the same result, it just
+                        // reaches the server late.
+                        let delay = behavior.delay_ms();
+                        if delay > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(delay));
+                        }
+                        if submit_on_completion {
+                            let (updates, head) = result.output.take_upload();
+                            aggregator_ref.submit(participant.id, updates, head);
+                        }
+                        TaskOut::Participant(Box::new(result))
+                    }));
+                }
+                // The pipelined server tail: evaluate the *previous*
+                // round's aggregated model (this round's snapshot) while
+                // this round's participants compute.
+                let evaluating_pending = pipelined && pending.is_some();
+                if evaluating_pending {
+                    tasks.push(Box::new(move || {
+                        TaskOut::Eval(global_ref.evaluate(eval_set_ref))
+                    }));
+                }
+                let mut results = pool.run(tasks);
+                let eval = if evaluating_pending {
+                    match results.pop() {
+                        Some(TaskOut::Eval(eval)) => Some(eval),
+                        _ => unreachable!("eval task is always submitted last"),
+                    }
+                } else {
+                    None
+                };
+                (results, eval)
+            });
+
+            // The previous round's record completes as soon as its
+            // overlapped evaluation lands (order is preserved: one round
+            // is in flight at a time).
+            if let Some(previous) = pending.take() {
+                let eval = eval_of_pending.expect("pipelined rounds evaluate their predecessor");
+                tracker.record(previous.round, previous.elapsed_hours, eval.score);
+                records.push(previous.finish(eval.score));
+            }
 
             // Ordered reduction: participant-id order, same as the old
-            // sequential loop.
+            // sequential loop, regardless of completion order.
+            let mut reduction = RoundReduction::default();
             let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
             let mut head_updates = Vec::new();
-            let mut critical_path = RoundCostBreakdown::default();
-            let mut loss_sum = 0.0;
-            let mut tokens_trained = 0usize;
-            for (participant, result) in fleet.iter().zip(results) {
+            for (participant, task_out) in fleet.iter().zip(results.iter_mut()) {
+                let result = match task_out {
+                    TaskOut::Participant(result) => result,
+                    TaskOut::Dropped => continue,
+                    TaskOut::Eval(_) => unreachable!("eval result was popped above"),
+                };
                 if let Some(bootstrap) = &result.bootstrap_utilities {
                     assigner.report_utilities(participant.id, bootstrap);
                 }
                 if !result.reported_utilities.is_empty() {
                     assigner.report_utilities(participant.id, &result.reported_utilities);
                 }
-                let out = result.output;
-                loss_sum += out.train_loss;
-                tokens_trained += out.trained_tokens;
-                expert_updates.extend(out.expert_updates);
-                if let Some(head) = out.head_update {
-                    head_updates.push(head);
+                let out = &mut result.output;
+                reduction.loss_sum += out.train_loss;
+                reduction.active += 1;
+                reduction.tokens_trained += out.trained_tokens;
+                if !pipelined {
+                    let (updates, head) = out.take_upload();
+                    expert_updates.extend(updates);
+                    if let Some(head) = head {
+                        head_updates.push(head);
+                    }
                 }
-                if out.cost.total_s() > critical_path.total_s() {
-                    critical_path = out.cost;
+                if out.cost.total_s() > reduction.critical.total_s() {
+                    reduction.critical = out.cost;
                 }
             }
 
-            server.aggregate(&expert_updates, &head_updates);
-            // Server-side aggregation latency (constant, small).
-            let aggregation_s = 1.0;
-            let round_seconds = critical_path.total_s() + aggregation_s;
-            clock.advance_s(round_seconds);
-            phases.accumulate(&critical_path);
+            if pipelined {
+                if let Some(seed) = self.arrival_seed {
+                    // Replay the retained uploads in a seeded-shuffled
+                    // participant order: a deterministic stand-in for the
+                    // scheduler's arbitrary completion order.
+                    self.submit_shuffled(&aggregator, &fleet, results, round, seed);
+                }
+                server.apply_round(&aggregator, &pool);
+            } else {
+                server.aggregate(&expert_updates, &head_updates);
+            }
 
-            let eval = server.global_model().evaluate(&eval_set);
-            tracker.record(round, clock.elapsed_hours(), eval.score);
-            records.push(RoundRecord {
+            let critical = reduction.critical;
+            // Every round but the last hides the aggregation latency
+            // behind the next round's dispatch when pipelined: the next
+            // round starts immediately, but this round's aggregated model
+            // (and hence its evaluation score) only exists AGGREGATION_S
+            // into that window. The score timestamp must include that
+            // tail even though the dispatch does not wait for it —
+            // otherwise the time-to-accuracy tracker would credit scores
+            // before the aggregated model could physically be available.
+            let overlapped = pipelined && round + 1 < cfg.rounds;
+            let round_seconds =
+                clock.advance_round_s(critical.total_s(), AGGREGATION_S, overlapped);
+            phases.accumulate(&critical);
+            let hidden_tail_hours = if overlapped {
+                AGGREGATION_S / 3600.0
+            } else {
+                0.0
+            };
+            let this_round = PendingRound {
                 round,
-                elapsed_hours: clock.elapsed_hours(),
-                score: eval.score,
-                train_loss: loss_sum / fleet.len().max(1) as f32,
+                elapsed_hours: clock.elapsed_hours() + hidden_tail_hours,
+                train_loss: reduction.loss_sum / reduction.active.max(1) as f32,
                 round_seconds,
-                tokens_trained,
-                breakdown: critical_path,
-            });
+                tokens_trained: reduction.tokens_trained,
+                breakdown: critical,
+            };
+            if pipelined {
+                pending = Some(this_round);
+            } else {
+                let eval = server.with_global(|m| m.evaluate(&eval_set));
+                tracker.record(this_round.round, this_round.elapsed_hours, eval.score);
+                records.push(this_round.finish(eval.score));
+            }
+        }
+
+        // Drain the pipeline: the final round's evaluation has nothing to
+        // overlap with.
+        if let Some(last) = pending.take() {
+            let eval = server.with_global(|m| m.evaluate(&eval_set));
+            tracker.record(last.round, last.elapsed_hours, eval.score);
+            records.push(last.finish(eval.score));
         }
 
         let final_score = records.last().map(|r| r.score).unwrap_or(0.0);
@@ -476,6 +661,99 @@ impl FederatedRun {
             rounds: records,
             phase_times: phases,
             final_score,
+            final_model: server.global_model(),
+        }
+    }
+
+    /// Submits the uploads retained by the arrival-shuffle knob in a
+    /// seeded-permuted participant order.
+    fn submit_shuffled(
+        &self,
+        aggregator: &ShardedAggregator,
+        fleet: &[Participant],
+        results: Vec<TaskOut>,
+        round: usize,
+        seed: u64,
+    ) {
+        let mut uploads: Vec<RetainedUpload> = fleet
+            .iter()
+            .zip(results)
+            .filter_map(|(participant, task_out)| match task_out {
+                TaskOut::Participant(mut result) => {
+                    let (updates, head) = result.output.take_upload();
+                    Some((participant.id, updates, head))
+                }
+                _ => None,
+            })
+            .collect();
+        // Shuffle with the knob's own RNG family, keyed by round so every
+        // round sees a different arrival order.
+        let mut shuffle_rng = SeededRng::new(seed).derive(round as u64 + 1);
+        shuffle_rng.shuffle(&mut uploads);
+        for (pid, updates, head) in uploads {
+            aggregator.submit(pid, updates, head);
+        }
+    }
+
+    /// Dispatches one participant's local round for `method`.
+    #[allow(clippy::too_many_arguments)]
+    fn method_local_round(
+        &self,
+        method: Method,
+        participant: &Participant,
+        global: &MoeModel,
+        cost: &CostModel,
+        round: usize,
+        assigner: &RoleAssigner,
+        state: &mut FluxState,
+        fmes_profile: &mut Option<ActivationProfile>,
+        round_rng: &SeededRng,
+    ) -> ParticipantRound {
+        let cfg = &self.config;
+        let mut participant_rng = round_rng.derive((round * 1000 + participant.id) as u64);
+        let reference_tokens = participant
+            .tokens_per_round()
+            .saturating_mul(cfg.reference_token_scale)
+            .max(1);
+        match method {
+            Method::Fmd => ParticipantRound::plain(fmd_local_round(
+                participant,
+                global,
+                cost,
+                reference_tokens,
+                cfg.learning_rate,
+                cfg.batch_size,
+            )),
+            Method::Fmq => ParticipantRound::plain(fmq_local_round(
+                participant,
+                global,
+                cost,
+                reference_tokens,
+                cfg.learning_rate,
+                cfg.batch_size,
+            )),
+            Method::Fmes => {
+                let profile =
+                    fmes_profile.get_or_insert_with(|| global.profile(&participant.train_data));
+                ParticipantRound::plain(fmes_local_round(
+                    participant,
+                    global,
+                    profile,
+                    cost,
+                    reference_tokens,
+                    cfg.learning_rate,
+                    cfg.batch_size,
+                ))
+            }
+            Method::Flux => self.flux_local_round(
+                participant,
+                global,
+                cost,
+                round,
+                assigner,
+                state,
+                &mut participant_rng,
+            ),
         }
     }
 
@@ -765,13 +1043,15 @@ mod tests {
     #[test]
     fn run_is_bit_identical_across_thread_counts() {
         // The parallel round fan-out must never change results: worker
-        // outputs are reduced in participant-id order, so one thread and
-        // four threads produce bit-identical records for every method.
+        // outputs are reduced in participant-id order (and the sharded
+        // aggregator reduces its shards in participant-id order), so one
+        // thread and four threads produce bit-identical records for every
+        // method under the default pipelined schedule.
         //
         // Local training inside each round runs the *batched*
         // multi-sample path, whose per-expert GEMM fan-out sizes its own
         // pool from FLUX_THREADS — CI re-runs this test under
-        // FLUX_THREADS=1 and =4, so the batched path is pinned
+        // FLUX_THREADS=1, =4 and =8, so the batched path is pinned
         // bit-identical across expert-pool widths too.
         for method in Method::all() {
             let sequential = FederatedRun::new(quick_config(), 17)
@@ -793,6 +1073,63 @@ mod tests {
                 "{} tracker diverged across thread counts",
                 method.label()
             );
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_barriered_losses_scores_and_weights() {
+        // The async pipeline must be observationally identical to the
+        // fork-join reference: same per-round losses and scores, same
+        // final weights — only the simulated timeline may differ (the
+        // pipeline hides non-final aggregation tails).
+        let barriered = FederatedRun::new(quick_config(), 29)
+            .with_mode(ExecutionMode::Barriered)
+            .run(Method::Flux);
+        let pipelined = FederatedRun::new(quick_config(), 29)
+            .with_mode(ExecutionMode::Pipelined)
+            .run(Method::Flux);
+        assert_eq!(barriered.rounds.len(), pipelined.rounds.len());
+        for (b, p) in barriered.rounds.iter().zip(pipelined.rounds.iter()) {
+            assert_eq!(b.score, p.score, "round {} score diverged", b.round);
+            assert_eq!(
+                b.train_loss, p.train_loss,
+                "round {} loss diverged",
+                b.round
+            );
+            assert_eq!(b.tokens_trained, p.tokens_trained);
+            assert_eq!(b.breakdown, p.breakdown);
+        }
+        assert_eq!(barriered.final_model.lm_head, pipelined.final_model.lm_head);
+        for key in barriered.final_model.expert_keys() {
+            assert_eq!(
+                barriered.final_model.expert(key),
+                pipelined.final_model.expert(key),
+                "{key:?} diverged between schedules"
+            );
+        }
+        // The pipeline hides 1 s of aggregation behind each of the first
+        // rounds-1 dispatches.
+        let b_total: f64 = barriered.rounds.iter().map(|r| r.round_seconds).sum();
+        let p_total: f64 = pipelined.rounds.iter().map(|r| r.round_seconds).sum();
+        assert!(
+            (b_total - p_total - 2.0 * AGGREGATION_S).abs() < 1e-9,
+            "pipeline should hide exactly {} s, barriered={b_total} pipelined={p_total}",
+            2.0 * AGGREGATION_S
+        );
+    }
+
+    #[test]
+    fn shuffled_arrival_orders_do_not_change_results() {
+        let reference = FederatedRun::new(quick_config(), 31).run(Method::Flux);
+        for arrival_seed in [1u64, 2, 3] {
+            let shuffled = FederatedRun::new(quick_config(), 31)
+                .with_shuffled_arrivals(arrival_seed)
+                .run(Method::Flux);
+            assert_eq!(
+                reference.rounds, shuffled.rounds,
+                "arrival seed {arrival_seed} changed the rounds"
+            );
+            assert_eq!(reference.final_model.lm_head, shuffled.final_model.lm_head);
         }
     }
 

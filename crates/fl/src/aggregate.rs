@@ -1,8 +1,12 @@
-//! FedAvg aggregation of expert parameters and task heads.
+//! FedAvg aggregation of expert parameters and task heads: one-shot
+//! kernels plus the shard-wise incremental [`ShardedAggregator`] the async
+//! round pipeline feeds as participant updates arrive.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
 
 use flux_moe::{Expert, ExpertKey};
 use flux_tensor::Matrix;
@@ -85,10 +89,134 @@ pub fn fedavg_matrices(updates: &[(Matrix, f32)]) -> Option<Matrix> {
     Some(acc)
 }
 
+/// Incremental, shard-wise FedAvg aggregation.
+///
+/// The async round pipeline hands each participant's upload to the server
+/// the moment it arrives, in whatever order the scheduler produces. Naive
+/// eager averaging would make the result depend on that arrival order
+/// (f32 addition is not associative), so the aggregator splits the work in
+/// two:
+///
+/// * [`ShardedAggregator::submit`] *stages* an upload: every expert update
+///   is routed to its shard (a deterministic function of the expert key)
+///   and appended under the submitting participant's id. Staging is cheap,
+///   lock-per-shard, and safe from any thread in any order. A participant
+///   id can only be staged once — a retransmitting straggler cannot
+///   double-count its weight.
+/// * [`ShardedAggregator::finalize`] reduces each shard by sorting its
+///   staged updates into participant-id order and running the one-shot
+///   [`fedavg_experts`] / [`fedavg_matrices`] kernels over them. Shards
+///   partition the expert-key space, so they can reduce concurrently; the
+///   per-key weighted sums run in participant-id order regardless of how
+///   updates arrived, which keeps the result *bit-identical* to the
+///   barriered one-shot aggregation.
+#[derive(Debug)]
+pub struct ShardedAggregator {
+    /// Expert updates staged per shard as `(participant_id, update)`.
+    shards: Vec<Mutex<Vec<(usize, ExpertUpdate)>>>,
+    /// Head updates staged as `(participant_id, head, weight)`.
+    heads: Mutex<Vec<(usize, Matrix, f32)>>,
+    /// Participants that have already submitted this round.
+    submitted: Mutex<BTreeSet<usize>>,
+}
+
+impl ShardedAggregator {
+    /// Creates an aggregator with `num_shards` expert shards (minimum 1).
+    pub fn new(num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        Self {
+            shards: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            heads: Mutex::new(Vec::new()),
+            submitted: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Number of expert shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard aggregates `key`. Deterministic, so every arrival order
+    /// stages identical shard contents.
+    pub fn shard_of(&self, key: ExpertKey) -> usize {
+        // Layers hold tens of experts; spreading consecutive expert ids
+        // round-robin keeps shards balanced without a hasher dependency.
+        (key.layer.wrapping_mul(31).wrapping_add(key.expert)) % self.shards.len()
+    }
+
+    /// Stages one participant's upload. Returns `false` (ignoring the
+    /// upload) when this participant already submitted this round, which
+    /// makes duplicate transmissions idempotent instead of double-counted.
+    pub fn submit(
+        &self,
+        participant_id: usize,
+        expert_updates: Vec<ExpertUpdate>,
+        head_update: Option<(Matrix, f32)>,
+    ) -> bool {
+        if !lock(&self.submitted).insert(participant_id) {
+            return false;
+        }
+        for update in expert_updates {
+            let shard = self.shard_of(update.key);
+            lock(&self.shards[shard]).push((participant_id, update));
+        }
+        if let Some((head, weight)) = head_update {
+            lock(&self.heads).push((participant_id, head, weight));
+        }
+        true
+    }
+
+    /// Participants staged so far.
+    pub fn submitted_participants(&self) -> usize {
+        lock(&self.submitted).len()
+    }
+
+    /// Reduces one shard: its staged updates sorted into participant-id
+    /// order, fed through the one-shot FedAvg kernel.
+    fn finalize_shard(&self, shard: usize) -> HashMap<ExpertKey, Expert> {
+        let mut staged = std::mem::take(&mut *lock(&self.shards[shard]));
+        staged.sort_by_key(|(pid, _)| *pid);
+        let ordered: Vec<ExpertUpdate> = staged.into_iter().map(|(_, u)| u).collect();
+        fedavg_experts(&ordered)
+    }
+
+    /// Reduces every shard (and the head slot) into the final FedAvg
+    /// result, draining the staged state.
+    ///
+    /// The per-shard reductions fan out to `pool`; shards hold disjoint
+    /// keys and each reduces in participant-id order, so the result is
+    /// bit-identical for every thread count and every arrival order.
+    pub fn finalize(&self, pool: &ThreadPool) -> (HashMap<ExpertKey, Expert>, Option<Matrix>) {
+        let tasks: Vec<_> = (0..self.shards.len())
+            .map(|shard| move || self.finalize_shard(shard))
+            .collect();
+        let mut experts = HashMap::new();
+        for shard_result in pool.run(tasks) {
+            experts.extend(shard_result);
+        }
+        let mut heads = std::mem::take(&mut *lock(&self.heads));
+        heads.sort_by_key(|(pid, _, _)| *pid);
+        let ordered: Vec<(Matrix, f32)> = heads.into_iter().map(|(_, m, w)| (m, w)).collect();
+        let head = fedavg_matrices(&ordered);
+        lock(&self.submitted).clear();
+        (experts, head)
+    }
+}
+
+/// Acquires a mutex, recovering from poisoning: staged vectors are
+/// structurally consistent at every unwind point, so the poison flag
+/// carries no information here.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use flux_tensor::SeededRng;
+    use threadpool::ThreadPool;
 
     fn expert(seed: u64) -> Expert {
         let mut rng = SeededRng::new(seed);
@@ -251,5 +379,124 @@ mod tests {
         let avg = fedavg_matrices(&[(a, 0.0), (odd, 0.0), (b, 0.0)]).unwrap();
         assert_eq!(avg.shape(), (2, 2));
         assert!(avg.as_slice().iter().all(|&x| (x - 3.0).abs() < 1e-6));
+    }
+
+    /// One synthetic participant upload: a couple of expert updates plus a
+    /// head, deterministic in `pid`.
+    fn upload(pid: usize) -> (Vec<ExpertUpdate>, Option<(Matrix, f32)>) {
+        let updates = vec![
+            ExpertUpdate {
+                key: ExpertKey::new(0, pid % 3),
+                expert: expert(pid as u64 * 2 + 1),
+                weight: 1.0 + pid as f32,
+            },
+            ExpertUpdate {
+                key: ExpertKey::new(1, 0),
+                expert: expert(pid as u64 * 2 + 2),
+                weight: 2.0,
+            },
+        ];
+        let head = Matrix::filled(2, 2, pid as f32 + 0.5);
+        (updates, Some((head, 1.0 + pid as f32)))
+    }
+
+    /// The barriered one-shot reference: all uploads concatenated in
+    /// participant-id order.
+    fn one_shot(pids: &[usize]) -> (HashMap<ExpertKey, Expert>, Option<Matrix>) {
+        let mut sorted: Vec<usize> = pids.to_vec();
+        sorted.sort_unstable();
+        let mut updates = Vec::new();
+        let mut heads = Vec::new();
+        for &pid in &sorted {
+            let (u, h) = upload(pid);
+            updates.extend(u);
+            if let Some(h) = h {
+                heads.push(h);
+            }
+        }
+        (fedavg_experts(&updates), fedavg_matrices(&heads))
+    }
+
+    fn assert_expert_maps_identical(
+        a: &HashMap<ExpertKey, Expert>,
+        b: &HashMap<ExpertKey, Expert>,
+    ) {
+        assert_eq!(a.len(), b.len());
+        for (key, ea) in a {
+            let eb = &b[key];
+            assert_eq!(ea.w1, eb.w1, "w1 diverged for {key:?}");
+            assert_eq!(ea.w2, eb.w2, "w2 diverged for {key:?}");
+            assert_eq!(ea.b1, eb.b1, "b1 diverged for {key:?}");
+            assert_eq!(ea.b2, eb.b2, "b2 diverged for {key:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_aggregation_is_arrival_order_invariant() {
+        let pool = ThreadPool::new(1);
+        let pids = [0usize, 1, 2, 3, 4];
+        let reference = one_shot(&pids);
+        for order in [
+            vec![0usize, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+        ] {
+            for shards in [1usize, 3, 8] {
+                let agg = ShardedAggregator::new(shards);
+                for &pid in &order {
+                    let (u, h) = upload(pid);
+                    assert!(agg.submit(pid, u, h));
+                }
+                let (experts, head) = agg.finalize(&pool);
+                assert_expert_maps_identical(&experts, &reference.0);
+                assert_eq!(head, reference.1, "head diverged (order {order:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_submission_is_rejected_not_double_counted() {
+        let pool = ThreadPool::new(1);
+        let agg = ShardedAggregator::new(4);
+        let (u, h) = upload(1);
+        assert!(agg.submit(1, u, h));
+        // The straggler retransmits: ignored wholesale.
+        let (u, h) = upload(1);
+        assert!(!agg.submit(1, u, h));
+        assert_eq!(agg.submitted_participants(), 1);
+        let (experts, head) = agg.finalize(&pool);
+        let reference = one_shot(&[1]);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
+    }
+
+    #[test]
+    fn finalize_drains_and_resets_for_the_next_round() {
+        let pool = ThreadPool::new(2);
+        let agg = ShardedAggregator::new(4);
+        let (u, h) = upload(2);
+        agg.submit(2, u, h);
+        let _ = agg.finalize(&pool);
+        // Round state is gone: the same pid may submit again and the next
+        // finalize sees only the new round.
+        let (u, h) = upload(2);
+        assert!(agg.submit(2, u, h));
+        let (experts, head) = agg.finalize(&pool);
+        let reference = one_shot(&[2]);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let agg = ShardedAggregator::new(5);
+        for layer in 0..7 {
+            for e in 0..13 {
+                let key = ExpertKey::new(layer, e);
+                let s = agg.shard_of(key);
+                assert!(s < 5);
+                assert_eq!(s, agg.shard_of(key));
+            }
+        }
     }
 }

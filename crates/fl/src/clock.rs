@@ -87,6 +87,32 @@ impl SimClock {
         self.elapsed_s += seconds;
     }
 
+    /// Advances the clock by one federated round and returns the seconds
+    /// this round contributed to the timeline.
+    ///
+    /// `critical_path_s` is the slowest participant's local round;
+    /// `server_tail_s` is the server-side work after the last upload
+    /// (aggregation latency). In the barriered schedule the tail always
+    /// elapses before the next round starts. In the pipelined schedule the
+    /// tail of every round but the last is hidden behind the next round's
+    /// participant dispatch (`overlapped = true`), which is exactly the
+    /// paper's overlap claim expressed in simulated time: only the final
+    /// round pays its server tail on the critical path.
+    pub fn advance_round_s(
+        &mut self,
+        critical_path_s: f64,
+        server_tail_s: f64,
+        overlapped: bool,
+    ) -> f64 {
+        let round_s = if overlapped {
+            critical_path_s
+        } else {
+            critical_path_s + server_tail_s
+        };
+        self.advance_s(round_s);
+        round_s
+    }
+
     /// Elapsed simulated seconds.
     pub fn elapsed_s(&self) -> f64 {
         self.elapsed_s
@@ -122,6 +148,14 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn clock_rejects_nan() {
         SimClock::new().advance_s(f64::NAN);
+    }
+
+    #[test]
+    fn advance_round_hides_server_tail_only_when_overlapped() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.advance_round_s(10.0, 1.0, true), 10.0);
+        assert_eq!(clock.advance_round_s(10.0, 1.0, false), 11.0);
+        assert_eq!(clock.elapsed_s(), 21.0);
     }
 
     #[test]

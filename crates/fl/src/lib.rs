@@ -28,9 +28,9 @@ pub mod device;
 pub mod participant;
 pub mod server;
 
-pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate};
+pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate, ShardedAggregator};
 pub use clock::{PhaseTimes, SimClock};
 pub use cost::{CostModel, RoundCostBreakdown};
 pub use device::{DeviceClass, DeviceProfile};
-pub use participant::{build_fleet, Participant};
-pub use server::ParameterServer;
+pub use participant::{build_fleet, Participant, ParticipantBehavior};
+pub use server::{ParameterServer, DEFAULT_SHARDS};

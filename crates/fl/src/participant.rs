@@ -58,6 +58,51 @@ impl Participant {
     }
 }
 
+/// Fault/latency behavior of one participant, used by the driver's
+/// straggler and dropout scenarios.
+///
+/// The simulated *cost model* already prices slow devices; this knob instead
+/// perturbs the **wall-clock execution** of the round pipeline, so tests can
+/// prove that arrival order and mid-round failures change neither the
+/// aggregate (no deadlock, no double-counted weight) nor the bit-exact
+/// results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParticipantBehavior {
+    /// Trains and uploads normally.
+    #[default]
+    Healthy,
+    /// Returns late: its local round stalls for this many wall-clock
+    /// milliseconds before the upload reaches the server, pushing it to the
+    /// back of the arrival order without changing what it computes.
+    Straggler {
+        /// Wall-clock delay before the upload is produced.
+        delay_ms: u64,
+    },
+    /// Drops out mid-run: from round `round` (0-based) onward the
+    /// participant neither trains nor uploads, and the server must exclude
+    /// its weight entirely.
+    DropoutAt {
+        /// First round the participant misses.
+        round: usize,
+    },
+}
+
+impl ParticipantBehavior {
+    /// Whether the participant is absent in `round`.
+    pub fn is_dropped(&self, round: usize) -> bool {
+        matches!(self, ParticipantBehavior::DropoutAt { round: r } if round >= *r)
+    }
+
+    /// Wall-clock stall applied before the participant's upload, in
+    /// milliseconds.
+    pub fn delay_ms(&self) -> u64 {
+        match self {
+            ParticipantBehavior::Straggler { delay_ms } => *delay_ms,
+            _ => 0,
+        }
+    }
+}
+
 /// Builds a heterogeneous fleet of participants from a dataset.
 ///
 /// The dataset is split non-IID across participants (Dirichlet topic skew)
@@ -160,6 +205,21 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let fleet = build_fleet(&ds, 5, 0.5, &mut rng);
         assert!(fleet.iter().all(|p| p.tokens_per_round() > 0));
+    }
+
+    #[test]
+    fn behavior_dropout_and_delay_semantics() {
+        let healthy = ParticipantBehavior::Healthy;
+        assert!(!healthy.is_dropped(0));
+        assert_eq!(healthy.delay_ms(), 0);
+        let straggler = ParticipantBehavior::Straggler { delay_ms: 25 };
+        assert!(!straggler.is_dropped(100));
+        assert_eq!(straggler.delay_ms(), 25);
+        let dropout = ParticipantBehavior::DropoutAt { round: 2 };
+        assert!(!dropout.is_dropped(1));
+        assert!(dropout.is_dropped(2));
+        assert!(dropout.is_dropped(7));
+        assert_eq!(dropout.delay_ms(), 0);
     }
 
     #[test]

@@ -1,31 +1,57 @@
-//! The parameter server holding the global model.
+//! The sharded parameter server holding the global model.
 
 use parking_lot::RwLock;
 
 use flux_moe::{ExpertKey, MoeModel};
 use flux_tensor::Matrix;
+use threadpool::ThreadPool;
 
-use crate::aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate};
+use crate::aggregate::{ExpertUpdate, ShardedAggregator};
+
+/// Default number of expert shards a server partitions aggregation into.
+/// Shards bound lock granularity during incremental staging and the fan-out
+/// width of the parallel finalize; the tiny/small presets have dozens of
+/// experts, so eight shards keeps every shard populated without contention.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Central parameter server of the federated system.
 ///
-/// Holds the global MoE model, aggregates expert updates with FedAvg, and
-/// hands out copies (or per-expert parameters) to participants. Interior
-/// mutability allows the participant simulation to run on worker threads
-/// while the server stays shared.
+/// Holds the global MoE model and aggregates expert updates with FedAvg.
+/// Aggregation is *sharded and incremental*: [`ParameterServer::begin_round`]
+/// opens a [`ShardedAggregator`] that participants (or the driver acting for
+/// them) feed as their uploads arrive — from any thread, in any order — and
+/// [`ParameterServer::apply_round`] reduces the shards in participant-id
+/// order and installs the result, so the global model is bit-identical to
+/// the barriered one-shot aggregation no matter how updates arrived.
+/// Interior mutability allows the participant simulation to run on worker
+/// threads while the server stays shared.
 #[derive(Debug)]
 pub struct ParameterServer {
     global: RwLock<MoeModel>,
     rounds_completed: RwLock<usize>,
+    num_shards: usize,
 }
 
 impl ParameterServer {
-    /// Creates a server around an initial global model.
+    /// Creates a server around an initial global model with
+    /// [`DEFAULT_SHARDS`] aggregation shards.
     pub fn new(global_model: MoeModel) -> Self {
+        Self::with_shards(global_model, DEFAULT_SHARDS)
+    }
+
+    /// Creates a server with an explicit aggregation shard count
+    /// (minimum 1).
+    pub fn with_shards(global_model: MoeModel, num_shards: usize) -> Self {
         Self {
             global: RwLock::new(global_model),
             rounds_completed: RwLock::new(0),
+            num_shards: num_shards.max(1),
         }
+    }
+
+    /// Number of aggregation shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
     }
 
     /// A full copy of the current global model (what a participant downloads
@@ -34,22 +60,44 @@ impl ParameterServer {
         self.global.read().clone()
     }
 
+    /// Runs `f` against the current global model without cloning it. The
+    /// read lock is held for the duration of `f`, which is fine for the
+    /// round pipeline: aggregation (the only writer) only runs after every
+    /// reader of the round snapshot has finished.
+    pub fn with_global<R>(&self, f: impl FnOnce(&MoeModel) -> R) -> R {
+        f(&self.global.read())
+    }
+
     /// Number of aggregation rounds applied so far.
     pub fn rounds_completed(&self) -> usize {
         *self.rounds_completed.read()
     }
 
-    /// Applies one round of FedAvg aggregation.
-    ///
-    /// `expert_updates` carries the fine-tuned expert parameters from every
-    /// participant (original/global expert ids); `head_updates` carries the
-    /// task-head matrices with their weights. Experts nobody updated keep
-    /// their previous global parameters.
-    pub fn aggregate(&self, expert_updates: &[ExpertUpdate], head_updates: &[(Matrix, f32)]) {
-        let aggregated = fedavg_experts(expert_updates);
-        let head = fedavg_matrices(head_updates);
+    /// Opens the incremental aggregator for one round. Participant uploads
+    /// are staged into it as they arrive; [`ParameterServer::apply_round`]
+    /// closes the round.
+    pub fn begin_round(&self) -> ShardedAggregator {
+        ShardedAggregator::new(self.num_shards)
+    }
+
+    /// Closes a round: reduces the staged shards (fanning out to `pool`)
+    /// and installs the aggregated experts and head into the global model.
+    /// Experts nobody updated keep their previous global parameters.
+    pub fn apply_round(&self, aggregator: &ShardedAggregator, pool: &ThreadPool) {
+        let (experts, head) = aggregator.finalize(pool);
+        self.install(experts, head);
+    }
+
+    /// Installs an aggregation result into the global model and counts the
+    /// round. Out-of-range expert keys and shape-mismatched heads are
+    /// ignored (a rogue participant cannot corrupt the model).
+    fn install(
+        &self,
+        experts: std::collections::HashMap<ExpertKey, flux_moe::Expert>,
+        head: Option<Matrix>,
+    ) {
         let mut global = self.global.write();
-        for (key, expert) in aggregated {
+        for (key, expert) in experts {
             if key.layer < global.layers.len()
                 && key.expert < global.layers[key.layer].moe.num_experts()
             {
@@ -65,7 +113,25 @@ impl ParameterServer {
                 *target = head;
             }
         }
+        drop(global);
         *self.rounds_completed.write() += 1;
+    }
+
+    /// Applies one round of FedAvg aggregation in a single call (the
+    /// barriered path): the borrowed updates go straight through the
+    /// one-shot kernels, copy-free.
+    ///
+    /// `expert_updates` carries the fine-tuned expert parameters from every
+    /// participant (original/global expert ids) in participant-id order;
+    /// `head_updates` carries the task-head matrices with their weights.
+    /// The incremental sharded path reduces each shard with these same
+    /// kernels in participant-id order, and their equality is pinned by
+    /// `incremental_round_matches_one_shot_aggregate` below plus the
+    /// `sharded_incremental_matches_one_shot_fedavg` property test.
+    pub fn aggregate(&self, expert_updates: &[ExpertUpdate], head_updates: &[(Matrix, f32)]) {
+        let experts = crate::aggregate::fedavg_experts(expert_updates);
+        let head = crate::aggregate::fedavg_matrices(head_updates);
+        self.install(experts, head);
     }
 
     /// Convenience: read one expert's current global parameters.
@@ -145,6 +211,59 @@ mod tests {
         let server = server();
         let key = ExpertKey::new(1, 2);
         assert_eq!(&server.expert(key), server.global_model().expert(key));
+    }
+
+    #[test]
+    fn with_global_avoids_clone_and_matches_model() {
+        let server = server();
+        let shape = server.with_global(|m| m.lm_head.shape());
+        assert_eq!(shape, server.global_model().lm_head.shape());
+    }
+
+    #[test]
+    fn incremental_round_matches_one_shot_aggregate() {
+        // The same uploads through (a) the legacy one-shot `aggregate`
+        // and (b) begin_round/submit-in-reverse-order/apply_round must
+        // produce bit-identical global models.
+        let mut rng = SeededRng::new(9);
+        let a = server();
+        let b = ParameterServer::with_shards(a.global_model(), 3);
+        let uploads: Vec<(usize, ExpertUpdate, Matrix, f32)> = (0..4)
+            .map(|pid| {
+                let e = flux_moe::Expert::new(16, 32, &mut rng);
+                let head_shape = a.global_model().lm_head.shape();
+                let head = Matrix::filled(head_shape.0, head_shape.1, pid as f32 * 0.1);
+                (
+                    pid,
+                    ExpertUpdate {
+                        key: ExpertKey::new(0, pid),
+                        expert: e,
+                        weight: pid as f32 + 1.0,
+                    },
+                    head,
+                    pid as f32 + 1.0,
+                )
+            })
+            .collect();
+
+        let expert_updates: Vec<ExpertUpdate> =
+            uploads.iter().map(|(_, u, _, _)| u.clone()).collect();
+        let head_updates: Vec<(Matrix, f32)> =
+            uploads.iter().map(|(_, _, h, w)| (h.clone(), *w)).collect();
+        a.aggregate(&expert_updates, &head_updates);
+
+        let aggregator = b.begin_round();
+        for (pid, update, head, weight) in uploads.iter().rev() {
+            assert!(aggregator.submit(*pid, vec![update.clone()], Some((head.clone(), *weight))));
+        }
+        b.apply_round(&aggregator, &ThreadPool::new(4));
+
+        let ma = a.global_model();
+        let mb = b.global_model();
+        assert_eq!(ma.lm_head, mb.lm_head);
+        for key in ma.expert_keys() {
+            assert_eq!(ma.expert(key), mb.expert(key), "{key:?} diverged");
+        }
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Property-based tests for the federated substrate: FedAvg invariants,
-//! device budgets, and cost-model monotonicity.
+//! sharded incremental aggregation vs the one-shot kernels, device
+//! budgets, and cost-model monotonicity.
 
 use proptest::prelude::*;
 
-use flux_fl::{fedavg_experts, fedavg_matrices, CostModel, DeviceClass, ExpertUpdate};
+use flux_fl::{
+    fedavg_experts, fedavg_matrices, CostModel, DeviceClass, ExpertUpdate, ShardedAggregator,
+};
 use flux_moe::{Expert, ExpertKey, MoeConfig};
 use flux_tensor::{Matrix, SeededRng};
+use threadpool::ThreadPool;
+
+/// One participant's generated upload: id, expert updates, optional head.
+type Upload = (usize, Vec<ExpertUpdate>, Option<(Matrix, f32)>);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -72,6 +79,78 @@ proptest! {
             let hi = x.max(*y) + 1e-5;
             prop_assert!((lo..=hi).contains(m));
         }
+    }
+
+    /// Incremental shard-wise aggregation equals the one-shot
+    /// `fedavg_experts`/`fedavg_matrices` result — **bit-identically** —
+    /// for arbitrary shard counts, submission orders, weights (including
+    /// the all-non-positive uniform fallback pinned in PR 3), and ragged
+    /// head shapes (mismatched entries skipped against the first
+    /// positive-weight shape).
+    #[test]
+    fn sharded_incremental_matches_one_shot_fedavg(
+        seed in 0u64..10_000,
+        num_shards in 1usize..9,
+        num_participants in 1usize..7,
+        threads in 1usize..4,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        // Per-participant uploads: 1–3 expert updates over a small key
+        // space (dims derived from the key so different keys carry
+        // different shapes), weights spanning negative/zero/positive, and
+        // a head whose shape is ragged across participants.
+        let mut uploads: Vec<Upload> = (0..num_participants)
+            .map(|pid| {
+                let n = rng.range(1, 4);
+                let updates: Vec<ExpertUpdate> = (0..n)
+                    .map(|_| {
+                        let key = ExpertKey::new(rng.below(3), rng.below(4));
+                        let expert = Expert::new(2 + key.layer, 3 + key.expert, &mut rng);
+                        let weight = rng.uniform_range(-1.0, 4.0);
+                        ExpertUpdate { key, expert, weight }
+                    })
+                    .collect();
+                let head = if rng.chance(0.8) {
+                    let (r, c) = if rng.chance(0.75) { (2, 3) } else { (3, 2) };
+                    let m = Matrix::random_normal(r, c, 1.0, &mut rng);
+                    Some((m, rng.uniform_range(-1.0, 4.0)))
+                } else {
+                    None
+                };
+                (pid, updates, head)
+            })
+            .collect();
+
+        // One-shot reference: everything concatenated in participant-id
+        // order, exactly what the barriered schedule feeds the kernels.
+        let mut all_updates = Vec::new();
+        let mut all_heads = Vec::new();
+        for (_, updates, head) in &uploads {
+            all_updates.extend(updates.iter().cloned());
+            if let Some((m, w)) = head {
+                all_heads.push((m.clone(), *w));
+            }
+        }
+        let reference_experts = fedavg_experts(&all_updates);
+        let reference_head = fedavg_matrices(&all_heads);
+
+        // Incremental: submit in a random arrival order, reduce sharded.
+        rng.shuffle(&mut uploads);
+        let aggregator = ShardedAggregator::new(num_shards);
+        for (pid, updates, head) in uploads {
+            prop_assert!(aggregator.submit(pid, updates, head));
+        }
+        let (experts, head) = aggregator.finalize(&ThreadPool::new(threads));
+
+        prop_assert_eq!(experts.len(), reference_experts.len());
+        for (key, merged) in &experts {
+            let reference = &reference_experts[key];
+            prop_assert_eq!(&merged.w1, &reference.w1, "w1 diverged for {:?}", key);
+            prop_assert_eq!(&merged.w2, &reference.w2, "w2 diverged for {:?}", key);
+            prop_assert_eq!(&merged.b1, &reference.b1, "b1 diverged for {:?}", key);
+            prop_assert_eq!(&merged.b2, &reference.b2, "b2 diverged for {:?}", key);
+        }
+        prop_assert_eq!(head, reference_head);
     }
 
     /// Device capacity budgets are always consistent: 1 <= B_tune <= B_i <=

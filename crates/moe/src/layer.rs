@@ -1,6 +1,6 @@
 //! MoE feed-forward layers and full transformer blocks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
@@ -53,8 +53,9 @@ pub struct MoeLayerCache {
     /// For each compact expert used: the rows (token indices), routing
     /// weights, and the expert's forward cache.
     pub expert_batches: HashMap<usize, ExpertBatch>,
-    /// Input to the MoE sub-layer (after layer norm).
-    pub input: Matrix,
+    /// Shape of the MoE sub-layer input (the backward pass only needs the
+    /// dimensions; the per-expert caches hold the routed activations).
+    pub input_shape: (usize, usize),
 }
 
 /// Tokens routed to a single compact expert within one forward pass.
@@ -124,11 +125,11 @@ impl MoeLayer {
         // Run each used expert on its token batch — fanned out to worker
         // threads when the routed work warrants it — then scatter results
         // sequentially in ascending expert order.
-        let routed_rows: usize = groups.values().map(|(rows, _)| rows.len()).sum();
+        let routed_rows: usize = groups.iter().map(|(_, rows, _)| rows.len()).sum();
         let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), groups.len());
         let tasks: Vec<_> = groups
             .into_iter()
-            .map(|(compact, (rows, weights))| {
+            .map(|(compact, rows, weights)| {
                 let experts = &self.experts;
                 move || {
                     let batch_input = hidden.select_rows(&rows);
@@ -137,7 +138,7 @@ impl MoeLayer {
                 }
             })
             .collect();
-        let mut output = Matrix::zeros(seq, hidden.cols());
+        let mut output = Matrix::zeros_pooled(seq, hidden.cols());
         let mut expert_batches = HashMap::new();
         for (compact, rows, weights, batch_output, cache) in pool.run(tasks) {
             for (slot, (&row, &w)) in rows.iter().zip(weights.iter()).enumerate() {
@@ -160,7 +161,7 @@ impl MoeLayer {
             output,
             MoeLayerCache {
                 expert_batches,
-                input: hidden.clone(),
+                input_shape: hidden.shape(),
             },
         )
     }
@@ -176,11 +177,22 @@ impl MoeLayer {
     /// [`TokenRouting`] values: the softmax, stable top-k selection and
     /// renormalized weights follow [`Gate::route`]'s arithmetic exactly,
     /// without its three heap allocations per token (a measurable share of
-    /// the forward pass at small model widths).
+    /// the forward pass at small model widths). The top-k picks run as a
+    /// k-pass stable selection — highest probability first, earlier index
+    /// on ties — which selects exactly the same experts in exactly the
+    /// same order as the stable descending sort it replaces, without
+    /// sorting the full candidate set per token; and the groups accumulate
+    /// into a compact-indexed slot table rather than a tree map, removing
+    /// the per-token-per-expert map lookups.
     ///
     /// `row_samples`, when given, maps each packed row to its sample id so
     /// a tracker attributes routed tokens correctly inside a multi-sample
     /// batch (the batched profiling path).
+    ///
+    /// Returns `(compact_expert, token_rows, routing_weights)` triples in
+    /// ascending compact-expert order — the fixed iteration (and float
+    /// accumulation) order that keeps runs bit-identical across processes
+    /// and thread counts.
     fn route_and_group(
         &self,
         hidden: &Matrix,
@@ -188,13 +200,14 @@ impl MoeLayer {
         received_attention: &[f32],
         mut tracker: Option<&mut ActivationTracker>,
         row_samples: Option<&[usize]>,
-    ) -> BTreeMap<usize, (Vec<usize>, Vec<f32>)> {
+    ) -> Vec<(usize, Vec<usize>, Vec<f32>)> {
         let num_experts = self.gate.num_experts();
         let k = self.gate.top_k.min(num_experts);
         let logits = hidden.matmul(&self.gate.weight);
         let mut probs = vec![0.0f32; num_experts];
-        let mut order: Vec<usize> = Vec::with_capacity(num_experts);
-        let mut groups: BTreeMap<usize, (Vec<usize>, Vec<f32>)> = BTreeMap::new();
+        let mut top: Vec<usize> = Vec::with_capacity(k);
+        let mut slots: Vec<(Vec<usize>, Vec<f32>)> =
+            vec![(Vec::new(), Vec::new()); self.experts.len()];
         for row in 0..hidden.rows() {
             let logit_row = logits.row(row);
             // Softmax with `ops::softmax_row`'s exact arithmetic.
@@ -210,15 +223,23 @@ impl MoeLayer {
                     *p /= sum;
                 }
             }
-            // Stable descending sort, mirroring `stats::top_k_indices`.
-            order.clear();
-            order.extend(0..num_experts);
-            order.sort_by(|&a, &b| {
-                probs[b]
-                    .partial_cmp(&probs[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let top = &order[..k];
+            // Stable top-k selection: the same picks, in the same order, as
+            // a stable descending sort (`stats::top_k_indices`) — greatest
+            // probability wins, the earlier index wins ties.
+            top.clear();
+            for _ in 0..k {
+                let mut best: Option<usize> = None;
+                for i in 0..num_experts {
+                    if top.contains(&i) {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if probs[i] <= probs[b] => {}
+                        _ => best = Some(i),
+                    }
+                }
+                top.push(best.expect("k <= num_experts"));
+            }
             let mass: f32 = top.iter().map(|&i| probs[i]).sum();
             if let Some(t) = tracker.as_deref_mut() {
                 if let Some(rows) = row_samples {
@@ -226,14 +247,14 @@ impl MoeLayer {
                 }
                 t.record_layer_token(layer_idx);
             }
-            for &original in top {
+            for &original in &top {
                 let weight = if mass > 0.0 {
                     probs[original] / mass
                 } else {
                     1.0 / k as f32
                 };
                 let compact = self.routing_map.redirect(original);
-                let entry = groups.entry(compact).or_default();
+                let entry = &mut slots[compact];
                 entry.0.push(row);
                 entry.1.push(weight);
                 if let Some(t) = tracker.as_deref_mut() {
@@ -243,7 +264,12 @@ impl MoeLayer {
             }
         }
         logits.recycle();
-        groups
+        slots
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (rows, _))| !rows.is_empty())
+            .map(|(compact, (rows, weights))| (compact, rows, weights))
+            .collect()
     }
 
     /// Forward pass that keeps no backward cache (inference, profiling and
@@ -273,11 +299,11 @@ impl MoeLayer {
         let seq = hidden.rows();
         let groups =
             self.route_and_group(hidden, layer_idx, received_attention, tracker, row_samples);
-        let routed_rows: usize = groups.values().map(|(rows, _)| rows.len()).sum();
+        let routed_rows: usize = groups.iter().map(|(_, rows, _)| rows.len()).sum();
         let pool = expert_pool(routed_rows, self.d_model(), self.d_ff(), groups.len());
         let tasks: Vec<_> = groups
             .into_iter()
-            .map(|(compact, (rows, weights))| {
+            .map(|(compact, rows, weights)| {
                 let experts = &self.experts;
                 move || {
                     let batch_input = hidden.select_rows(&rows);
@@ -287,7 +313,7 @@ impl MoeLayer {
                 }
             })
             .collect();
-        let mut output = Matrix::zeros(seq, hidden.cols());
+        let mut output = Matrix::zeros_pooled(seq, hidden.cols());
         for (rows, weights, batch_output) in pool.run(tasks) {
             for (slot, (&row, &w)) in rows.iter().zip(weights.iter()).enumerate() {
                 let out_row = output.row_mut(row);
@@ -348,7 +374,7 @@ impl MoeLayer {
                 }
             })
             .collect();
-        let mut grad_input = Matrix::zeros(cache.input.rows(), cache.input.cols());
+        let mut grad_input = Matrix::zeros_pooled(cache.input_shape.0, cache.input_shape.1);
         let mut expert_grads = HashMap::new();
         for (compact, batch, grad, grad_batch_input) in pool.run(tasks) {
             // Scatter the input gradient back to the token rows.
@@ -486,13 +512,18 @@ impl TransformerLayer {
     /// path keeps no tracker, so none is taken here and the per-token
     /// received attention is not extracted (it is a tracker-only signal) —
     /// profiling stays on the tracked batched no-cache path.
+    ///
+    /// `input` is taken by value and moved into the returned cache (the
+    /// backward pass needs it for the layer-norm backward); callers chain
+    /// `hidden` through the layers, so the move replaces a full
+    /// activation-matrix clone per layer per step.
     pub fn forward_batch(
         &self,
-        input: &Matrix,
+        input: Matrix,
         bounds: &[(usize, usize)],
         layer_idx: usize,
     ) -> (Matrix, TransformerLayerBatchCache) {
-        let attn_in = ops::layer_norm(input, LN_EPS);
+        let attn_in = ops::layer_norm(&input, LN_EPS);
         let (attn_out, attn_cache) = self.attention.forward_batch(&attn_in, bounds);
         attn_in.recycle();
         let post_attention = input.add(&attn_out).expect("residual shapes match");
@@ -505,7 +536,7 @@ impl TransformerLayer {
         (
             output,
             TransformerLayerBatchCache {
-                input: input.clone(),
+                input,
                 attn_cache,
                 post_attention,
                 moe_cache,

@@ -330,7 +330,7 @@ impl MoeModel {
         let (mut hidden, batch) = self.embed_batch(samples);
         let mut layer_caches = Vec::with_capacity(self.layers.len());
         for (idx, layer) in self.layers.iter().enumerate() {
-            let (next, cache) = layer.forward_batch(&hidden, batch.bounds(), idx);
+            let (next, cache) = layer.forward_batch(hidden, batch.bounds(), idx);
             layer_caches.push(cache);
             hidden = next;
         }

@@ -7,8 +7,15 @@
 //! pool of retired buffers: steady-state training reuses the same
 //! allocations round after round. Buffers are per-thread, so the pool needs
 //! no locking and stays deterministic under any thread count.
+//!
+//! Pool lifetime tracks thread lifetime: since `vendor/threadpool` keeps
+//! its workers **persistent** across fork-join regions, a worker's pool
+//! stays warm from one region to the next (per-participant rounds, batched
+//! expert forwards, pipelined evaluations all recycle the same
+//! allocations). The [`stats`] counters exist so tests can pin that reuse
+//! instead of assuming it.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Upper bound on pooled buffers per thread; beyond this, retired buffers
 /// are simply freed. Generous enough for the deepest forward/backward
@@ -20,6 +27,32 @@ thread_local! {
     // search: small requests never consume large buffers, and the pool
     // stays effective when hot paths retire buffers of many sizes.
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    // Per-thread reuse accounting, reported via `stats`.
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Per-thread scratch-pool counters since the last [`reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// `take` calls served from a pooled buffer (no allocation).
+    pub hits: u64,
+    /// `take` calls that had to allocate.
+    pub misses: u64,
+}
+
+/// Reads the calling thread's pool counters.
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        hits: HITS.with(Cell::get),
+        misses: MISSES.with(Cell::get),
+    }
+}
+
+/// Zeroes the calling thread's pool counters (the pool itself is kept).
+pub fn reset_stats() {
+    HITS.with(|h| h.set(0));
+    MISSES.with(|m| m.set(0));
 }
 
 /// Takes a zero-filled buffer of exactly `len` elements from the pool,
@@ -30,11 +63,13 @@ pub fn take(len: usize) -> Vec<f32> {
         // Best fit: the smallest pooled buffer whose capacity suffices.
         let i = pool.partition_point(|b| b.capacity() < len);
         if i < pool.len() {
+            HITS.with(|h| h.set(h.get() + 1));
             let mut buf = pool.remove(i);
             buf.clear();
             buf.resize(len, 0.0);
             buf
         } else {
+            MISSES.with(|m| m.set(m.get() + 1));
             vec![0.0; len]
         }
     })
@@ -104,5 +139,25 @@ mod tests {
         let buf = take(0);
         assert!(buf.is_empty());
         give(buf);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        // Run on a dedicated thread: sibling tests share this thread's
+        // pool and counters otherwise.
+        std::thread::spawn(|| {
+            reset_stats();
+            let base = stats();
+            assert_eq!(base, ScratchStats::default());
+            let buf = take(64);
+            give(buf);
+            let buf = take(32);
+            give(buf);
+            let s = stats();
+            assert_eq!(s.misses, 1, "first take allocates");
+            assert_eq!(s.hits, 1, "second take reuses the pooled buffer");
+        })
+        .join()
+        .unwrap();
     }
 }

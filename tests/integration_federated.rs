@@ -1,7 +1,9 @@
-//! Cross-crate integration tests of the full federated pipeline.
+//! Cross-crate integration tests of the full federated pipeline,
+//! including straggler and mid-run dropout scenarios.
 
-use flux_core::driver::{FederatedRun, Method, RunConfig};
+use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig};
 use flux_data::DatasetKind;
+use flux_fl::ParticipantBehavior;
 use flux_moe::MoeConfig;
 
 fn quick(dataset: DatasetKind) -> RunConfig {
@@ -87,6 +89,93 @@ fn different_seeds_change_the_run() {
         .filter(|(x, y)| x.score == y.score)
         .count();
     assert!(same < a.rounds.len(), "different seeds should diverge");
+}
+
+#[test]
+fn straggler_changes_arrival_order_but_not_results() {
+    // A participant that returns late (wall-clock stall before its upload)
+    // lands at the back of the pipeline's arrival order. The run must
+    // neither deadlock (the test completing is the proof) nor change a
+    // single bit of the outcome.
+    let reference = FederatedRun::new(quick(DatasetKind::Gsm8k), 77)
+        .with_threads(4)
+        .run(Method::Flux);
+    let with_straggler = FederatedRun::new(quick(DatasetKind::Gsm8k), 77)
+        .with_threads(4)
+        .with_behavior(0, ParticipantBehavior::Straggler { delay_ms: 30 })
+        .run(Method::Flux);
+    assert_eq!(reference.rounds, with_straggler.rounds);
+    assert_eq!(
+        reference.final_model.lm_head,
+        with_straggler.final_model.lm_head
+    );
+}
+
+#[test]
+fn dropout_participant_is_excluded_once_not_double_counted() {
+    // Participant 2 drops out from round 1 on: the pipelined and barriered
+    // schedules must agree exactly on how its absence is handled — its
+    // weight leaves the aggregate (and the loss mean) in both, so neither
+    // schedule can be dropping it twice or keeping a stale copy.
+    let behavior = ParticipantBehavior::DropoutAt { round: 1 };
+    let pipelined = FederatedRun::new(quick(DatasetKind::Gsm8k), 78)
+        .with_threads(4)
+        .with_behavior(2, behavior)
+        .run(Method::Flux);
+    let barriered = FederatedRun::new(quick(DatasetKind::Gsm8k), 78)
+        .with_mode(ExecutionMode::Barriered)
+        .with_threads(1)
+        .with_behavior(2, behavior)
+        .run(Method::Flux);
+    // Schedules agree on everything but the simulated timeline (the
+    // pipeline hides non-final aggregation tails).
+    assert_eq!(pipelined.rounds.len(), barriered.rounds.len());
+    for (p, b) in pipelined.rounds.iter().zip(barriered.rounds.iter()) {
+        assert_eq!(p.score, b.score, "round {} score diverged", p.round);
+        assert_eq!(
+            p.train_loss, b.train_loss,
+            "round {} loss diverged",
+            p.round
+        );
+        assert_eq!(p.tokens_trained, b.tokens_trained);
+        assert_eq!(p.breakdown, b.breakdown);
+    }
+    assert_eq!(pipelined.final_model.lm_head, barriered.final_model.lm_head);
+    for key in pipelined.final_model.expert_keys() {
+        assert_eq!(
+            pipelined.final_model.expert(key),
+            barriered.final_model.expert(key),
+            "{key:?} diverged between schedules under dropout"
+        );
+    }
+
+    // The dropout must actually bite: before the dropout round the run is
+    // identical to a healthy one, afterwards it diverges.
+    let healthy = FederatedRun::new(quick(DatasetKind::Gsm8k), 78).run(Method::Flux);
+    assert_eq!(healthy.rounds[0], pipelined.rounds[0]);
+    assert!(
+        healthy.rounds[1..] != pipelined.rounds[1..]
+            || healthy.final_model.lm_head != pipelined.final_model.lm_head,
+        "dropping a participant must change the aggregate"
+    );
+}
+
+#[test]
+fn straggler_and_dropout_combined_complete_under_pipeline() {
+    // Worst case both at once, threaded: a late participant plus a
+    // mid-run dropout must still terminate (no deadlock) with a full set
+    // of records, and stay deterministic across repetitions.
+    let run = || {
+        FederatedRun::new(quick(DatasetKind::Piqa), 79)
+            .with_threads(4)
+            .with_behavior(1, ParticipantBehavior::Straggler { delay_ms: 20 })
+            .with_behavior(3, ParticipantBehavior::DropoutAt { round: 2 })
+            .run(Method::Flux)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.rounds.len(), 3);
+    assert_eq!(a.rounds, b.rounds);
 }
 
 #[test]

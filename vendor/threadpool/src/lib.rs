@@ -3,31 +3,47 @@
 //! The build environment cannot reach a crates registry, so this crate
 //! provides the fork-join surface the workspace needs — a bounded pool of
 //! workers executing borrowed closures with results returned in submission
-//! order, in the spirit of `rayon::scope` — on top of `std::thread::scope`.
-//! Workers are spawned per fork-join region rather than kept warm; the
-//! regions the workspace parallelizes (per-participant federated rounds,
-//! per-expert batched forwards) run for milliseconds to seconds, so the
-//! microseconds of spawn cost are noise. Swapping this for `rayon` is a
+//! order, in the spirit of `rayon::scope`. Swapping this for `rayon` is a
 //! one-line change in the root `Cargo.toml`.
+//!
+//! # Persistent-worker lifecycle
+//!
+//! Workers are **persistent**: the first fork-join region that needs `N`
+//! helpers lazily spawns detached worker threads (the calling thread always
+//! participates, so a region of width `N` spawns at most `N - 1` helpers),
+//! and those threads then survive for the life of the process, parked on a
+//! condition variable between regions. Each [`ThreadPool::run`] call
+//! publishes a *region* — a queue of lifetime-erased jobs plus a completion
+//! latch — to a process-global board, wakes the workers, drains the queue
+//! alongside them, and blocks until every job has finished before
+//! returning (which is what makes handing borrowed closures to the
+//! long-lived workers sound). Because workers are reused rather than
+//! respawned per region, their thread-local state stays warm across
+//! regions — in particular the tensor crate's scratch-buffer pool, which
+//! previously started cold (and was dropped) every region.
+//!
+//! A worker that has drained the board parks again; a region whose caller
+//! finishes all jobs itself simply never hands work out. Workers never
+//! block on anything but the board, and the caller always drains its own
+//! queue, so no combination of nested or concurrent regions can deadlock.
 //!
 //! Determinism: [`ThreadPool::run`] returns results indexed by submission
 //! order regardless of which worker executed which task, so callers that
 //! reduce results sequentially get bit-identical output for any thread
 //! count (including 1, which runs inline with no threads at all).
-//!
-//! Known cost of the per-region spawning: worker threads start with cold
-//! thread-local state, so e.g. the tensor crate's scratch-buffer pool is
-//! empty at the start of every fork-join region and dropped at its end —
-//! allocation reuse across regions currently only applies on the calling
-//! thread. A persistent-worker pool would lift that (tracked in ROADMAP).
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Environment variable overriding the worker count used by
 /// [`ThreadPool::from_env`]. `1` disables threading entirely.
 pub const THREADS_ENV: &str = "FLUX_THREADS";
+
+/// Hard ceiling on persistent workers spawned process-wide, far above any
+/// realistic `FLUX_THREADS`; a runaway caller cannot fork-bomb the host.
+const MAX_PERSISTENT_WORKERS: usize = 256;
 
 thread_local! {
     // Set while a thread is executing tasks as a pool worker, so nested
@@ -35,7 +51,164 @@ thread_local! {
     static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-/// A fixed-width fork-join thread pool.
+/// A job whose captured borrows have been lifetime-erased; see the safety
+/// notes in [`ThreadPool::run`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One published fork-join region: the job queue plus the completion latch
+/// the caller blocks on.
+struct Region {
+    /// Jobs not yet started. Drained LIFO; result slots don't care.
+    jobs: Mutex<Vec<Job>>,
+    /// Jobs not yet *finished* (a popped job is still pending until its
+    /// closure returns). The caller's `wait_done` latch.
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    /// How many persistent workers may serve this region, so a region from
+    /// `ThreadPool::new(2)` never fans wider than one helper even when more
+    /// workers happen to be parked.
+    helpers: AtomicUsize,
+    helper_cap: usize,
+}
+
+impl Region {
+    fn new(jobs: Vec<Job>, helper_cap: usize) -> Self {
+        Self {
+            pending: Mutex::new(jobs.len()),
+            jobs: Mutex::new(jobs),
+            done_cv: Condvar::new(),
+            helpers: AtomicUsize::new(0),
+            helper_cap,
+        }
+    }
+
+    /// Pops and executes one job. Returns `false` when the queue is empty.
+    /// Jobs never unwind (their wrappers catch panics), so the pending
+    /// count always reaches zero.
+    fn run_one(&self) -> bool {
+        let job = lock_unpoisoned(&self.jobs).pop();
+        match job {
+            Some(job) => {
+                job();
+                let mut pending = lock_unpoisoned(&self.pending);
+                *pending -= 1;
+                if *pending == 0 {
+                    self.done_cv.notify_all();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reserves a helper slot for a persistent worker. Only called under
+    /// the board lock, so the check-and-increment cannot race another
+    /// claim.
+    fn try_claim(&self) -> bool {
+        if self.helpers.load(Ordering::Relaxed) >= self.helper_cap
+            || lock_unpoisoned(&self.jobs).is_empty()
+        {
+            return false;
+        }
+        self.helpers.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Blocks until every job has finished executing (not merely been
+    /// popped).
+    fn wait_done(&self) {
+        let mut pending = lock_unpoisoned(&self.pending);
+        while *pending > 0 {
+            pending = self
+                .done_cv
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The process-global persistent worker set: the board of active regions
+/// and the condvar parked workers wait on.
+struct WorkerSet {
+    board: Mutex<Board>,
+    work_cv: Condvar,
+}
+
+struct Board {
+    regions: Vec<Arc<Region>>,
+    spawned: usize,
+}
+
+fn worker_set() -> &'static WorkerSet {
+    static SET: OnceLock<WorkerSet> = OnceLock::new();
+    SET.get_or_init(|| WorkerSet {
+        board: Mutex::new(Board {
+            regions: Vec::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Publishes a region, growing the persistent worker set up to
+/// `want_helpers` if fewer threads have been spawned so far.
+///
+/// Workers are spawned *before* the region goes onto the board: the
+/// region's jobs carry lifetime-erased borrows of the caller's stack, so
+/// if a spawn fails (thread limit) the resulting panic must unwind with
+/// the region still private to the caller — once published, nothing may
+/// panic before `run` reaches its completion wait.
+fn publish(region: Arc<Region>, want_helpers: usize) {
+    let set = worker_set();
+    let mut board = lock_unpoisoned(&set.board);
+    let target = want_helpers.min(MAX_PERSISTENT_WORKERS);
+    while board.spawned < target {
+        spawn_persistent_worker();
+        board.spawned += 1;
+    }
+    board.regions.push(region);
+    set.work_cv.notify_all();
+}
+
+/// Removes a completed region from the board.
+fn retire(region: &Arc<Region>) {
+    let set = worker_set();
+    let mut board = lock_unpoisoned(&set.board);
+    board.regions.retain(|r| !Arc::ptr_eq(r, region));
+}
+
+fn spawn_persistent_worker() {
+    std::thread::Builder::new()
+        .name("flux-pool-worker".to_string())
+        .spawn(|| {
+            IS_WORKER.with(|w| w.set(true));
+            let set = worker_set();
+            let mut board = lock_unpoisoned(&set.board);
+            loop {
+                let claimed = board.regions.iter().find(|r| r.try_claim()).cloned();
+                match claimed {
+                    Some(region) => {
+                        drop(board);
+                        while region.run_one() {}
+                        board = lock_unpoisoned(&set.board);
+                    }
+                    None => {
+                        board = set
+                            .work_cv
+                            .wait(board)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        })
+        .expect("spawn persistent pool worker");
+}
+
+/// A fixed-width fork-join handle onto the persistent worker set.
+///
+/// The handle itself is trivially copyable; `threads` only bounds how wide
+/// one [`ThreadPool::run`] region fans out (caller + up to `threads - 1`
+/// persistent helpers).
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadPool {
     threads: usize,
@@ -79,6 +252,13 @@ impl ThreadPool {
         IS_WORKER.with(|w| w.get())
     }
 
+    /// Number of persistent worker threads spawned so far, process-wide.
+    /// Diagnostic: lets tests pin that regions *reuse* workers instead of
+    /// respawning them.
+    pub fn persistent_workers() -> usize {
+        lock_unpoisoned(&worker_set().board).spawned
+    }
+
     /// Maximum number of workers this pool uses.
     pub fn threads(&self) -> usize {
         self.threads
@@ -87,20 +267,20 @@ impl ThreadPool {
     /// Runs every task, returning the results in submission order.
     ///
     /// With one worker (or one task) the tasks run inline on the calling
-    /// thread. Otherwise up to `threads` scoped workers drain a shared
-    /// queue; each result lands in the slot of its task's index, so the
-    /// returned `Vec` is independent of scheduling.
+    /// thread. Otherwise the tasks are published as a region on the
+    /// persistent worker set: the calling thread and up to `threads - 1`
+    /// parked workers drain a shared queue; each result lands in the slot
+    /// of its task's index, so the returned `Vec` is independent of
+    /// scheduling. The call returns only after every task has finished.
     ///
     /// A panicking task re-raises its *own* panic (same payload) on the
     /// calling thread after every task has run — on the inline path and on
     /// the threaded path alike. Workers catch task panics instead of
-    /// unwinding through the scope — an unwinding worker would let
-    /// `std::thread::scope` replace the payload with a generic
-    /// "a scoped thread panicked", and a worker dying while the queue mutex
-    /// is poisoned would mask the message further behind a lock failure.
-    /// Sibling tasks still run to completion; when several tasks panic, the
-    /// first submitted panicking task's payload wins inline, the first
-    /// observed one threaded.
+    /// unwinding, so a panic can neither kill a persistent worker nor mask
+    /// the payload behind a poisoned-lock error; the pool stays fully
+    /// usable afterwards. Sibling tasks still run to completion; when
+    /// several tasks panic, the first submitted panicking task's payload
+    /// wins inline, the first observed one threaded.
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -125,36 +305,60 @@ impl ThreadPool {
             }
             return results;
         }
+
         let mut results: Vec<Option<T>> = Vec::with_capacity(tasks.len());
         results.resize_with(tasks.len(), || None);
-        let queue: Mutex<Vec<(F, &mut Option<T>)>> =
-            Mutex::new(tasks.into_iter().zip(results.iter_mut()).collect());
         let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    IS_WORKER.with(|w| w.set(true));
-                    loop {
-                        // The queue state is a plain Vec whose pop cannot be
-                        // observed half-done, so a poisoned mutex is safe to
-                        // recover from (and with panics caught below, no
-                        // unwinding path holds the guard anyway).
-                        let job = lock_unpoisoned(&queue).pop();
-                        match job {
-                            Some((task, slot)) => match catch_unwind(AssertUnwindSafe(task)) {
-                                Ok(value) => *slot = Some(value),
-                                Err(payload) => {
-                                    let mut first = lock_unpoisoned(&first_panic);
-                                    first.get_or_insert(payload);
-                                }
-                            },
-                            None => break,
-                        }
+
+        // Wrap each task so it writes its result slot and captures its own
+        // panic; a job therefore never unwinds into a worker. The wrappers
+        // borrow stack data (`results`, `first_panic`, the tasks'
+        // captures), so handing them to 'static worker threads requires
+        // erasing the lifetime.
+        //
+        // SAFETY: `run` publishes the region, then blocks in `wait_done`
+        // until the pending count is zero — i.e. until every wrapper has
+        // been executed *and dropped* (jobs are consumed by value). No
+        // code path returns, unwinds, or re-raises a panic before that
+        // wait completes, so every erased borrow is dead before the stack
+        // frame it points into can move or be freed. This is the standard
+        // scoped-pool erasure (`crossbeam::scope`, `rayon::scope`) with
+        // the scope enforced by the completion latch.
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .zip(results.iter_mut())
+            .map(|(task, slot)| {
+                let first_panic = &first_panic;
+                let wrapper = move || match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(value) => *slot = Some(value),
+                    Err(payload) => {
+                        lock_unpoisoned(first_panic).get_or_insert(payload);
                     }
-                });
-            }
-        });
-        drop(queue);
+                };
+                let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(wrapper);
+                unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                        boxed,
+                    )
+                }
+            })
+            .collect();
+
+        let region = Arc::new(Region::new(jobs, workers - 1));
+        publish(Arc::clone(&region), workers - 1);
+
+        // The caller drains its own queue too: it is one of the region's
+        // `workers`, it keeps the region deadlock-free even when every
+        // persistent worker is busy elsewhere, and it marks itself as a
+        // worker meanwhile so nested `from_env` pools collapse to inline
+        // instead of fanning out a second level.
+        let was_worker = IS_WORKER.with(|w| w.replace(true));
+        while region.run_one() {}
+        IS_WORKER.with(|w| w.set(was_worker));
+
+        region.wait_done();
+        retire(&region);
+
         if let Some(payload) = lock_unpoisoned(&first_panic).take() {
             resume_unwind(payload);
         }
@@ -182,9 +386,9 @@ impl Default for ThreadPool {
     }
 }
 
-/// Acquires the mutex, recovering from poisoning: the protected queue is
-/// structurally consistent at every point a panic can unwind through, so the
-/// poison flag carries no information here and must not kill the worker.
+/// Acquires the mutex, recovering from poisoning: every protected structure
+/// here is consistent at every point a panic can unwind through, so the
+/// poison flag carries no information and must not kill a worker.
 fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -206,6 +410,7 @@ impl<'env> Scope<'env> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn run_preserves_submission_order() {
@@ -264,6 +469,92 @@ mod tests {
         assert!(ThreadPool::from_env().threads() >= 1);
     }
 
+    /// Runs `width` tasks that each spin until all of them are running at
+    /// once — passing proves `width` live threads served the region.
+    fn run_concurrency_barrier(pool: &ThreadPool, width: usize) {
+        let started = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..width)
+            .map(|_| {
+                let started = &started;
+                move || {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(20);
+                    while started.load(Ordering::SeqCst) < width {
+                        assert!(
+                            Instant::now() < deadline,
+                            "barrier timed out: region never reached {width}-way concurrency"
+                        );
+                        std::thread::yield_now();
+                    }
+                }
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
+    #[test]
+    fn workers_persist_across_fork_join_regions() {
+        // Repeated regions that require 3-way concurrency must reuse the
+        // persistent workers rather than spawn per region. The spawn
+        // counter is process-global and sibling tests run concurrently, so
+        // the assertion is the process-wide bound: no pool in this test
+        // binary is wider than 4 (3 helpers), so after any number of
+        // regions — from this test and every concurrent sibling — the
+        // spawn count stays at most 3. A per-region-spawning pool would
+        // blow straight past it.
+        const MAX_HELPERS_ANY_TEST_NEEDS: usize = 3;
+        let pool = ThreadPool::new(3);
+        for _ in 0..5 {
+            run_concurrency_barrier(&pool, 3);
+        }
+        let spawned = ThreadPool::persistent_workers();
+        assert!(spawned >= 2, "a region of width 3 needs 2 helpers");
+        assert!(
+            spawned <= MAX_HELPERS_ANY_TEST_NEEDS,
+            "5 regions must not grow the worker set past the widest pool \
+             in this process ({MAX_HELPERS_ANY_TEST_NEEDS}), got {spawned}"
+        );
+    }
+
+    #[test]
+    fn worker_thread_local_state_is_warm_across_regions() {
+        // The point of persistence: thread-local state written by a task in
+        // one fork-join region is still there for tasks in a later region
+        // (the workspace relies on this for scratch-buffer reuse).
+        thread_local! {
+            static MARKER: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+        }
+        let pool = ThreadPool::new(2);
+        // Keep both threads busy so both the caller and the helper mark.
+        let tasks: Vec<_> = (0..2)
+            .map(|_| {
+                || {
+                    MARKER.with(|m| m.set(m.get() + 1));
+                    std::thread::sleep(Duration::from_millis(20));
+                    MARKER.with(|m| m.get())
+                }
+            })
+            .collect();
+        let first = pool.run(tasks);
+        assert!(first.iter().all(|&m| m >= 1));
+        let tasks: Vec<_> = (0..2)
+            .map(|_| {
+                || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    MARKER.with(|m| m.get())
+                }
+            })
+            .collect();
+        let second = pool.run(tasks);
+        // At least one task of the second region must observe a marker set
+        // during the first region (the caller's own thread guarantees it;
+        // a reused helper can contribute the other).
+        assert!(
+            second.iter().any(|&m| m >= 1),
+            "thread-local state did not survive across regions: {second:?}"
+        );
+    }
+
     #[test]
     fn panicking_task_propagates_original_message_and_siblings_finish() {
         // Regression: a worker dying on the queue mutex (e.g. observing it
@@ -298,6 +589,41 @@ mod tests {
             "first panic must survive intact, got: {message}"
         );
         assert_eq!(completed.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn pool_is_reusable_after_mid_pipeline_panic() {
+        // A panic inside one region must not kill or wedge the persistent
+        // workers: the very next region has to reach full concurrency
+        // again and produce ordered results.
+        let pool = ThreadPool::new(3);
+        for round in 0..3 {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6)
+                .map(|i| {
+                    let task: Box<dyn FnOnce() -> usize + Send> = if i == round {
+                        Box::new(move || panic!("pipeline panic in round {round}"))
+                    } else {
+                        Box::new(move || i * 10)
+                    };
+                    task
+                })
+                .collect();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(tasks)));
+            let payload = outcome.expect_err("panic must propagate");
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap_or("<non-string payload>");
+            assert!(
+                message.contains(&format!("pipeline panic in round {round}")),
+                "original payload must survive, got: {message}"
+            );
+            // The pool must still deliver full-width, ordered service.
+            run_concurrency_barrier(&pool, 3);
+            let results = pool.run((0..8).map(|i| move || i + round).collect::<Vec<_>>());
+            assert_eq!(results, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -350,8 +676,39 @@ mod tests {
             || ThreadPool::from_env().threads(),
             || ThreadPool::from_env().threads(),
         ]);
-        // Every task ran on a worker thread (4 workers for 4 tasks), where
+        // Every task ran either on a persistent worker or on the caller
+        // while it was draining its own region — both count as workers, so
         // a nested from_env pool must collapse to inline execution.
         assert!(nested_sizes.iter().all(|&n| n == 1), "{nested_sizes:?}");
+    }
+
+    #[test]
+    fn explicitly_nested_pools_complete_without_deadlock() {
+        // A task may construct its own explicit pool (bypassing the
+        // from_env inlining). The nested region publishes to the same
+        // board while every worker may be busy — the nested caller drains
+        // its own queue, so this must terminate with correct results.
+        let pool = ThreadPool::new(3);
+        let tasks: Vec<_> = (0..6)
+            .map(|i| {
+                move || {
+                    let inner = ThreadPool::new(2);
+                    let inner_results = inner.run((0..4).map(|j| move || i * 10 + j).collect());
+                    inner_results.into_iter().sum::<usize>()
+                }
+            })
+            .collect();
+        let results = pool.run(tasks);
+        let expected: Vec<usize> = (0..6).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn caller_is_not_marked_worker_after_run() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.run(vec![|| 1, || 2, || 3]);
+        assert!(!ThreadPool::current_is_worker());
+        // from_env on the caller is full-width again after the region.
+        assert!(ThreadPool::from_env().threads() >= 1);
     }
 }
