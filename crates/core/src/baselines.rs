@@ -27,6 +27,7 @@ use flux_quant::{BitWidth, QuantizedMatrix};
 use flux_tensor::{stats, Matrix};
 
 use crate::merging::CompactModelPlan;
+use crate::profiling::QuantizedModelCache;
 
 /// Result of one participant-local round, independent of the method.
 #[derive(Debug, Clone)]
@@ -113,10 +114,7 @@ fn full_model_updates(model: &MoeModel, weight: f32) -> Vec<ExpertUpdate> {
 /// The head matrix a participant uploads (classification head when present,
 /// generation head otherwise).
 fn head_of(model: &MoeModel) -> Matrix {
-    match &model.cls_head {
-        Some(h) => h.clone(),
-        None => model.lm_head.clone(),
-    }
+    model.active_head().clone()
 }
 
 /// FMD: fine-tune the full model with expert offloading.
@@ -171,15 +169,21 @@ pub fn fmd_local_round(
 /// error, and the uploaded expert updates are re-quantized before upload, so
 /// every round injects fresh quantization noise into the global model — the
 /// source of FMQ's unstable convergence in the paper.
+///
+/// The initial INT4 copy of the downloaded model is identical for every
+/// participant, so it comes from the round's shared
+/// [`QuantizedModelCache`]: one quantization per round, one clone per
+/// participant (each participant then trains its clone privately).
 pub fn fmq_local_round(
     participant: &Participant,
     global: &MoeModel,
     cost: &CostModel,
+    quant_cache: &QuantizedModelCache,
     reference_tokens: usize,
     learning_rate: f32,
     batch_size: usize,
 ) -> LocalRoundOutput {
-    let mut model = global.quantized_copy(BitWidth::Int4);
+    let mut model = (*quant_cache.get_or_quantize(global, BitWidth::Int4)).clone();
     let samples = &participant.train_data.samples;
     let (loss, _) = local_train(&mut model, samples, None, learning_rate, batch_size);
     let trained_tokens: usize = samples.iter().map(|s| s.tokens.len()).sum();
@@ -346,7 +350,8 @@ mod tests {
     #[test]
     fn fmq_injects_quantization_error_into_updates() {
         let (model, fleet, cost) = setup();
-        let out = fmq_local_round(&fleet[0], &model, &cost, 40_000, 0.01, 4);
+        let cache = QuantizedModelCache::new();
+        let out = fmq_local_round(&fleet[0], &model, &cost, &cache, 40_000, 0.01, 4);
         // Updates carry INT4 round-trip error relative to the true weights.
         let key = out.expert_updates[0].key;
         let uploaded = &out.expert_updates[0].expert;

@@ -29,16 +29,29 @@
 //! pipeline hides each non-final round's server tail behind the next
 //! round's dispatch. `tests/integration_pipeline.rs` pins the equivalence
 //! with a golden trace.
+//!
+//! # Resumable execution
+//!
+//! [`FederatedRun::run`] is a convenience loop over a resumable state
+//! machine: [`FederatedRun::start`] (or [`FederatedRun::start_on`] to join
+//! a shared multi-tenant [`ParameterServer`]) yields an [`ActiveRun`] that
+//! advances one round at a time through
+//! [`ActiveRun::start_round`] → [`ActiveRun::finish_round`] (query with
+//! [`ActiveRun::poll`], drain with [`ActiveRun::finish`]). The
+//! concurrent-run [`crate::scheduler::Scheduler`] interleaves rounds from
+//! many independent runs on one worker pool this way instead of blocking
+//! inside a single run's loop.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
 
-use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind, Sample};
+use flux_data::{Dataset, DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
     build_fleet, CostModel, ExpertUpdate, ParameterServer, Participant, ParticipantBehavior,
-    PhaseTimes, RoundCostBreakdown, ShardedAggregator, SimClock,
+    PhaseTimes, RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock, DEFAULT_SHARDS,
 };
 use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
 use flux_moe::{ActivationProfile, EvalResult, ExpertKey, MoeConfig, MoeModel};
@@ -52,7 +65,7 @@ use crate::baselines::{
     fmd_local_round, fmes_local_round, fmq_local_round, local_train, LocalRoundOutput,
 };
 use crate::merging::{CompactModelPlan, MergingConfig};
-use crate::profiling::{ProfilingConfig, StaleProfiler};
+use crate::profiling::{ProfilingConfig, QuantizedModelCache, StaleProfiler};
 
 /// Simulated server-side aggregation latency per round, in seconds
 /// (constant, small). The pipelined schedule hides it behind the next
@@ -361,6 +374,7 @@ impl PendingRound {
 }
 
 /// A federated fine-tuning run.
+#[derive(Clone)]
 pub struct FederatedRun {
     config: RunConfig,
     seed: u64,
@@ -425,8 +439,44 @@ impl FederatedRun {
         &self.config
     }
 
-    /// Executes the full federated fine-tuning process with one method.
+    /// Executes the full federated fine-tuning process with one method:
+    /// the convenience loop over the resumable state machine.
     pub fn run(&self, method: Method) -> RunResult {
+        let pool = match self.threads {
+            Some(threads) => ThreadPool::new(threads),
+            None => ThreadPool::from_env(),
+        };
+        let mut active = self.start(method);
+        while !active.is_done() {
+            active.step_round(&pool);
+        }
+        active.finish()
+    }
+
+    /// Starts a standalone run: the global model lives in a private
+    /// sharded store (its own single-tenant server, in effect).
+    pub fn start(&self, method: Method) -> ActiveRun {
+        self.start_with(method, |model| {
+            Arc::new(ShardedStore::new(model, DEFAULT_SHARDS))
+        })
+    }
+
+    /// Starts a run as one tenant of a shared multi-tenant
+    /// [`ParameterServer`]: its global model is registered as a new tenant,
+    /// so concurrent runs on the same server aggregate under disjoint
+    /// per-shard locks.
+    pub fn start_on(&self, method: Method, server: &ParameterServer) -> ActiveRun {
+        self.start_with(method, |model| server.register_tenant(model))
+    }
+
+    /// Shared setup: synthesizes the dataset, partitions the fleet,
+    /// initializes the global model into the store `register` provides, and
+    /// returns the resumable run state positioned before round 0.
+    fn start_with(
+        &self,
+        method: Method,
+        register: impl FnOnce(MoeModel) -> Arc<ShardedStore>,
+    ) -> ActiveRun {
         let cfg = &self.config;
         let root = SeededRng::new(self.seed);
         let mut data_rng = root.derive(1);
@@ -454,244 +504,32 @@ impl FederatedRun {
 
         // Server-side state.
         let global = MoeModel::new(model_config, &mut model_rng);
-        let server = ParameterServer::new(global);
-        let cost = CostModel::default();
-        let mut clock = SimClock::new();
-        let mut phases = PhaseTimes::default();
-        let mut tracker = TimeToAccuracyTracker::new(cfg.metric());
-        let mut assigner = RoleAssigner::new(cfg.epsilon);
-        let mut flux_states: Vec<FluxState> = fleet
+        let store = register(global);
+        let flux_states: Vec<FluxState> = fleet
             .iter()
             .map(|_| FluxState {
                 profiler: StaleProfiler::new(cfg.profiling),
             })
             .collect();
-        let mut fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
-        let mut records: Vec<RoundRecord> = Vec::new();
-        let pool = match self.threads {
-            Some(threads) => ThreadPool::new(threads),
-            None => ThreadPool::from_env(),
-        };
-
-        // A round awaiting its overlapped evaluation (pipelined mode).
-        let mut pending: Option<PendingRound> = None;
-
-        for round in 0..cfg.rounds {
-            let pipelined = self.mode == ExecutionMode::Pipelined;
-            let aggregator = server.begin_round();
-            // In pipelined mode uploads stream into the aggregator the
-            // moment each participant finishes — unless the arrival
-            // shuffle knob is on, in which case they are replayed in a
-            // seeded order below (either way the aggregator's pid-ordered
-            // finalize makes arrival order unobservable).
-            let submit_on_completion = pipelined && self.arrival_seed.is_none();
-
-            // Fan out the round under a read borrow of the global model:
-            // every participant (and the overlapped evaluation) reads the
-            // same snapshot without cloning it; aggregation — the only
-            // writer — runs strictly after this borrow ends.
-            let (mut results, eval_of_pending) = server.with_global(|global_ref| {
-                let aggregator_ref = &aggregator;
-                let round_rng = &round_rng;
-                let assigner_ref = &assigner;
-                let cost_ref = &cost;
-                let eval_set_ref = &eval_set;
-                let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> = Vec::new();
-                for ((participant, state), fmes_profile) in fleet
-                    .iter()
-                    .zip(flux_states.iter_mut())
-                    .zip(fmes_profiles.iter_mut())
-                {
-                    let behavior = self
-                        .behaviors
-                        .get(&participant.id)
-                        .copied()
-                        .unwrap_or_default();
-                    if behavior.is_dropped(round) {
-                        tasks.push(Box::new(|| TaskOut::Dropped));
-                        continue;
-                    }
-                    tasks.push(Box::new(move || {
-                        let mut result = self.method_local_round(
-                            method,
-                            participant,
-                            global_ref,
-                            cost_ref,
-                            round,
-                            assigner_ref,
-                            state,
-                            fmes_profile,
-                            round_rng,
-                        );
-                        // A straggler computes the same result, it just
-                        // reaches the server late.
-                        let delay = behavior.delay_ms();
-                        if delay > 0 {
-                            std::thread::sleep(std::time::Duration::from_millis(delay));
-                        }
-                        if submit_on_completion {
-                            let (updates, head) = result.output.take_upload();
-                            aggregator_ref.submit(participant.id, updates, head);
-                        }
-                        TaskOut::Participant(Box::new(result))
-                    }));
-                }
-                // The pipelined server tail: evaluate the *previous*
-                // round's aggregated model (this round's snapshot) while
-                // this round's participants compute.
-                let evaluating_pending = pipelined && pending.is_some();
-                if evaluating_pending {
-                    tasks.push(Box::new(move || {
-                        TaskOut::Eval(global_ref.evaluate(eval_set_ref))
-                    }));
-                }
-                let mut results = pool.run(tasks);
-                let eval = if evaluating_pending {
-                    match results.pop() {
-                        Some(TaskOut::Eval(eval)) => Some(eval),
-                        _ => unreachable!("eval task is always submitted last"),
-                    }
-                } else {
-                    None
-                };
-                (results, eval)
-            });
-
-            // The previous round's record completes as soon as its
-            // overlapped evaluation lands (order is preserved: one round
-            // is in flight at a time).
-            if let Some(previous) = pending.take() {
-                let eval = eval_of_pending.expect("pipelined rounds evaluate their predecessor");
-                tracker.record(previous.round, previous.elapsed_hours, eval.score);
-                records.push(previous.finish(eval.score));
-            }
-
-            // Ordered reduction: participant-id order, same as the old
-            // sequential loop, regardless of completion order.
-            let mut reduction = RoundReduction::default();
-            let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
-            let mut head_updates = Vec::new();
-            for (participant, task_out) in fleet.iter().zip(results.iter_mut()) {
-                let result = match task_out {
-                    TaskOut::Participant(result) => result,
-                    TaskOut::Dropped => continue,
-                    TaskOut::Eval(_) => unreachable!("eval result was popped above"),
-                };
-                if let Some(bootstrap) = &result.bootstrap_utilities {
-                    assigner.report_utilities(participant.id, bootstrap);
-                }
-                if !result.reported_utilities.is_empty() {
-                    assigner.report_utilities(participant.id, &result.reported_utilities);
-                }
-                let out = &mut result.output;
-                reduction.loss_sum += out.train_loss;
-                reduction.active += 1;
-                reduction.tokens_trained += out.trained_tokens;
-                if !pipelined {
-                    let (updates, head) = out.take_upload();
-                    expert_updates.extend(updates);
-                    if let Some(head) = head {
-                        head_updates.push(head);
-                    }
-                }
-                if out.cost.total_s() > reduction.critical.total_s() {
-                    reduction.critical = out.cost;
-                }
-            }
-
-            if pipelined {
-                if let Some(seed) = self.arrival_seed {
-                    // Replay the retained uploads in a seeded-shuffled
-                    // participant order: a deterministic stand-in for the
-                    // scheduler's arbitrary completion order.
-                    self.submit_shuffled(&aggregator, &fleet, results, round, seed);
-                }
-                server.apply_round(&aggregator, &pool);
-            } else {
-                server.aggregate(&expert_updates, &head_updates);
-            }
-
-            let critical = reduction.critical;
-            // Every round but the last hides the aggregation latency
-            // behind the next round's dispatch when pipelined: the next
-            // round starts immediately, but this round's aggregated model
-            // (and hence its evaluation score) only exists AGGREGATION_S
-            // into that window. The score timestamp must include that
-            // tail even though the dispatch does not wait for it —
-            // otherwise the time-to-accuracy tracker would credit scores
-            // before the aggregated model could physically be available.
-            let overlapped = pipelined && round + 1 < cfg.rounds;
-            let round_seconds =
-                clock.advance_round_s(critical.total_s(), AGGREGATION_S, overlapped);
-            phases.accumulate(&critical);
-            let hidden_tail_hours = if overlapped {
-                AGGREGATION_S / 3600.0
-            } else {
-                0.0
-            };
-            let this_round = PendingRound {
-                round,
-                elapsed_hours: clock.elapsed_hours() + hidden_tail_hours,
-                train_loss: reduction.loss_sum / reduction.active.max(1) as f32,
-                round_seconds,
-                tokens_trained: reduction.tokens_trained,
-                breakdown: critical,
-            };
-            if pipelined {
-                pending = Some(this_round);
-            } else {
-                let eval = server.with_global(|m| m.evaluate(&eval_set));
-                tracker.record(this_round.round, this_round.elapsed_hours, eval.score);
-                records.push(this_round.finish(eval.score));
-            }
-        }
-
-        // Drain the pipeline: the final round's evaluation has nothing to
-        // overlap with.
-        if let Some(last) = pending.take() {
-            let eval = server.with_global(|m| m.evaluate(&eval_set));
-            tracker.record(last.round, last.elapsed_hours, eval.score);
-            records.push(last.finish(eval.score));
-        }
-
-        let final_score = records.last().map(|r| r.score).unwrap_or(0.0);
-        RunResult {
+        let fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
+        ActiveRun {
+            driver: self.clone(),
             method,
-            tracker,
-            rounds: records,
-            phase_times: phases,
-            final_score,
-            final_model: server.global_model(),
-        }
-    }
-
-    /// Submits the uploads retained by the arrival-shuffle knob in a
-    /// seeded-permuted participant order.
-    fn submit_shuffled(
-        &self,
-        aggregator: &ShardedAggregator,
-        fleet: &[Participant],
-        results: Vec<TaskOut>,
-        round: usize,
-        seed: u64,
-    ) {
-        let mut uploads: Vec<RetainedUpload> = fleet
-            .iter()
-            .zip(results)
-            .filter_map(|(participant, task_out)| match task_out {
-                TaskOut::Participant(mut result) => {
-                    let (updates, head) = result.output.take_upload();
-                    Some((participant.id, updates, head))
-                }
-                _ => None,
-            })
-            .collect();
-        // Shuffle with the knob's own RNG family, keyed by round so every
-        // round sees a different arrival order.
-        let mut shuffle_rng = SeededRng::new(seed).derive(round as u64 + 1);
-        shuffle_rng.shuffle(&mut uploads);
-        for (pid, updates, head) in uploads {
-            aggregator.submit(pid, updates, head);
+            fleet,
+            eval_set,
+            store,
+            cost: CostModel::default(),
+            clock: SimClock::new(),
+            phases: PhaseTimes::default(),
+            tracker: TimeToAccuracyTracker::new(cfg.metric()),
+            assigner: RoleAssigner::new(cfg.epsilon),
+            flux_states,
+            fmes_profiles,
+            records: Vec::new(),
+            round_rng,
+            pending: None,
+            next_round: 0,
+            computed: None,
         }
     }
 
@@ -703,6 +541,7 @@ impl FederatedRun {
         participant: &Participant,
         global: &MoeModel,
         cost: &CostModel,
+        quant_cache: &QuantizedModelCache,
         round: usize,
         assigner: &RoleAssigner,
         state: &mut FluxState,
@@ -728,6 +567,7 @@ impl FederatedRun {
                 participant,
                 global,
                 cost,
+                quant_cache,
                 reference_tokens,
                 cfg.learning_rate,
                 cfg.batch_size,
@@ -749,6 +589,7 @@ impl FederatedRun {
                 participant,
                 global,
                 cost,
+                quant_cache,
                 round,
                 assigner,
                 state,
@@ -770,6 +611,7 @@ impl FederatedRun {
         participant: &Participant,
         global: &MoeModel,
         cost: &CostModel,
+        quant_cache: &QuantizedModelCache,
         round: usize,
         assigner: &RoleAssigner,
         state: &mut FluxState,
@@ -790,15 +632,19 @@ impl FederatedRun {
         let profile = if cfg.profiling.stale {
             match state.profiler.stale_profile().cloned() {
                 Some(stale) => {
-                    state.profiler.refresh(global, &participant.train_data);
+                    state
+                        .profiler
+                        .refresh_cached(global, &participant.train_data, quant_cache);
                     stale
                 }
                 None => {
                     profiling_s += cost.quantize_time_s(device, config, width)
                         + cost.profile_time_s(device, config, reference_tokens, width);
-                    state
-                        .profiler
-                        .refresh_blocking(global, &participant.train_data)
+                    state.profiler.refresh_blocking_cached(
+                        global,
+                        &participant.train_data,
+                        quant_cache,
+                    )
                 }
             }
         } else {
@@ -806,7 +652,7 @@ impl FederatedRun {
                 + cost.profile_time_s(device, config, reference_tokens, width);
             state
                 .profiler
-                .refresh_blocking(global, &participant.train_data)
+                .refresh_blocking_cached(global, &participant.train_data, quant_cache)
         };
 
         // Bootstrap utilities from activation frequencies in the first
@@ -933,10 +779,7 @@ impl FederatedRun {
                 })
             })
             .collect();
-        let head = match &compact.cls_head {
-            Some(h) => h.clone(),
-            None => compact.lm_head.clone(),
-        };
+        let head = compact.active_head().clone();
 
         // Cost accounting.
         let train_tokens: usize = train_samples.iter().map(|s| s.tokens.len()).sum();
@@ -984,6 +827,409 @@ impl FederatedRun {
             bootstrap_utilities,
             reported_utilities: utilities,
         }
+    }
+}
+
+/// Where a resumable run currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// The next call must be [`ActiveRun::start_round`] for this round.
+    ReadyToStart {
+        /// The round `start_round` will execute (0-based).
+        round: usize,
+    },
+    /// A round's compute has finished; the next call must be
+    /// [`ActiveRun::finish_round`].
+    ReadyToFinish {
+        /// The computed round awaiting its reduction/aggregation.
+        round: usize,
+    },
+    /// Every round has been executed; [`ActiveRun::finish`] drains the
+    /// pipeline and yields the [`RunResult`].
+    Done,
+}
+
+/// A round whose participant fan-out has completed but whose reduction and
+/// aggregation have not run yet (between `start_round` and `finish_round`).
+struct ComputedRound {
+    round: usize,
+    aggregator: ShardedAggregator,
+    results: Vec<TaskOut>,
+    eval_of_pending: Option<EvalResult>,
+}
+
+/// The resumable state of one federated run.
+///
+/// Produced by [`FederatedRun::start`] / [`FederatedRun::start_on`], it
+/// owns everything a run accumulates across rounds (fleet, store handle,
+/// clock, tracker, assigner state) and advances one round at a time:
+///
+/// ```text
+/// ReadyToStart(r) --start_round--> ReadyToFinish(r) --finish_round--> ReadyToStart(r+1) | Done
+/// ```
+///
+/// `start_round` performs the round's participant fan-out on the given
+/// worker pool (plus the overlapped evaluation of the previous round in
+/// pipelined mode); `finish_round` applies the participant-id-ordered
+/// reduction and the sharded aggregation. Splitting the loop this way lets
+/// the [`crate::scheduler::Scheduler`] interleave rounds from many runs on
+/// one pool; a run stepped to completion produces results bit-identical to
+/// [`FederatedRun::run`] executed alone, whatever is interleaved between
+/// its rounds — every source of state is owned by the run or keyed by its
+/// tenant store.
+pub struct ActiveRun {
+    driver: FederatedRun,
+    method: Method,
+    fleet: Vec<Participant>,
+    eval_set: Dataset,
+    store: Arc<ShardedStore>,
+    cost: CostModel,
+    clock: SimClock,
+    phases: PhaseTimes,
+    tracker: TimeToAccuracyTracker,
+    assigner: RoleAssigner,
+    flux_states: Vec<FluxState>,
+    fmes_profiles: Vec<Option<ActivationProfile>>,
+    records: Vec<RoundRecord>,
+    round_rng: SeededRng,
+    pending: Option<PendingRound>,
+    next_round: usize,
+    computed: Option<ComputedRound>,
+}
+
+impl ActiveRun {
+    /// The method this run executes.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The tenant store holding this run's global model.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// Where the run currently stands.
+    pub fn poll(&self) -> RunPhase {
+        if let Some(computed) = &self.computed {
+            RunPhase::ReadyToFinish {
+                round: computed.round,
+            }
+        } else if self.next_round < self.driver.config.rounds {
+            RunPhase::ReadyToStart {
+                round: self.next_round,
+            }
+        } else {
+            RunPhase::Done
+        }
+    }
+
+    /// Whether every round has been executed (the pipeline may still hold
+    /// one pending evaluation, which [`ActiveRun::finish`] drains).
+    pub fn is_done(&self) -> bool {
+        self.poll() == RunPhase::Done
+    }
+
+    /// Rounds fully recorded so far (pipelined runs trail by one until
+    /// drained).
+    pub fn rounds_recorded(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Convenience: `start_round` + `finish_round`.
+    pub fn step_round(&mut self, pool: &ThreadPool) {
+        self.start_round(pool);
+        self.finish_round(pool);
+    }
+
+    /// Executes the next round's participant fan-out on `pool`.
+    ///
+    /// Every participant (and, in pipelined mode, the overlapped evaluation
+    /// of the previous round) reads the same store snapshot; no store lock
+    /// is held while they compute. In pipelined mode uploads stream into
+    /// the round's aggregator the moment each participant finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run is not in [`RunPhase::ReadyToStart`].
+    pub fn start_round(&mut self, pool: &ThreadPool) {
+        assert!(
+            self.computed.is_none(),
+            "finish_round must close the previous round first"
+        );
+        let round = self.next_round;
+        assert!(
+            round < self.driver.config.rounds,
+            "run already executed every round"
+        );
+        let driver = &self.driver;
+        let method = self.method;
+        let pipelined = driver.mode == ExecutionMode::Pipelined;
+        let aggregator = self.store.begin_round();
+        // In pipelined mode uploads stream into the aggregator the moment
+        // each participant finishes — unless the arrival shuffle knob is
+        // on, in which case they are replayed in a seeded order during
+        // finish_round (either way the aggregator's pid-ordered finalize
+        // makes arrival order unobservable).
+        let submit_on_completion = pipelined && driver.arrival_seed.is_none();
+
+        // One materialized snapshot per round: participants and the
+        // overlapped evaluation share it through the `Arc`, so aggregation
+        // of *other* tenants (and this tenant's later install) proceeds
+        // without waiting for any reader.
+        let global = self.store.snapshot();
+        // One quantized profiling copy per bit width per round, shared by
+        // every participant of this round's fan-out.
+        let quant_cache = QuantizedModelCache::new();
+        let (mut results, eval_of_pending) = {
+            let global_ref: &MoeModel = &global;
+            let aggregator_ref = &aggregator;
+            let quant_cache_ref = &quant_cache;
+            let round_rng = &self.round_rng;
+            let assigner_ref = &self.assigner;
+            let cost_ref = &self.cost;
+            let eval_set_ref = &self.eval_set;
+            let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> = Vec::new();
+            for ((participant, state), fmes_profile) in self
+                .fleet
+                .iter()
+                .zip(self.flux_states.iter_mut())
+                .zip(self.fmes_profiles.iter_mut())
+            {
+                let behavior = driver
+                    .behaviors
+                    .get(&participant.id)
+                    .copied()
+                    .unwrap_or_default();
+                if behavior.is_dropped(round) {
+                    tasks.push(Box::new(|| TaskOut::Dropped));
+                    continue;
+                }
+                tasks.push(Box::new(move || {
+                    let mut result = driver.method_local_round(
+                        method,
+                        participant,
+                        global_ref,
+                        cost_ref,
+                        quant_cache_ref,
+                        round,
+                        assigner_ref,
+                        state,
+                        fmes_profile,
+                        round_rng,
+                    );
+                    // A straggler computes the same result, it just
+                    // reaches the server late.
+                    let delay = behavior.delay_ms();
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                    if submit_on_completion {
+                        let (updates, head) = result.output.take_upload();
+                        aggregator_ref.submit(participant.id, updates, head);
+                    }
+                    TaskOut::Participant(Box::new(result))
+                }));
+            }
+            // The pipelined server tail: evaluate the *previous* round's
+            // aggregated model (this round's snapshot) while this round's
+            // participants compute.
+            let evaluating_pending = pipelined && self.pending.is_some();
+            if evaluating_pending {
+                tasks.push(Box::new(move || {
+                    TaskOut::Eval(global_ref.evaluate(eval_set_ref))
+                }));
+            }
+            let mut results = pool.run(tasks);
+            let eval = if evaluating_pending {
+                match results.pop() {
+                    Some(TaskOut::Eval(eval)) => Some(eval),
+                    _ => unreachable!("eval task is always submitted last"),
+                }
+            } else {
+                None
+            };
+            (results, eval)
+        };
+        // Keep slot order aligned with the fleet for the ordered
+        // reduction (the eval slot was popped above).
+        debug_assert_eq!(results.len(), self.fleet.len());
+        results.shrink_to_fit();
+        self.computed = Some(ComputedRound {
+            round,
+            aggregator,
+            results,
+            eval_of_pending,
+        });
+    }
+
+    /// Closes the computed round: applies utility reports and the
+    /// participant-id-ordered reduction, aggregates into the tenant store
+    /// (per-shard locks only), advances the simulated clock, and records
+    /// the round (immediately when barriered; one round later when
+    /// pipelined, as the evaluation overlaps the next dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run is not in [`RunPhase::ReadyToFinish`].
+    pub fn finish_round(&mut self, pool: &ThreadPool) {
+        let ComputedRound {
+            round,
+            aggregator,
+            mut results,
+            eval_of_pending,
+        } = self
+            .computed
+            .take()
+            .expect("start_round must compute a round first");
+        let cfg = &self.driver.config;
+        let pipelined = self.driver.mode == ExecutionMode::Pipelined;
+
+        // The previous round's record completes as soon as its overlapped
+        // evaluation lands (order is preserved: one round is in flight at
+        // a time).
+        if let Some(previous) = self.pending.take() {
+            let eval = eval_of_pending.expect("pipelined rounds evaluate their predecessor");
+            self.tracker
+                .record(previous.round, previous.elapsed_hours, eval.score);
+            self.records.push(previous.finish(eval.score));
+        }
+
+        // Ordered reduction: participant-id order, same as the old
+        // sequential loop, regardless of completion order.
+        let mut reduction = RoundReduction::default();
+        let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
+        let mut head_updates = Vec::new();
+        for (participant, task_out) in self.fleet.iter().zip(results.iter_mut()) {
+            let result = match task_out {
+                TaskOut::Participant(result) => result,
+                TaskOut::Dropped => continue,
+                TaskOut::Eval(_) => unreachable!("eval result was popped in start_round"),
+            };
+            if let Some(bootstrap) = &result.bootstrap_utilities {
+                self.assigner.report_utilities(participant.id, bootstrap);
+            }
+            if !result.reported_utilities.is_empty() {
+                self.assigner
+                    .report_utilities(participant.id, &result.reported_utilities);
+            }
+            let out = &mut result.output;
+            reduction.loss_sum += out.train_loss;
+            reduction.active += 1;
+            reduction.tokens_trained += out.trained_tokens;
+            if !pipelined {
+                let (updates, head) = out.take_upload();
+                expert_updates.extend(updates);
+                if let Some(head) = head {
+                    head_updates.push(head);
+                }
+            }
+            if out.cost.total_s() > reduction.critical.total_s() {
+                reduction.critical = out.cost;
+            }
+        }
+
+        if pipelined {
+            if let Some(seed) = self.driver.arrival_seed {
+                // Replay the retained uploads in a seeded-shuffled
+                // participant order: a deterministic stand-in for the
+                // scheduler's arbitrary completion order.
+                submit_shuffled(&aggregator, &self.fleet, results, round, seed);
+            }
+            self.store.apply_round(&aggregator, pool);
+        } else {
+            self.store.aggregate(&expert_updates, &head_updates);
+        }
+
+        let critical = reduction.critical;
+        // Every round but the last hides the aggregation latency behind
+        // the next round's dispatch when pipelined: the next round starts
+        // immediately, but this round's aggregated model (and hence its
+        // evaluation score) only exists AGGREGATION_S into that window.
+        // The score timestamp must include that tail even though the
+        // dispatch does not wait for it — otherwise the time-to-accuracy
+        // tracker would credit scores before the aggregated model could
+        // physically be available.
+        let overlapped = pipelined && round + 1 < cfg.rounds;
+        let round_seconds =
+            self.clock
+                .advance_round_s(critical.total_s(), AGGREGATION_S, overlapped);
+        self.phases.accumulate(&critical);
+        let hidden_tail_hours = if overlapped {
+            AGGREGATION_S / 3600.0
+        } else {
+            0.0
+        };
+        let this_round = PendingRound {
+            round,
+            elapsed_hours: self.clock.elapsed_hours() + hidden_tail_hours,
+            train_loss: reduction.loss_sum / reduction.active.max(1) as f32,
+            round_seconds,
+            tokens_trained: reduction.tokens_trained,
+            breakdown: critical,
+        };
+        if pipelined {
+            self.pending = Some(this_round);
+        } else {
+            let eval = self.store.with_global(|m| m.evaluate(&self.eval_set));
+            self.tracker
+                .record(this_round.round, this_round.elapsed_hours, eval.score);
+            self.records.push(this_round.finish(eval.score));
+        }
+        self.next_round = round + 1;
+    }
+
+    /// Drains the pipeline (the final round's evaluation has nothing to
+    /// overlap with) and yields the run's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rounds remain; poll until [`RunPhase::Done`] first.
+    pub fn finish(mut self) -> RunResult {
+        assert!(self.is_done(), "finish called before every round executed");
+        if let Some(last) = self.pending.take() {
+            let eval = self.store.with_global(|m| m.evaluate(&self.eval_set));
+            self.tracker
+                .record(last.round, last.elapsed_hours, eval.score);
+            self.records.push(last.finish(eval.score));
+        }
+        let final_score = self.records.last().map(|r| r.score).unwrap_or(0.0);
+        RunResult {
+            method: self.method,
+            tracker: self.tracker,
+            rounds: self.records,
+            phase_times: self.phases,
+            final_score,
+            final_model: self.store.global_model(),
+        }
+    }
+}
+
+/// Submits the uploads retained by the arrival-shuffle knob in a
+/// seeded-permuted participant order.
+fn submit_shuffled(
+    aggregator: &ShardedAggregator,
+    fleet: &[Participant],
+    results: Vec<TaskOut>,
+    round: usize,
+    seed: u64,
+) {
+    let mut uploads: Vec<RetainedUpload> = fleet
+        .iter()
+        .zip(results)
+        .filter_map(|(participant, task_out)| match task_out {
+            TaskOut::Participant(mut result) => {
+                let (updates, head) = result.output.take_upload();
+                Some((participant.id, updates, head))
+            }
+            _ => None,
+        })
+        .collect();
+    // Shuffle with the knob's own RNG family, keyed by round so every
+    // round sees a different arrival order.
+    let mut shuffle_rng = SeededRng::new(seed).derive(round as u64 + 1);
+    shuffle_rng.shuffle(&mut uploads);
+    for (pid, updates, head) in uploads {
+        aggregator.submit(pid, updates, head);
     }
 }
 

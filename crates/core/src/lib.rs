@@ -25,7 +25,13 @@
 //!   (top-activation expert selection with discarded non-tuning experts).
 //! * **The federated driver** — [`driver`] wires everything into the
 //!   parameter-server training loop, advances the simulated clock with the
-//!   `flux-fl` cost model, and records convergence/time-to-accuracy.
+//!   `flux-fl` cost model, and records convergence/time-to-accuracy. Runs
+//!   execute through a resumable per-round state machine
+//!   ([`driver::ActiveRun`]).
+//! * **The concurrent-run scheduler** — [`scheduler`] multiplexes many
+//!   independent runs (mixed methods, datasets, arrival times, straggler
+//!   profiles) onto one worker pool and one multi-tenant parameter server,
+//!   with per-run results bit-identical to running each job alone.
 //!
 //! # Examples
 //!
@@ -44,8 +50,10 @@ pub mod baselines;
 pub mod driver;
 pub mod merging;
 pub mod profiling;
+pub mod scheduler;
 
 pub use assignment::{DynamicEpsilon, ExpertUtility, RoleAssigner, RoleAssignment};
-pub use driver::{FederatedRun, Method, RoundRecord, RunConfig, RunResult};
+pub use driver::{ActiveRun, FederatedRun, Method, RoundRecord, RunConfig, RunPhase, RunResult};
 pub use merging::{CompactModelPlan, MergeStrategy, MergingConfig};
-pub use profiling::{LocalProfiler, ProfilingConfig, StaleProfiler};
+pub use profiling::{LocalProfiler, ProfilingConfig, QuantizedModelCache, StaleProfiler};
+pub use scheduler::{JobSpec, RunHandle, SchedulePolicy, ScheduledRun, Scheduler};

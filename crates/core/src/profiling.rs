@@ -9,11 +9,87 @@
 //! profile computed during round `r-1`'s aggregation window so the profiling
 //! cost is hidden behind server-side work.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
 use serde::{Deserialize, Serialize};
 
 use flux_data::Dataset;
 use flux_moe::{ActivationProfile, MoeModel};
 use flux_quant::BitWidth;
+
+/// Round-scoped memoization of the quantized profiling model, one entry per
+/// bit width.
+///
+/// Every participant used to quantize its own copy of the freshly
+/// downloaded global model before profiling — identical work repeated once
+/// per participant sharing a bit width (the fleet assigns widths by device
+/// class, so most participants share one of two or three widths). The
+/// driver now opens one `QuantizedModelCache` per round and every profiling
+/// (and FMQ fine-tuning) path goes through it: the first participant at a
+/// width quantizes, the rest reuse the identical copy.
+///
+/// The cache must not outlive the round — the global model changes at every
+/// aggregation, and a stale quantized copy would silently profile last
+/// round's weights.
+///
+/// Concurrency: lookups take a short registry lock, then a per-width slot
+/// lock for the duration of the (first) quantization, so two participants
+/// at the *same* width wait on each other instead of duplicating the work,
+/// while different widths quantize concurrently. Quantization is
+/// deterministic, so the memoized copy is bit-identical to the one each
+/// participant would have built.
+#[derive(Debug, Default)]
+pub struct QuantizedModelCache {
+    slots: Mutex<HashMap<BitWidth, Arc<QuantizedSlot>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// One bit width's memoization slot: locked while the first requester
+/// quantizes so sharers wait instead of duplicating the work.
+type QuantizedSlot = Mutex<Option<Arc<MoeModel>>>;
+
+impl QuantizedModelCache {
+    /// Creates an empty cache for one round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The quantized copy of `model` at `width`: computed on first request,
+    /// shared on every subsequent one.
+    pub fn get_or_quantize(&self, model: &MoeModel, width: BitWidth) -> Arc<MoeModel> {
+        let slot = {
+            let mut slots = lock(&self.slots);
+            Arc::clone(slots.entry(width).or_default())
+        };
+        let mut guard = lock(&slot);
+        if let Some(cached) = &*guard {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let quantized = Arc::new(model.quantized_copy(width));
+        *guard = Some(Arc::clone(&quantized));
+        quantized
+    }
+
+    /// `(hits, misses)` so far — misses count actual quantizations.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Acquires a mutex, recovering from poisoning: a panic inside
+/// `quantized_copy` leaves the slot `None`, which simply re-quantizes on
+/// the next request.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of the local profiling module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,6 +157,21 @@ impl LocalProfiler {
         quantized.profile(&subset)
     }
 
+    /// Like [`LocalProfiler::profile`], but the quantized copy comes from
+    /// the round's shared [`QuantizedModelCache`]: participants sharing a
+    /// bit width quantize the model once between them. Identical results —
+    /// quantization is deterministic.
+    pub fn profile_cached(
+        &self,
+        model: &MoeModel,
+        dataset: &Dataset,
+        cache: &QuantizedModelCache,
+    ) -> ActivationProfile {
+        let quantized = cache.get_or_quantize(model, self.config.width);
+        let subset = limit_samples(dataset, self.config.max_samples);
+        quantized.profile(&subset)
+    }
+
     /// Profiles with the *full-precision* model. Used as ground truth when
     /// measuring the estimation error of quantized profiling (Fig. 5/14).
     pub fn profile_full_precision(&self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
@@ -141,10 +232,37 @@ impl StaleProfiler {
         self.refreshes += 1;
     }
 
+    /// [`StaleProfiler::refresh`] through the round's shared
+    /// [`QuantizedModelCache`]: the quantized copy is built once per bit
+    /// width per round instead of once per participant.
+    pub fn refresh_cached(
+        &mut self,
+        model: &MoeModel,
+        dataset: &Dataset,
+        cache: &QuantizedModelCache,
+    ) {
+        self.current = Some(self.profiler.profile_cached(model, dataset, cache));
+        self.refreshes += 1;
+    }
+
     /// Profiles synchronously and returns the result (used in round 0, when
     /// no stale profile exists yet, and by the non-stale ablation).
     pub fn refresh_blocking(&mut self, model: &MoeModel, dataset: &Dataset) -> ActivationProfile {
         self.refresh(model, dataset);
+        self.current
+            .clone()
+            .expect("refresh just populated the profile")
+    }
+
+    /// [`StaleProfiler::refresh_blocking`] through the round's shared
+    /// [`QuantizedModelCache`].
+    pub fn refresh_blocking_cached(
+        &mut self,
+        model: &MoeModel,
+        dataset: &Dataset,
+        cache: &QuantizedModelCache,
+    ) -> ActivationProfile {
+        self.refresh_cached(model, dataset, cache);
         self.current
             .clone()
             .expect("refresh just populated the profile")
@@ -221,6 +339,54 @@ mod tests {
         // Should run (on only 3 samples) and still produce a full-shape profile.
         let profile = small.profile(&model, &data);
         assert_eq!(profile.num_layers(), 4);
+    }
+
+    #[test]
+    fn quantized_cache_reuses_one_copy_per_width() {
+        let (model, data) = model_and_data();
+        let cache = QuantizedModelCache::new();
+        let a = cache.get_or_quantize(&model, BitWidth::Int4);
+        let b = cache.get_or_quantize(&model, BitWidth::Int4);
+        // Same allocation, not merely equal contents.
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get_or_quantize(&model, BitWidth::Int8);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 2)); // one hit, two quantizations
+                                           // The memoized copy is bit-identical to a fresh quantization.
+        assert_eq!(
+            a.param_checksum(),
+            model.quantized_copy(BitWidth::Int4).param_checksum()
+        );
+        let _ = data;
+    }
+
+    #[test]
+    fn cached_profile_matches_uncached() {
+        let (model, data) = model_and_data();
+        let profiler = LocalProfiler::new(ProfilingConfig::default());
+        let cache = QuantizedModelCache::new();
+        let cached = profiler.profile_cached(&model, &data, &cache);
+        let uncached = profiler.profile(&model, &data);
+        assert_eq!(cached, uncached);
+        // A second participant sharing the width hits the cache.
+        let again = profiler.profile_cached(&model, &data, &cache);
+        assert_eq!(again, uncached);
+        assert_eq!(cache.stats().0, 1);
+    }
+
+    #[test]
+    fn cached_stale_refresh_matches_uncached() {
+        let (model, data) = model_and_data();
+        let cache = QuantizedModelCache::new();
+        let mut cached = StaleProfiler::new(ProfilingConfig::default());
+        let mut plain = StaleProfiler::new(ProfilingConfig::default());
+        let a = cached.refresh_blocking_cached(&model, &data, &cache);
+        let b = plain.refresh_blocking(&model, &data);
+        assert_eq!(a, b);
+        cached.refresh_cached(&model, &data, &cache);
+        plain.refresh(&model, &data);
+        assert_eq!(cached.stale_profile(), plain.stale_profile());
+        assert_eq!(cached.refreshes(), 2);
     }
 
     #[test]

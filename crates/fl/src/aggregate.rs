@@ -136,12 +136,12 @@ impl ShardedAggregator {
         self.shards.len()
     }
 
-    /// Which shard aggregates `key`. Deterministic, so every arrival order
-    /// stages identical shard contents.
+    /// Which shard aggregates `key`. Deterministic — and shared with the
+    /// sharded global store ([`crate::store::shard_of_key`]) so shard *i*
+    /// of a round's staged uploads reduces into shard *i* of the store
+    /// under that shard's lock alone.
     pub fn shard_of(&self, key: ExpertKey) -> usize {
-        // Layers hold tens of experts; spreading consecutive expert ids
-        // round-robin keeps shards balanced without a hasher dependency.
-        (key.layer.wrapping_mul(31).wrapping_add(key.expert)) % self.shards.len()
+        crate::store::shard_of_key(key, self.shards.len())
     }
 
     /// Stages one participant's upload. Returns `false` (ignoring the
@@ -172,12 +172,29 @@ impl ShardedAggregator {
     }
 
     /// Reduces one shard: its staged updates sorted into participant-id
-    /// order, fed through the one-shot FedAvg kernel.
-    fn finalize_shard(&self, shard: usize) -> HashMap<ExpertKey, Expert> {
+    /// order, fed through the one-shot FedAvg kernel, draining the shard.
+    /// Public so the sharded store can reduce-and-install shard *i* as one
+    /// task under shard *i*'s lock alone.
+    pub fn finalize_shard(&self, shard: usize) -> HashMap<ExpertKey, Expert> {
         let mut staged = std::mem::take(&mut *lock(&self.shards[shard]));
         staged.sort_by_key(|(pid, _)| *pid);
         let ordered: Vec<ExpertUpdate> = staged.into_iter().map(|(_, u)| u).collect();
         fedavg_experts(&ordered)
+    }
+
+    /// Reduces the staged head updates in participant-id order, draining
+    /// the head slot.
+    pub fn finalize_head(&self) -> Option<Matrix> {
+        let mut heads = std::mem::take(&mut *lock(&self.heads));
+        heads.sort_by_key(|(pid, _, _)| *pid);
+        let ordered: Vec<(Matrix, f32)> = heads.into_iter().map(|(_, m, w)| (m, w)).collect();
+        fedavg_matrices(&ordered)
+    }
+
+    /// Clears the submitted-participant set so the aggregator can stage the
+    /// next round. Called once every shard (and the head) has been reduced.
+    pub fn reset_round(&self) {
+        lock(&self.submitted).clear();
     }
 
     /// Reduces every shard (and the head slot) into the final FedAvg
@@ -194,11 +211,8 @@ impl ShardedAggregator {
         for shard_result in pool.run(tasks) {
             experts.extend(shard_result);
         }
-        let mut heads = std::mem::take(&mut *lock(&self.heads));
-        heads.sort_by_key(|(pid, _, _)| *pid);
-        let ordered: Vec<(Matrix, f32)> = heads.into_iter().map(|(_, m, w)| (m, w)).collect();
-        let head = fedavg_matrices(&ordered);
-        lock(&self.submitted).clear();
+        let head = self.finalize_head();
+        self.reset_round();
         (experts, head)
     }
 }

@@ -16,7 +16,9 @@
 //!   time-to-accuracy numbers);
 //! * [`aggregate`] implements FedAvg over expert parameters and task heads;
 //! * [`participant::Participant`] bundles a device with its non-IID data
-//!   shard, and [`server::ParameterServer`] holds the global model.
+//!   shard, and [`server::ParameterServer`] is the multi-tenant parameter
+//!   server: one per-shard locked [`store::ShardedStore`] per federated
+//!   job, so concurrent runs aggregate without sharing a single lock.
 //!
 //! Convergence behaviour (rounds to target) comes from really training the
 //! scaled model; this crate only accounts for how long each round takes.
@@ -27,6 +29,7 @@ pub mod cost;
 pub mod device;
 pub mod participant;
 pub mod server;
+pub mod store;
 
 pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate, ShardedAggregator};
 pub use clock::{PhaseTimes, SimClock};
@@ -34,3 +37,4 @@ pub use cost::{CostModel, RoundCostBreakdown};
 pub use device::{DeviceClass, DeviceProfile};
 pub use participant::{build_fleet, Participant, ParticipantBehavior};
 pub use server::{ParameterServer, DEFAULT_SHARDS};
+pub use store::{shard_of_key, ShardedStore};

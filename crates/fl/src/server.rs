@@ -1,125 +1,169 @@
-//! The sharded parameter server holding the global model.
+//! The multi-tenant parameter server.
+//!
+//! A [`ParameterServer`] hosts any number of *tenants* — independent
+//! federated jobs, each with its own global model held in a per-shard
+//! locked [`ShardedStore`]. Tenants never share mutable state: two
+//! concurrent runs aggregate into disjoint stores, and even within one
+//! tenant a round's per-shard reductions install under per-shard locks, so
+//! nothing serializes on a model-wide write lock anymore (the scaling wall
+//! this type used to have).
+//!
+//! The original single-run surface (`global_model`, `with_global`,
+//! `begin_round`/`apply_round`, `aggregate`, …) is preserved by delegating
+//! to the **primary tenant** (tenant 0, registered at construction), so
+//! standalone drivers and existing tests are unaffected; the concurrent-run
+//! scheduler registers one tenant per job instead.
 
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 use flux_moe::{ExpertKey, MoeModel};
 use flux_tensor::Matrix;
 use threadpool::ThreadPool;
 
 use crate::aggregate::{ExpertUpdate, ShardedAggregator};
+use crate::store::ShardedStore;
 
-/// Default number of expert shards a server partitions aggregation into.
-/// Shards bound lock granularity during incremental staging and the fan-out
-/// width of the parallel finalize; the tiny/small presets have dozens of
-/// experts, so eight shards keeps every shard populated without contention.
+/// Default number of expert shards a server partitions each tenant's
+/// storage and aggregation into. Shards bound lock granularity during
+/// incremental staging, the fan-out width of the parallel finalize, and the
+/// write-lock granularity of the store install; the tiny/small presets have
+/// dozens of experts, so eight shards keeps every shard populated without
+/// contention.
 pub const DEFAULT_SHARDS: usize = 8;
 
 /// Central parameter server of the federated system.
 ///
-/// Holds the global MoE model and aggregates expert updates with FedAvg.
-/// Aggregation is *sharded and incremental*: [`ParameterServer::begin_round`]
-/// opens a [`ShardedAggregator`] that participants (or the driver acting for
-/// them) feed as their uploads arrive — from any thread, in any order — and
-/// [`ParameterServer::apply_round`] reduces the shards in participant-id
-/// order and installs the result, so the global model is bit-identical to
-/// the barriered one-shot aggregation no matter how updates arrived.
-/// Interior mutability allows the participant simulation to run on worker
-/// threads while the server stays shared.
+/// Holds one [`ShardedStore`] per registered tenant and aggregates expert
+/// updates with FedAvg. Aggregation is *sharded and incremental*:
+/// [`ParameterServer::begin_round`] opens a [`ShardedAggregator`] that
+/// participants (or the driver acting for them) feed as their uploads
+/// arrive — from any thread, in any order — and
+/// [`ParameterServer::apply_round`] reduces shard *i* and installs it under
+/// the store's shard-*i* lock alone, so the global model is bit-identical
+/// to the barriered one-shot aggregation no matter how updates arrived and
+/// no lock covers the whole model. Interior mutability allows the
+/// participant simulation to run on worker threads while the server stays
+/// shared.
 #[derive(Debug)]
 pub struct ParameterServer {
-    global: RwLock<MoeModel>,
-    rounds_completed: RwLock<usize>,
     num_shards: usize,
+    tenants: RwLock<Vec<Arc<ShardedStore>>>,
 }
 
 impl ParameterServer {
-    /// Creates a server around an initial global model with
-    /// [`DEFAULT_SHARDS`] aggregation shards.
+    /// Creates a server whose primary tenant holds `global_model`, with
+    /// [`DEFAULT_SHARDS`] shards.
     pub fn new(global_model: MoeModel) -> Self {
         Self::with_shards(global_model, DEFAULT_SHARDS)
     }
 
-    /// Creates a server with an explicit aggregation shard count
+    /// Creates a server with an explicit per-tenant shard count
     /// (minimum 1).
     pub fn with_shards(global_model: MoeModel, num_shards: usize) -> Self {
+        let server = Self::empty(num_shards);
+        server.register_tenant(global_model);
+        server
+    }
+
+    /// Creates a server with no tenants yet; the concurrent-run scheduler
+    /// registers one per job. The single-tenant convenience API panics
+    /// until the first registration.
+    pub fn empty(num_shards: usize) -> Self {
         Self {
-            global: RwLock::new(global_model),
-            rounds_completed: RwLock::new(0),
             num_shards: num_shards.max(1),
+            tenants: RwLock::new(Vec::new()),
         }
     }
 
-    /// Number of aggregation shards.
+    /// Registers a new tenant around its initial global model and returns
+    /// its store. The handle is how the tenant's run reads snapshots and
+    /// applies rounds; no other tenant's locks are ever touched through it.
+    pub fn register_tenant(&self, global_model: MoeModel) -> Arc<ShardedStore> {
+        let store = Arc::new(ShardedStore::new(global_model, self.num_shards));
+        self.tenants.write().push(Arc::clone(&store));
+        store
+    }
+
+    /// The store of one tenant by registration index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no tenant with that index exists.
+    pub fn tenant(&self, index: usize) -> Arc<ShardedStore> {
+        Arc::clone(&self.tenants.read()[index])
+    }
+
+    /// Removes a tenant from the registry (matched by store identity),
+    /// releasing the server's reference to its model. Returns whether the
+    /// store was registered. A long-lived server hosting a stream of jobs
+    /// must deregister each finished tenant or its models accumulate; the
+    /// concurrent-run scheduler does this as each job completes. Callers
+    /// holding their own `Arc` keep the store alive regardless.
+    pub fn deregister_tenant(&self, store: &Arc<ShardedStore>) -> bool {
+        let mut tenants = self.tenants.write();
+        match tenants.iter().position(|t| Arc::ptr_eq(t, store)) {
+            Some(index) => {
+                tenants.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.read().len()
+    }
+
+    /// Number of expert shards per tenant.
     pub fn num_shards(&self) -> usize {
         self.num_shards
     }
 
-    /// A full copy of the current global model (what a participant downloads
-    /// at the start of a round).
+    /// The primary tenant (tenant 0), which the single-run legacy API
+    /// delegates to.
+    fn primary(&self) -> Arc<ShardedStore> {
+        self.tenant(0)
+    }
+
+    /// A full copy of the primary tenant's current global model (what a
+    /// participant downloads at the start of a round).
     pub fn global_model(&self) -> MoeModel {
-        self.global.read().clone()
+        self.primary().global_model()
     }
 
-    /// Runs `f` against the current global model without cloning it. The
-    /// read lock is held for the duration of `f`, which is fine for the
-    /// round pipeline: aggregation (the only writer) only runs after every
-    /// reader of the round snapshot has finished.
+    /// Runs `f` against the primary tenant's current global model without
+    /// cloning it. The model is a materialized snapshot shared through an
+    /// `Arc`; no store lock is held while `f` runs, so concurrent tenants
+    /// (and even this tenant's next aggregation) proceed undisturbed.
     pub fn with_global<R>(&self, f: impl FnOnce(&MoeModel) -> R) -> R {
-        f(&self.global.read())
+        self.primary().with_global(f)
     }
 
-    /// Number of aggregation rounds applied so far.
+    /// Number of aggregation rounds applied to the primary tenant.
     pub fn rounds_completed(&self) -> usize {
-        *self.rounds_completed.read()
+        self.primary().rounds_completed()
     }
 
-    /// Opens the incremental aggregator for one round. Participant uploads
-    /// are staged into it as they arrive; [`ParameterServer::apply_round`]
-    /// closes the round.
+    /// Opens the incremental aggregator for one round of the primary
+    /// tenant. Participant uploads are staged into it as they arrive;
+    /// [`ParameterServer::apply_round`] closes the round.
     pub fn begin_round(&self) -> ShardedAggregator {
-        ShardedAggregator::new(self.num_shards)
+        self.primary().begin_round()
     }
 
-    /// Closes a round: reduces the staged shards (fanning out to `pool`)
-    /// and installs the aggregated experts and head into the global model.
-    /// Experts nobody updated keep their previous global parameters.
+    /// Closes a round of the primary tenant: reduces the staged shards
+    /// (fanning out to `pool`) and installs each shard's aggregated experts
+    /// under that shard's lock. Experts nobody updated keep their previous
+    /// global parameters.
     pub fn apply_round(&self, aggregator: &ShardedAggregator, pool: &ThreadPool) {
-        let (experts, head) = aggregator.finalize(pool);
-        self.install(experts, head);
+        self.primary().apply_round(aggregator, pool);
     }
 
-    /// Installs an aggregation result into the global model and counts the
-    /// round. Out-of-range expert keys and shape-mismatched heads are
-    /// ignored (a rogue participant cannot corrupt the model).
-    fn install(
-        &self,
-        experts: std::collections::HashMap<ExpertKey, flux_moe::Expert>,
-        head: Option<Matrix>,
-    ) {
-        let mut global = self.global.write();
-        for (key, expert) in experts {
-            if key.layer < global.layers.len()
-                && key.expert < global.layers[key.layer].moe.num_experts()
-            {
-                global.set_expert(key, expert);
-            }
-        }
-        if let Some(head) = head {
-            let target = match &mut global.cls_head {
-                Some(h) => h,
-                None => &mut global.lm_head,
-            };
-            if target.shape() == head.shape() {
-                *target = head;
-            }
-        }
-        drop(global);
-        *self.rounds_completed.write() += 1;
-    }
-
-    /// Applies one round of FedAvg aggregation in a single call (the
-    /// barriered path): the borrowed updates go straight through the
-    /// one-shot kernels, copy-free.
+    /// Applies one round of FedAvg aggregation to the primary tenant in a
+    /// single call (the barriered path): the borrowed updates go straight
+    /// through the one-shot kernels, copy-free.
     ///
     /// `expert_updates` carries the fine-tuned expert parameters from every
     /// participant (original/global expert ids) in participant-id order;
@@ -129,14 +173,13 @@ impl ParameterServer {
     /// `incremental_round_matches_one_shot_aggregate` below plus the
     /// `sharded_incremental_matches_one_shot_fedavg` property test.
     pub fn aggregate(&self, expert_updates: &[ExpertUpdate], head_updates: &[(Matrix, f32)]) {
-        let experts = crate::aggregate::fedavg_experts(expert_updates);
-        let head = crate::aggregate::fedavg_matrices(head_updates);
-        self.install(experts, head);
+        self.primary().aggregate(expert_updates, head_updates);
     }
 
-    /// Convenience: read one expert's current global parameters.
+    /// Convenience: read one expert's current parameters from the primary
+    /// tenant (a single per-shard read lock).
     pub fn expert(&self, key: ExpertKey) -> flux_moe::Expert {
-        self.global.read().expert(key).clone()
+        self.primary().expert(key)
     }
 }
 
@@ -289,5 +332,109 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.rounds_completed(), 4);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let server = ParameterServer::empty(4);
+        assert_eq!(server.num_tenants(), 0);
+        let mut rng = SeededRng::new(11);
+        let model_a = MoeModel::new(MoeConfig::tiny(), &mut rng);
+        let model_b = MoeModel::new(MoeConfig::tiny(), &mut rng);
+        let a = server.register_tenant(model_a);
+        let b = server.register_tenant(model_b);
+        assert_eq!(server.num_tenants(), 2);
+        let b_before = b.snapshot().param_checksum();
+
+        // Writing tenant A leaves tenant B bit-identical.
+        let e = flux_moe::Expert::new(16, 32, &mut rng);
+        a.aggregate(
+            &[ExpertUpdate {
+                key: ExpertKey::new(0, 0),
+                expert: e,
+                weight: 1.0,
+            }],
+            &[],
+        );
+        assert_eq!(b.snapshot().param_checksum(), b_before);
+        assert_eq!(a.rounds_completed(), 1);
+        assert_eq!(b.rounds_completed(), 0);
+        // The server-level legacy API is tenant 0.
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn deregister_releases_the_tenant() {
+        let server = ParameterServer::empty(4);
+        let mut rng = SeededRng::new(13);
+        let store = server.register_tenant(MoeModel::new(MoeConfig::tiny(), &mut rng));
+        assert_eq!(server.num_tenants(), 1);
+        assert!(server.deregister_tenant(&store));
+        assert_eq!(server.num_tenants(), 0);
+        // The caller's handle still works; a second deregister is a no-op.
+        assert_eq!(store.rounds_completed(), 0);
+        assert!(!server.deregister_tenant(&store));
+    }
+
+    #[test]
+    fn concurrent_tenant_rounds_do_not_interfere() {
+        // Two tenants apply rounds from two threads simultaneously; each
+        // must end bit-identical to applying its round alone.
+        let mut rng = SeededRng::new(12);
+        let model = MoeModel::new(MoeConfig::tiny(), &mut rng);
+        let server = std::sync::Arc::new(ParameterServer::empty(4));
+        let expected: Vec<u64> = (0..2u64)
+            .map(|t| {
+                let solo = ShardedStore::new(model.clone(), 4);
+                let agg = solo.begin_round();
+                let mut rng = SeededRng::new(100 + t);
+                agg.submit(
+                    0,
+                    vec![ExpertUpdate {
+                        key: ExpertKey::new(0, t as usize),
+                        expert: flux_moe::Expert::new(16, 32, &mut rng),
+                        weight: 1.0,
+                    }],
+                    None,
+                );
+                solo.apply_round(&agg, &ThreadPool::new(1));
+                solo.snapshot().param_checksum()
+            })
+            .collect();
+
+        let stores: Vec<_> = (0..2)
+            .map(|_| server.register_tenant(model.clone()))
+            .collect();
+        let handles: Vec<_> = stores
+            .iter()
+            .enumerate()
+            .map(|(t, store)| {
+                let store = Arc::clone(store);
+                std::thread::spawn(move || {
+                    let agg = store.begin_round();
+                    let mut rng = SeededRng::new(100 + t as u64);
+                    agg.submit(
+                        0,
+                        vec![ExpertUpdate {
+                            key: ExpertKey::new(0, t),
+                            expert: flux_moe::Expert::new(16, 32, &mut rng),
+                            weight: 1.0,
+                        }],
+                        None,
+                    );
+                    store.apply_round(&agg, &ThreadPool::new(2));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (t, store) in stores.iter().enumerate() {
+            assert_eq!(
+                store.snapshot().param_checksum(),
+                expected[t],
+                "tenant {t} diverged under concurrency"
+            );
+        }
     }
 }

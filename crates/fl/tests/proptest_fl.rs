@@ -1,18 +1,93 @@
 //! Property-based tests for the federated substrate: FedAvg invariants,
-//! sharded incremental aggregation vs the one-shot kernels, device
-//! budgets, and cost-model monotonicity.
+//! sharded incremental aggregation vs the one-shot kernels, the per-shard
+//! locked store under concurrent multi-tenant rounds, device budgets, and
+//! cost-model monotonicity.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use flux_fl::{
-    fedavg_experts, fedavg_matrices, CostModel, DeviceClass, ExpertUpdate, ShardedAggregator,
+    fedavg_experts, fedavg_matrices, CostModel, DeviceClass, ExpertUpdate, ParameterServer,
+    ShardedAggregator, ShardedStore,
 };
-use flux_moe::{Expert, ExpertKey, MoeConfig};
+use flux_moe::{Expert, ExpertKey, MoeConfig, MoeModel};
 use flux_tensor::{Matrix, SeededRng};
 use threadpool::ThreadPool;
 
 /// One participant's generated upload: id, expert updates, optional head.
 type Upload = (usize, Vec<ExpertUpdate>, Option<(Matrix, f32)>);
+
+/// The shared initial global model of the store scenarios (tiny preset:
+/// 4 layers × 8 experts of shape (16, 32)).
+fn tiny_model() -> MoeModel {
+    let mut rng = SeededRng::new(7);
+    MoeModel::new(MoeConfig::tiny(), &mut rng)
+}
+
+/// Deterministic uploads of one `(tenant, round)` cell: every participant
+/// contributes a couple of in-range expert updates plus a head, all derived
+/// from the seeds so the sequential reference and every interleaving see
+/// bit-identical inputs.
+fn tenant_round_uploads(model: &MoeModel, tenant: u64, round: u64) -> Vec<Upload> {
+    let mut rng = SeededRng::new(9000 + tenant * 97 + round);
+    let head_shape = model.lm_head.shape();
+    (0..3)
+        .map(|pid| {
+            let updates: Vec<ExpertUpdate> = (0..2)
+                .map(|_| ExpertUpdate {
+                    key: ExpertKey::new(rng.below(4), rng.below(8)),
+                    expert: Expert::new(16, 32, &mut rng),
+                    weight: rng.uniform_range(0.5, 3.0),
+                })
+                .collect();
+            let head = Matrix::random_normal(head_shape.0, head_shape.1, 1.0, &mut rng);
+            (pid, updates, Some((head, rng.uniform_range(0.5, 2.0))))
+        })
+        .collect()
+}
+
+/// Runs `rounds` rounds of one tenant against `store`, submitting each
+/// round's uploads in the order `arrival_rng` deals, and returns the final
+/// checksum.
+fn run_tenant_rounds(
+    store: &ShardedStore,
+    model: &MoeModel,
+    tenant: u64,
+    rounds: u64,
+    pool: &ThreadPool,
+    arrival_rng: &mut SeededRng,
+) -> u64 {
+    for round in 0..rounds {
+        let mut uploads = tenant_round_uploads(model, tenant, round);
+        arrival_rng.shuffle(&mut uploads);
+        let aggregator = store.begin_round();
+        for (pid, updates, head) in uploads {
+            assert!(aggregator.submit(pid, updates, head));
+        }
+        store.apply_round(&aggregator, pool);
+    }
+    store.snapshot().param_checksum()
+}
+
+/// Sequential reference: each tenant's rounds executed alone against a
+/// private store, uploads in participant-id order, single-threaded.
+fn sequential_reference(model: &MoeModel, num_shards: usize, rounds: u64) -> Vec<u64> {
+    let pool = ThreadPool::new(1);
+    (0..2u64)
+        .map(|tenant| {
+            let store = ShardedStore::new(model.clone(), num_shards);
+            for round in 0..rounds {
+                let aggregator = store.begin_round();
+                for (pid, updates, head) in tenant_round_uploads(model, tenant, round) {
+                    assert!(aggregator.submit(pid, updates, head));
+                }
+                store.apply_round(&aggregator, &pool);
+            }
+            store.snapshot().param_checksum()
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -153,6 +228,104 @@ proptest! {
         prop_assert_eq!(head, reference_head);
     }
 
+    /// Any *logical* interleaving of two concurrent runs' rounds against
+    /// one multi-tenant server — tenant A and B's `apply_round` calls
+    /// merged in an arbitrary order, uploads arriving in arbitrary order,
+    /// any shard count, any reduce-pool width — yields final per-tenant
+    /// checksums bit-identical to executing each tenant's rounds alone,
+    /// sequentially, single-threaded.
+    #[test]
+    fn interleaved_tenant_rounds_match_sequential(
+        arrival_seed in 0u64..10_000,
+        num_shards in 1usize..9,
+        threads in 1usize..4,
+        rounds in 1u64..4,
+        // Merge schedule: which tenant advances a round at each step.
+        schedule in prop::collection::vec(0usize..2, 6),
+    ) {
+        let model = tiny_model();
+        let expected = sequential_reference(&model, num_shards, rounds);
+
+        let server = ParameterServer::empty(num_shards);
+        let stores = [
+            server.register_tenant(model.clone()),
+            server.register_tenant(model.clone()),
+        ];
+        let pool = ThreadPool::new(threads);
+        let mut arrival_rng = SeededRng::new(arrival_seed);
+        let mut next_round = [0u64; 2];
+        // Walk the generated merge schedule, then drain whatever remains.
+        let order = schedule
+            .iter()
+            .copied()
+            .chain((0..2).flat_map(|t| std::iter::repeat_n(t, rounds as usize)));
+        for tenant in order {
+            if next_round[tenant] >= rounds {
+                continue;
+            }
+            let round = next_round[tenant];
+            next_round[tenant] += 1;
+            let mut uploads = tenant_round_uploads(&model, tenant as u64, round);
+            arrival_rng.shuffle(&mut uploads);
+            let aggregator = stores[tenant].begin_round();
+            for (pid, updates, head) in uploads {
+                prop_assert!(aggregator.submit(pid, updates, head));
+            }
+            stores[tenant].apply_round(&aggregator, &pool);
+        }
+        for (tenant, store) in stores.iter().enumerate() {
+            prop_assert_eq!(
+                store.snapshot().param_checksum(),
+                expected[tenant],
+                "tenant {} diverged from sequential execution",
+                tenant
+            );
+        }
+    }
+
+    /// Two tenants' rounds executed **concurrently from two OS threads**
+    /// against one server (per-shard locks racing for real) still end
+    /// bit-identical to sequential execution.
+    #[test]
+    fn threaded_tenant_rounds_match_sequential(
+        arrival_seed in 0u64..10_000,
+        num_shards in 1usize..9,
+        threads in 1usize..4,
+        rounds in 1u64..4,
+    ) {
+        let model = tiny_model();
+        let expected = sequential_reference(&model, num_shards, rounds);
+
+        let server = ParameterServer::empty(num_shards);
+        let stores = [
+            server.register_tenant(model.clone()),
+            server.register_tenant(model.clone()),
+        ];
+        let model = Arc::new(model);
+        let handles: Vec<_> = stores
+            .iter()
+            .enumerate()
+            .map(|(tenant, store)| {
+                let store = Arc::clone(store);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    let pool = ThreadPool::new(threads);
+                    let mut arrival_rng = SeededRng::new(arrival_seed + tenant as u64);
+                    run_tenant_rounds(&store, &model, tenant as u64, rounds, &pool, &mut arrival_rng)
+                })
+            })
+            .collect();
+        for (tenant, handle) in handles.into_iter().enumerate() {
+            let checksum = handle.join().expect("tenant thread panicked");
+            prop_assert_eq!(
+                checksum,
+                expected[tenant],
+                "tenant {} diverged under cross-thread concurrency",
+                tenant
+            );
+        }
+    }
+
     /// Device capacity budgets are always consistent: 1 <= B_tune <= B_i <=
     /// total experts, for every device class and workload size.
     #[test]
@@ -200,4 +373,43 @@ proptest! {
         let o2 = cost.offload_time_s(&device, &config, experts * 2);
         prop_assert!((o2 - 2.0 * o1).abs() < 1e-6 * o2.max(1.0));
     }
+}
+
+/// A retransmitting participant is rejected at the store level: the round
+/// opened by `ShardedStore::begin_round` ignores the duplicate wholesale,
+/// and the installed model is bit-identical to the single-submission run.
+#[test]
+fn duplicate_submission_is_rejected_at_the_store_level() {
+    let model = tiny_model();
+    let pool = ThreadPool::new(2);
+
+    let reference = ShardedStore::new(model.clone(), 4);
+    let uploads = tenant_round_uploads(&model, 0, 0);
+    {
+        let aggregator = reference.begin_round();
+        let (pid, updates, head) = uploads[0].clone();
+        assert!(aggregator.submit(pid, updates, head));
+        reference.apply_round(&aggregator, &pool);
+    }
+
+    let store = ShardedStore::new(model.clone(), 4);
+    let aggregator = store.begin_round();
+    let (pid, updates, head) = uploads[0].clone();
+    assert!(aggregator.submit(pid, updates, head));
+    // The straggler retransmits different payloads under the same id: the
+    // whole resubmission must be dropped, not merged.
+    let (_, retrans_updates, retrans_head) = uploads[1].clone();
+    assert!(!aggregator.submit(pid, retrans_updates, retrans_head));
+    assert_eq!(aggregator.submitted_participants(), 1);
+    store.apply_round(&aggregator, &pool);
+
+    assert_eq!(
+        store.snapshot().param_checksum(),
+        reference.snapshot().param_checksum(),
+        "duplicate submission leaked into the aggregate"
+    );
+    // The next round accepts the participant again (round state drained).
+    let next = store.begin_round();
+    let (pid, updates, head) = uploads[2].clone();
+    assert!(next.submit(pid, updates, head));
 }

@@ -12,12 +12,26 @@
 //! the *input* is implemented so that gradients reach experts in earlier
 //! layers.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use flux_tensor::{init, ops, Matrix, SeededRng};
 
 /// Single-head self-attention block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The Q/K/V projections are applied as **one fused wide GEMM** against the
+/// cached `[Wq | Wk | Wv]` concatenation: the input panel is packed once
+/// instead of three times and the kernel's per-column accumulation order is
+/// unchanged, so the fused outputs are bit-identical to three separate
+/// matmuls (pinned by `fused_qkv_matches_three_matmuls` below).
+///
+/// The fused weight is built lazily and invalidated whenever the projection
+/// matrices are replaced wholesale (cloning resets it; in-place writes to
+/// `wq`/`wk`/`wv` must go through [`Attention::invalidate_fused`]). Attention
+/// weights are frozen during federated fine-tuning, so in practice the cache
+/// is built once per model instance.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Attention {
     /// Query projection `(d_model, d_model)`.
     pub wq: Matrix,
@@ -27,6 +41,36 @@ pub struct Attention {
     pub wv: Matrix,
     /// Output projection.
     pub wo: Matrix,
+    /// Lazily built `[Wq | Wk | Wv]` concatenation `(d_model, 3·d_model)`.
+    ///
+    /// Derived state, never persisted: the binary checkpoint format
+    /// (`checkpoint.rs`) writes only the four projections, and when the
+    /// vendored no-op serde stub is swapped for the real crate this field
+    /// must gain `#[serde(skip)]` (`OnceLock` implements `Default`, which
+    /// is all `skip` needs) — real serde has no `OnceLock` impls and
+    /// serializing a cache would be wrong anyway.
+    fused_qkv: OnceLock<Matrix>,
+}
+
+impl Clone for Attention {
+    fn clone(&self) -> Self {
+        // The clone starts with an empty cache: callers that clone in order
+        // to mutate the projections (e.g. quantized profiling copies) must
+        // never inherit the original's fused weights.
+        Self::from_parts(
+            self.wq.clone(),
+            self.wk.clone(),
+            self.wv.clone(),
+            self.wo.clone(),
+        )
+    }
+}
+
+impl PartialEq for Attention {
+    fn eq(&self, other: &Self) -> bool {
+        // The fused cache is derived state and deliberately excluded.
+        self.wq == other.wq && self.wk == other.wk && self.wv == other.wv && self.wo == other.wo
+    }
 }
 
 /// Forward-pass cache needed by [`Attention::backward`].
@@ -112,12 +156,52 @@ impl AttentionCache {
 impl Attention {
     /// Creates a randomly initialized attention block.
     pub fn new(d_model: usize, rng: &mut SeededRng) -> Self {
+        Self::from_parts(
+            init::xavier_uniform(d_model, d_model, rng),
+            init::xavier_uniform(d_model, d_model, rng),
+            init::xavier_uniform(d_model, d_model, rng),
+            init::xavier_uniform(d_model, d_model, rng),
+        )
+    }
+
+    /// Builds an attention block from explicit projection matrices
+    /// (checkpoint loading, tests). The fused-weight cache starts empty.
+    pub fn from_parts(wq: Matrix, wk: Matrix, wv: Matrix, wo: Matrix) -> Self {
         Self {
-            wq: init::xavier_uniform(d_model, d_model, rng),
-            wk: init::xavier_uniform(d_model, d_model, rng),
-            wv: init::xavier_uniform(d_model, d_model, rng),
-            wo: init::xavier_uniform(d_model, d_model, rng),
+            wq,
+            wk,
+            wv,
+            wo,
+            fused_qkv: OnceLock::new(),
         }
+    }
+
+    /// Drops the cached fused `[Wq | Wk | Wv]` weight. Must be called after
+    /// writing to `wq`/`wk`/`wv` in place; the next forward rebuilds it.
+    pub fn invalidate_fused(&mut self) {
+        self.fused_qkv = OnceLock::new();
+    }
+
+    /// The cached `[Wq | Wk | Wv]` concatenation, built on first use.
+    fn fused_qkv(&self) -> &Matrix {
+        self.fused_qkv.get_or_init(|| {
+            Matrix::hstack(&[&self.wq, &self.wk, &self.wv]).expect("projections share d_model")
+        })
+    }
+
+    /// Runs the fused Q/K/V projection over `input` and splits the wide
+    /// result back into the three `(rows, d_model)` operands. Bit-identical
+    /// to `input·Wq`, `input·Wk`, `input·Wv` because the GEMM kernel's
+    /// per-element accumulation order does not depend on the right
+    /// operand's column count.
+    fn project_qkv(&self, input: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let d = self.d_model();
+        let qkv = input.matmul(self.fused_qkv());
+        let q = qkv.copy_cols(0, d);
+        let k = qkv.copy_cols(d, 2 * d);
+        let v = qkv.copy_cols(2 * d, 3 * d);
+        qkv.recycle();
+        (q, k, v)
     }
 
     /// Hidden width.
@@ -133,9 +217,7 @@ impl Attention {
     /// Forward pass over a `(seq, d_model)` input.
     pub fn forward(&self, input: &Matrix) -> (Matrix, AttentionCache) {
         let d = self.d_model() as f32;
-        let q = input.matmul(&self.wq);
-        let k = input.matmul(&self.wk);
-        let v = input.matmul(&self.wv);
+        let (q, k, v) = self.project_qkv(input);
         // Q·Kᵀ via the fused-transpose kernel: no transposed copy of K.
         let mut scores = q.matmul_transb(&k).expect("q/k widths match");
         scores.scale_in_place(1.0 / d.sqrt());
@@ -176,9 +258,7 @@ impl Attention {
         bounds: &[(usize, usize)],
     ) -> (Matrix, AttentionBatchCache) {
         let d = self.d_model() as f32;
-        let q = input.matmul(&self.wq);
-        let k = input.matmul(&self.wk);
-        let v = input.matmul(&self.wv);
+        let (q, k, v) = self.project_qkv(input);
         let mut mixed = Matrix::zeros_pooled(input.rows(), self.d_model());
         let mut probs_all = Vec::with_capacity(bounds.len());
         for &(start, end) in bounds {
@@ -392,6 +472,47 @@ mod tests {
                 "({r},{c}): numeric {numeric} analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn fused_qkv_matches_three_matmuls() {
+        // The fused wide GEMM is the production path; pin it bit-identical
+        // to the three-matmul reference it replaced.
+        let mut rng = SeededRng::new(21);
+        let attn = Attention::new(16, &mut rng);
+        let x = Matrix::random_normal(9, 16, 1.0, &mut rng);
+        let (q, k, v) = attn.project_qkv(&x);
+        assert_eq!(q, x.matmul(&attn.wq));
+        assert_eq!(k, x.matmul(&attn.wk));
+        assert_eq!(v, x.matmul(&attn.wv));
+        // The cache is built exactly once and reused.
+        let fused_ptr = attn.fused_qkv() as *const Matrix;
+        let _ = attn.forward(&x);
+        assert_eq!(attn.fused_qkv() as *const Matrix, fused_ptr);
+    }
+
+    #[test]
+    fn clone_and_invalidate_reset_the_fused_cache() {
+        let mut rng = SeededRng::new(22);
+        let mut attn = Attention::new(8, &mut rng);
+        let x = Matrix::random_normal(3, 8, 1.0, &mut rng);
+        let (before, _) = attn.forward(&x); // populates the cache
+        let cloned = attn.clone();
+        assert!(cloned.fused_qkv.get().is_none(), "clone inherited cache");
+        assert_eq!(cloned.forward(&x).0, before);
+        // In-place mutation + invalidate: the next forward must see the new
+        // weights instead of the stale fused concatenation.
+        attn.wq = Matrix::zeros(8, 8);
+        attn.invalidate_fused();
+        let (after, _) = attn.forward(&x);
+        assert_ne!(after, before);
+        let reference = Attention::from_parts(
+            attn.wq.clone(),
+            attn.wk.clone(),
+            attn.wv.clone(),
+            attn.wo.clone(),
+        );
+        assert_eq!(reference.forward(&x).0, after);
     }
 
     #[test]

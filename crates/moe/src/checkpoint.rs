@@ -153,7 +153,7 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<MoeModel, CheckpointError> {
             RoutingMap::from_table(table)
         };
         layers.push(TransformerLayer {
-            attention: Attention { wq, wk, wv, wo },
+            attention: Attention::from_parts(wq, wk, wv, wo),
             moe: MoeLayer {
                 gate: Gate {
                     weight: gate_weight,

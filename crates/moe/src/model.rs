@@ -177,6 +177,67 @@ impl MoeModel {
         self.layers.iter().map(|l| l.moe.num_experts()).collect()
     }
 
+    /// The task head a participant trains and uploads: the classification
+    /// head when configured, the generation head otherwise.
+    pub fn active_head(&self) -> &Matrix {
+        match &self.cls_head {
+            Some(h) => h,
+            None => &self.lm_head,
+        }
+    }
+
+    /// Mutable access to the active task head.
+    pub fn active_head_mut(&mut self) -> &mut Matrix {
+        match &mut self.cls_head {
+            Some(h) => h,
+            None => &mut self.lm_head,
+        }
+    }
+
+    /// FNV-1a over the exact f32 bit patterns of every aggregation-visible
+    /// parameter — the embedding, all expert weights/biases (enumerated via
+    /// [`MoeModel::expert_keys`], the same keys the sharded parameter store
+    /// partitions on), and both heads. Two models with equal checksums and
+    /// equal shapes are bit-identical in everything federated aggregation
+    /// can touch; the golden-trace and store-interleaving suites compare
+    /// runs through this.
+    pub fn param_checksum(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: f32| {
+            for byte in x.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for x in self.embedding.as_slice() {
+            eat(*x);
+        }
+        for key in self.expert_keys() {
+            let expert = self.expert(key);
+            for x in expert.w1.as_slice() {
+                eat(*x);
+            }
+            for x in expert.w2.as_slice() {
+                eat(*x);
+            }
+            for x in &expert.b1 {
+                eat(*x);
+            }
+            for x in &expert.b2 {
+                eat(*x);
+            }
+        }
+        for x in self.lm_head.as_slice() {
+            eat(*x);
+        }
+        if let Some(head) = &self.cls_head {
+            for x in head.as_slice() {
+                eat(*x);
+            }
+        }
+        hash
+    }
+
     /// Replaces the experts and routing map of one layer (customized MoE
     /// construction / gate re-routing after merging).
     ///
@@ -217,10 +278,15 @@ impl MoeModel {
             copy.cls_head = Some(q(h));
         }
         for layer in &mut copy.layers {
-            layer.attention.wq = q(&layer.attention.wq);
-            layer.attention.wk = q(&layer.attention.wk);
-            layer.attention.wv = q(&layer.attention.wv);
-            layer.attention.wo = q(&layer.attention.wo);
+            // Rebuild the block rather than mutating projections in place:
+            // a fresh Attention starts with an empty fused-QKV cache, so no
+            // stale [Wq|Wk|Wv] concatenation can survive the quantization.
+            layer.attention = crate::attention::Attention::from_parts(
+                q(&layer.attention.wq),
+                q(&layer.attention.wk),
+                q(&layer.attention.wv),
+                q(&layer.attention.wo),
+            );
             layer.moe.gate.weight = q(&layer.moe.gate.weight);
             for expert in &mut layer.moe.experts {
                 expert.w1 = q(&expert.w1);
@@ -1136,6 +1202,37 @@ mod tests {
                 .frobenius_norm()
         };
         assert!(dist(&q2, &model) > dist(&q8, &model));
+    }
+
+    #[test]
+    fn param_checksum_tracks_aggregation_visible_state() {
+        let model = tiny_model(41);
+        let same = model.clone();
+        assert_eq!(model.param_checksum(), same.param_checksum());
+        // Touching one expert weight changes the checksum.
+        let mut touched = model.clone();
+        let key = ExpertKey::new(0, 0);
+        let v = touched.expert(key).w1.get(0, 0);
+        touched.expert_mut(key).w1.set(0, 0, v + 1.0);
+        assert_ne!(model.param_checksum(), touched.param_checksum());
+        // So does touching the head.
+        let mut head_touched = model.clone();
+        let v = head_touched.active_head().get(0, 0);
+        head_touched.active_head_mut().set(0, 0, v + 1.0);
+        assert_ne!(model.param_checksum(), head_touched.param_checksum());
+    }
+
+    #[test]
+    fn active_head_prefers_classification_head() {
+        let mut rng = SeededRng::new(42);
+        let with_cls = MoeModel::new(MoeConfig::tiny().with_classes(4), &mut rng);
+        assert_eq!(
+            with_cls.active_head().shape(),
+            with_cls.cls_head.as_ref().unwrap().shape()
+        );
+        let mut rng = SeededRng::new(42);
+        let without = MoeModel::new(MoeConfig::tiny(), &mut rng);
+        assert_eq!(without.active_head().shape(), without.lm_head.shape());
     }
 
     #[test]

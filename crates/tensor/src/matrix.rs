@@ -383,6 +383,28 @@ impl Matrix {
         out
     }
 
+    /// Copies the contiguous column range `[start, end)` into a new matrix
+    /// whose buffer comes from the scratch pool. Used to split the output of
+    /// a fused wide GEMM (e.g. the attention Q/K/V projection) back into its
+    /// logical operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.cols()`.
+    pub fn copy_cols(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= self.cols,
+            "column range out of bounds"
+        );
+        let width = end - start;
+        let mut out = Matrix::zeros_pooled(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.data[r * self.cols + start..r * self.cols + end]);
+        }
+        out
+    }
+
     /// Writes `block` over the rows starting at `start` (the inverse of
     /// [`Matrix::copy_rows`]).
     ///
@@ -820,6 +842,43 @@ impl Matrix {
         Ok(Matrix { rows, cols, data })
     }
 
+    /// Stacks matrices horizontally (side by side).
+    ///
+    /// The fused attention projection concatenates `[Wq | Wk | Wv]` this
+    /// way once and caches the result, turning three GEMMs into one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when row counts differ, and
+    /// [`TensorError::InvalidArgument`] for an empty input list.
+    pub fn hstack(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("hstack of zero matrices".into()))?;
+        let rows = first.rows;
+        let mut cols = 0;
+        for p in parts {
+            if p.rows != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "hstack",
+                    lhs: (rows, cols),
+                    rhs: p.shape(),
+                });
+            }
+            cols += p.cols;
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            let out_row = out.row_mut(r);
+            for p in parts {
+                out_row[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        Ok(out)
+    }
+
     // Shared implementation of the element-wise binary operations.
     fn zip_with(
         &self,
@@ -982,6 +1041,52 @@ mod tests {
     fn paste_rows_rejects_overrun() {
         let block = Matrix::zeros(2, 2);
         Matrix::zeros(2, 2).paste_rows(1, &block);
+    }
+
+    #[test]
+    fn copy_cols_slices_columns() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0, 2.0], vec![3.0, 4.0, 5.0]]);
+        let mid = a.copy_cols(1, 3);
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.as_slice(), &[1.0, 2.0, 4.0, 5.0]);
+        // An empty range is a valid (rows, 0) matrix.
+        assert_eq!(a.copy_cols(2, 2).shape(), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "column range out of bounds")]
+    fn copy_cols_rejects_overrun() {
+        Matrix::zeros(2, 2).copy_cols(1, 3);
+    }
+
+    #[test]
+    fn hstack_concatenates() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![3.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 9.0], vec![4.0, 8.0]]);
+        let s = Matrix::hstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.row(0), &[1.0, 2.0, 9.0]);
+        assert_eq!(s.row(1), &[3.0, 4.0, 8.0]);
+        // Round-trip: copy_cols splits what hstack joined.
+        assert_eq!(s.copy_cols(0, 1), a);
+        assert_eq!(s.copy_cols(1, 3), b);
+        let c = Matrix::zeros(3, 1);
+        assert!(Matrix::hstack(&[&a, &c]).is_err());
+        assert!(Matrix::hstack(&[]).is_err());
+    }
+
+    #[test]
+    fn matmul_cols_are_independent_of_col_count() {
+        // The fused attention projection relies on this: widening B by
+        // stacking more columns must not change any individual output
+        // column's result bits.
+        let mut rng = SeededRng::new(11);
+        let a = Matrix::random_normal(17, 93, 1.0, &mut rng);
+        let b1 = Matrix::random_normal(93, 19, 1.0, &mut rng);
+        let b2 = Matrix::random_normal(93, 19, 1.0, &mut rng);
+        let fused = a.matmul(&Matrix::hstack(&[&b1, &b2]).unwrap());
+        assert_eq!(fused.copy_cols(0, 19), a.matmul(&b1));
+        assert_eq!(fused.copy_cols(19, 38), a.matmul(&b2));
     }
 
     #[test]

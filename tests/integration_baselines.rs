@@ -2,6 +2,7 @@
 //! fleet and parameter server.
 
 use flux_core::baselines::{fmd_local_round, fmes_local_round, fmq_local_round};
+use flux_core::profiling::QuantizedModelCache;
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind};
 use flux_fl::{build_fleet, CostModel, ParameterServer, Participant};
 use flux_moe::{MoeConfig, MoeModel};
@@ -53,7 +54,15 @@ fn method_round_costs_are_ordered_fmd_heaviest() {
     let reference_tokens = p.tokens_per_round() * 500;
     let profile = model.profile(&p.train_data);
     let fmd = fmd_local_round(p, &model, &cost, reference_tokens, 0.01, 4);
-    let fmq = fmq_local_round(p, &model, &cost, reference_tokens, 0.01, 4);
+    let fmq = fmq_local_round(
+        p,
+        &model,
+        &cost,
+        &QuantizedModelCache::new(),
+        reference_tokens,
+        0.01,
+        4,
+    );
     let fmes = fmes_local_round(p, &model, &profile, &cost, reference_tokens, 0.01, 4);
     assert!(fmd.cost.total_s() > fmq.cost.total_s());
     assert!(fmd.cost.total_s() > fmes.cost.total_s());
@@ -77,7 +86,8 @@ fn fmes_respects_device_capacity() {
 fn fmq_updates_diverge_from_full_precision_training() {
     let (model, fleet, cost) = setup();
     let p = &fleet[0];
-    let fmq = fmq_local_round(p, &model, &cost, 50_000, 0.05, 4);
+    let cache = QuantizedModelCache::new();
+    let fmq = fmq_local_round(p, &model, &cost, &cache, 50_000, 0.05, 4);
     let fmd = fmd_local_round(p, &model, &cost, 50_000, 0.05, 4);
     // Same data, same learning rate: the quantized run must produce
     // different (noisier) expert parameters than full precision.

@@ -12,49 +12,10 @@
 
 use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig, RunResult};
 use flux_data::DatasetKind;
-use flux_moe::{MoeConfig, MoeModel};
+use flux_moe::MoeConfig;
 
 fn quick() -> RunConfig {
     RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
-}
-
-/// FNV-1a over the exact f32 bit patterns of every aggregation-visible
-/// parameter: expert weights/biases, both heads, and the embedding.
-fn weight_checksum(model: &MoeModel) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |x: f32| {
-        for byte in x.to_bits().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for x in model.embedding.as_slice() {
-        eat(*x);
-    }
-    for key in model.expert_keys() {
-        let expert = model.expert(key);
-        for x in expert.w1.as_slice() {
-            eat(*x);
-        }
-        for x in expert.w2.as_slice() {
-            eat(*x);
-        }
-        for x in &expert.b1 {
-            eat(*x);
-        }
-        for x in &expert.b2 {
-            eat(*x);
-        }
-    }
-    for x in model.lm_head.as_slice() {
-        eat(*x);
-    }
-    if let Some(head) = &model.cls_head {
-        for x in head.as_slice() {
-            eat(*x);
-        }
-    }
-    hash
 }
 
 /// The golden trace of one run: (train_loss, score) per round plus the
@@ -72,7 +33,7 @@ fn trace_of(result: &RunResult) -> Trace {
             .iter()
             .map(|r| (r.train_loss, r.score))
             .collect(),
-        checksum: weight_checksum(&result.final_model),
+        checksum: result.final_model.param_checksum(),
     }
 }
 
