@@ -19,6 +19,12 @@
 //!   pipelined total regresses more than `FLUX_PERF_MAX_REGRESSION`
 //!   (default `0.10`, i.e. 10%) against that file's total — the CI
 //!   perf gate.
+//! * `FLUX_PERF_MIN_COMM_SPEEDUP` — minimum simulated-communication
+//!   speedup the compressed-upload scenario (int4 + top-k on a 3G link)
+//!   must reach versus dense uploads (default `4.0`); the process exits
+//!   non-zero below it.
+//! * `FLUX_PERF_COMPRESSION_SCORE_TOL` — maximum final-score deviation the
+//!   compressed run may show versus the dense run (default `0.1`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,7 +32,9 @@ use std::time::Instant;
 use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig, RunResult};
 use flux_core::scheduler::{JobSpec, SchedulePolicy, Scheduler};
 use flux_data::DatasetKind;
+use flux_fl::{CompressionConfig, LinkProfile};
 use flux_moe::MoeConfig;
+use flux_quant::BitWidth;
 
 /// Pre-PR baseline, measured at commit `e54d52e` (naive ikj matmul, fully
 /// sequential rounds) on a 1-core container: minimum of 3 repetitions of the
@@ -114,6 +122,44 @@ fn measure_multi_run(reps: usize) -> (f64, f64) {
     (serial_ms, concurrent_ms)
 }
 
+/// The communication-compression scenario: the quick-demo Flux run on a 3G
+/// uplink, dense uploads versus int4-quantized + 25% top-k sparsified
+/// deltas. Everything compared here is *simulated* (payload bytes and cost-
+/// model seconds), so a single repetition is exact and deterministic.
+struct CompressionReport {
+    upload_bytes_dense: usize,
+    upload_bytes_compressed: usize,
+    dense_communication_s: f64,
+    compressed_communication_s: f64,
+    communication_speedup: f64,
+    byte_ratio: f64,
+    dense_final_score: f32,
+    compressed_final_score: f32,
+}
+
+fn measure_compression() -> CompressionReport {
+    let dense_cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
+        .with_link(LinkProfile::three_g());
+    let compressed_cfg = dense_cfg
+        .clone()
+        .with_compression(CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25));
+    let dense = FederatedRun::new(dense_cfg, 42).run(Method::Flux);
+    let compressed = FederatedRun::new(compressed_cfg, 42).run(Method::Flux);
+    let dense_communication_s = dense.phase_times.communication_s;
+    let compressed_communication_s = compressed.phase_times.communication_s;
+    CompressionReport {
+        upload_bytes_dense: compressed.upload_bytes_dense,
+        upload_bytes_compressed: compressed.upload_bytes_compressed,
+        dense_communication_s,
+        compressed_communication_s,
+        communication_speedup: dense_communication_s / compressed_communication_s,
+        byte_ratio: compressed.upload_bytes_dense as f64
+            / compressed.upload_bytes_compressed.max(1) as f64,
+        dense_final_score: dense.final_score,
+        compressed_final_score: compressed.final_score,
+    }
+}
+
 fn main() {
     let reps: usize = std::env::var("FLUX_PERF_REPS")
         .ok()
@@ -146,6 +192,7 @@ fn main() {
     }
 
     let (multi_serial_ms, multi_concurrent_ms) = measure_multi_run(reps);
+    let compression = measure_compression();
 
     let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
     let barriered_total_ms: f64 = reports.iter().map(|r| r.barriered_wall_ms).sum();
@@ -174,9 +221,22 @@ fn main() {
          overlap={:.2}x",
         multi_serial_ms / multi_concurrent_ms
     );
+    println!(
+        "  COMPRESSION(3G, int4+topk25) bytes {} -> {} ({:.1}x)  comm_s {:.1} -> {:.1} \
+         ({:.2}x)  score {:.3} -> {:.3}",
+        compression.upload_bytes_dense,
+        compression.upload_bytes_compressed,
+        compression.byte_ratio,
+        compression.dense_communication_s,
+        compression.compressed_communication_s,
+        compression.communication_speedup,
+        compression.dense_final_score,
+        compression.compressed_final_score,
+    );
 
     let json = render_json(
         &reports,
+        &compression,
         Totals {
             total_ms,
             barriered_total_ms,
@@ -193,6 +253,50 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write BENCH_round.json");
     println!("wrote {out_path}");
+
+    // Compression gate: the simulated numbers are deterministic, so this
+    // gate is self-contained (no committed baseline needed). The 3G
+    // int4 + top-k scenario must buy at least the configured communication
+    // speedup without drifting the final score.
+    let min_comm_speedup: f64 = std::env::var("FLUX_PERF_MIN_COMM_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let score_tol: f64 = std::env::var("FLUX_PERF_COMPRESSION_SCORE_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10);
+    println!(
+        "compression gate: speedup {:.2}x (min {min_comm_speedup:.2}x), score delta {:.4} \
+         (tol {score_tol:.2})",
+        compression.communication_speedup,
+        (compression.dense_final_score - compression.compressed_final_score).abs()
+    );
+    if compression.communication_speedup < min_comm_speedup {
+        eprintln!(
+            "compression gate FAILED: {:.2}x simulated communication speedup on the 3G \
+             scenario is below the required {min_comm_speedup:.2}x",
+            compression.communication_speedup
+        );
+        std::process::exit(1);
+    }
+    if (compression.dense_final_score - compression.compressed_final_score).abs() as f64 > score_tol
+    {
+        eprintln!(
+            "compression gate FAILED: compressed final score {:.4} deviates more than \
+             {score_tol:.2} from the dense run's {:.4}",
+            compression.compressed_final_score, compression.dense_final_score
+        );
+        std::process::exit(1);
+    }
+    if compression.upload_bytes_compressed >= compression.upload_bytes_dense {
+        eprintln!(
+            "compression gate FAILED: encoded payload {} B does not undercut the dense \
+             payload {} B",
+            compression.upload_bytes_compressed, compression.upload_bytes_dense
+        );
+        std::process::exit(1);
+    }
 
     // CI regression gate: compare against a committed report when asked.
     if let Ok(baseline_path) = std::env::var("FLUX_PERF_BASELINE_PATH") {
@@ -267,6 +371,7 @@ struct Totals {
 
 fn render_json(
     reports: &[MethodReport],
+    compression: &CompressionReport,
     totals: Totals,
     threads: usize,
     host_parallelism: usize,
@@ -276,7 +381,7 @@ fn render_json(
     // enough to render by hand.
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v3\",");
     let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
     let _ = writeln!(s, "  \"flux_threads\": {threads},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
@@ -359,6 +464,51 @@ fn render_json(
         s,
         "    \"overlap_speedup\": {:.3}",
         totals.multi_serial_ms / totals.multi_concurrent_ms
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"compression\": {{");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"quick-demo Flux on a 3G uplink (1 Mbit/s up, 7.2 down): dense \
+         uploads vs int4-quantized + 25% top-k sparsified deltas; bytes and seconds are \
+         simulated (cost model), so the entries are deterministic and the perf-report job \
+         gates on the speedup and score delta directly\","
+    );
+    let _ = writeln!(
+        s,
+        "    \"upload_bytes_dense\": {},",
+        compression.upload_bytes_dense
+    );
+    let _ = writeln!(
+        s,
+        "    \"upload_bytes_compressed\": {},",
+        compression.upload_bytes_compressed
+    );
+    let _ = writeln!(s, "    \"byte_ratio\": {:.2},", compression.byte_ratio);
+    let _ = writeln!(
+        s,
+        "    \"dense_communication_s\": {:.3},",
+        compression.dense_communication_s
+    );
+    let _ = writeln!(
+        s,
+        "    \"compressed_communication_s\": {:.3},",
+        compression.compressed_communication_s
+    );
+    let _ = writeln!(
+        s,
+        "    \"communication_speedup\": {:.3},",
+        compression.communication_speedup
+    );
+    let _ = writeln!(
+        s,
+        "    \"dense_final_score\": {:.4},",
+        compression.dense_final_score
+    );
+    let _ = writeln!(
+        s,
+        "    \"compressed_final_score\": {:.4}",
+        compression.compressed_final_score
     );
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"pr2_baseline\": {{");

@@ -50,8 +50,9 @@ use threadpool::ThreadPool;
 
 use flux_data::{Dataset, DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
-    build_fleet, CostModel, ExpertUpdate, ParameterServer, Participant, ParticipantBehavior,
-    PhaseTimes, RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock, DEFAULT_SHARDS,
+    build_fleet, dense_upload_payload_bytes, CompressionConfig, CostModel, EncodedUpload,
+    ExpertUpdate, LinkProfile, ParameterServer, Participant, ParticipantBehavior, PhaseTimes,
+    RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock, DEFAULT_SHARDS,
 };
 use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
 use flux_moe::{ActivationProfile, EvalResult, ExpertKey, MoeConfig, MoeModel};
@@ -152,6 +153,16 @@ pub struct RunConfig {
     /// (the synthetic datasets are ~50× smaller and ~10× shorter than the
     /// real ones).
     pub reference_token_scale: usize,
+    /// How participant uploads are encoded on the wire.
+    /// [`CompressionConfig::Dense`] (the default) reproduces the legacy
+    /// full-precision uploads bit-for-bit; `LosslessDelta` compresses
+    /// without changing any result; `LossyDelta` trades accuracy for
+    /// bytes.
+    pub compression: CompressionConfig,
+    /// Overrides every participant's last-mile link (3G/4G/WiFi presets or
+    /// custom). `None` keeps each device's default symmetric link at its
+    /// `network_mbps`.
+    pub link: Option<LinkProfile>,
 }
 
 impl RunConfig {
@@ -173,6 +184,8 @@ impl RunConfig {
             profiling: ProfilingConfig::default(),
             eval_samples: 12,
             reference_token_scale: 500,
+            compression: CompressionConfig::Dense,
+            link: None,
         }
     }
 
@@ -228,6 +241,18 @@ impl RunConfig {
         self
     }
 
+    /// Overrides the upload compression mode.
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Overrides every participant's last-mile link profile.
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.link = Some(link);
+        self
+    }
+
     /// The evaluation metric (with target) for this run.
     pub fn metric(&self) -> TargetMetric {
         let target = self
@@ -257,6 +282,12 @@ pub struct RoundRecord {
     /// Actual training tokens processed across all participants this round
     /// (the numerator of wall-clock tokens/sec throughput measurements).
     pub tokens_trained: usize,
+    /// Bytes a dense (uncompressed) upload of this round's payloads would
+    /// occupy, summed over participants.
+    pub upload_bytes_dense: usize,
+    /// Bytes the round's uploads actually occupied after encoding (equals
+    /// `upload_bytes_dense` when compression is off).
+    pub upload_bytes_compressed: usize,
     /// Critical-path participant's per-phase breakdown.
     pub breakdown: RoundCostBreakdown,
 }
@@ -274,6 +305,10 @@ pub struct RunResult {
     pub phase_times: PhaseTimes,
     /// Final evaluation score.
     pub final_score: f32,
+    /// Dense-equivalent upload bytes across the whole run.
+    pub upload_bytes_dense: usize,
+    /// Encoded upload bytes across the whole run.
+    pub upload_bytes_compressed: usize,
     /// The aggregated global model at the end of the run (the artifact the
     /// golden-trace suite checksums).
     pub final_model: MoeModel,
@@ -312,6 +347,14 @@ struct ParticipantRound {
     bootstrap_utilities: Option<Vec<ExpertUtility>>,
     /// Utilities measured during this round's local training.
     reported_utilities: Vec<ExpertUtility>,
+    /// The wire-form upload, retained when it was not streamed into the
+    /// aggregator on completion (barriered mode, or the arrival-shuffle
+    /// knob).
+    upload: Option<RoundUpload>,
+    /// Bytes a dense upload of this participant's payload occupies.
+    upload_bytes_dense: usize,
+    /// Bytes the encoded upload actually occupies.
+    upload_bytes_encoded: usize,
 }
 
 impl ParticipantRound {
@@ -321,7 +364,33 @@ impl ParticipantRound {
             output,
             bootstrap_utilities: None,
             reported_utilities: Vec::new(),
+            upload: None,
+            upload_bytes_dense: 0,
+            upload_bytes_encoded: 0,
         }
+    }
+}
+
+/// One participant's upload in the form it crossed the (simulated) wire.
+enum RoundUpload {
+    /// Legacy full-precision payload.
+    Dense(Vec<ExpertUpdate>, Option<(flux_tensor::Matrix, f32)>),
+    /// Delta-encoded payload; decodes against the round-start snapshot at
+    /// the aggregator staging layer.
+    Encoded(EncodedUpload),
+}
+
+/// Stages one upload into the aggregator, decoding encoded payloads
+/// against the round-start snapshot `base`.
+fn submit_upload(
+    aggregator: &ShardedAggregator,
+    participant_id: usize,
+    upload: RoundUpload,
+    base: &MoeModel,
+) -> bool {
+    match upload {
+        RoundUpload::Dense(updates, head) => aggregator.submit(participant_id, updates, head),
+        RoundUpload::Encoded(encoded) => aggregator.submit_encoded(participant_id, &encoded, base),
     }
 }
 
@@ -342,11 +411,10 @@ struct RoundReduction {
     loss_sum: f32,
     active: usize,
     tokens_trained: usize,
+    upload_bytes_dense: usize,
+    upload_bytes_compressed: usize,
     critical: RoundCostBreakdown,
 }
-
-/// One participant's retained upload: id, expert updates, optional head.
-type RetainedUpload = (usize, Vec<ExpertUpdate>, Option<(flux_tensor::Matrix, f32)>);
 
 /// A round whose compute has finished but whose evaluation is still in
 /// flight on the pipeline.
@@ -356,6 +424,8 @@ struct PendingRound {
     train_loss: f32,
     round_seconds: f64,
     tokens_trained: usize,
+    upload_bytes_dense: usize,
+    upload_bytes_compressed: usize,
     breakdown: RoundCostBreakdown,
 }
 
@@ -368,6 +438,8 @@ impl PendingRound {
             train_loss: self.train_loss,
             round_seconds: self.round_seconds,
             tokens_trained: self.tokens_trained,
+            upload_bytes_dense: self.upload_bytes_dense,
+            upload_bytes_compressed: self.upload_bytes_compressed,
             breakdown: self.breakdown,
         }
     }
@@ -495,12 +567,17 @@ impl FederatedRun {
         let (train, test) = dataset.train_test_split(0.8);
         let eval_indices: Vec<usize> = (0..test.len().min(cfg.eval_samples)).collect();
         let eval_set = test.subset(&eval_indices);
-        let fleet = build_fleet(
+        let mut fleet = build_fleet(
             &train,
             cfg.num_participants,
             cfg.non_iid_alpha,
             &mut fleet_rng,
         );
+        if let Some(link) = cfg.link {
+            for participant in &mut fleet {
+                participant.device.link = link;
+            }
+        }
 
         // Server-side state.
         let global = MoeModel::new(model_config, &mut model_rng);
@@ -826,6 +903,9 @@ impl FederatedRun {
             },
             bootstrap_utilities,
             reported_utilities: utilities,
+            upload: None,
+            upload_bytes_dense: 0,
+            upload_bytes_encoded: 0,
         }
     }
 }
@@ -856,6 +936,8 @@ struct ComputedRound {
     aggregator: ShardedAggregator,
     results: Vec<TaskOut>,
     eval_of_pending: Option<EvalResult>,
+    /// The round-start snapshot: the base encoded uploads decode against.
+    snapshot: Arc<MoeModel>,
 }
 
 /// The resumable state of one federated run.
@@ -1017,6 +1099,38 @@ impl ActiveRun {
                         fmes_profile,
                         round_rng,
                     );
+                    // Put the upload into its wire form on the worker:
+                    // encoding is participant-side compute. Byte accounting
+                    // always runs; the dense path otherwise stays exactly
+                    // the legacy payload.
+                    let compression = driver.config.compression;
+                    let (updates, head) = result.output.take_upload();
+                    result.upload_bytes_dense = dense_upload_payload_bytes(&updates, head.as_ref());
+                    let upload = if compression.is_dense() {
+                        result.upload_bytes_encoded = result.upload_bytes_dense;
+                        RoundUpload::Dense(updates, head)
+                    } else {
+                        let encoded =
+                            EncodedUpload::encode(&updates, head.as_ref(), global_ref, compression);
+                        result.upload_bytes_encoded = encoded.encoded_bytes();
+                        // Re-price communication from real payload bytes:
+                        // the upload ships at the encoded/dense ratio of
+                        // the reference-scale dense payload, the download
+                        // of refreshed experts stays dense.
+                        let dense_ref =
+                            CostModel::dense_upload_bytes(&global_ref.config, updates.len().max(1));
+                        let ratio = if result.upload_bytes_dense > 0 {
+                            result.upload_bytes_encoded as f64 / result.upload_bytes_dense as f64
+                        } else {
+                            1.0
+                        };
+                        result.output.cost.communication_s = cost_ref.communication_time_s_bytes(
+                            &participant.device,
+                            dense_ref * ratio,
+                            dense_ref,
+                        );
+                        RoundUpload::Encoded(encoded)
+                    };
                     // A straggler computes the same result, it just
                     // reaches the server late.
                     let delay = behavior.delay_ms();
@@ -1024,8 +1138,9 @@ impl ActiveRun {
                         std::thread::sleep(std::time::Duration::from_millis(delay));
                     }
                     if submit_on_completion {
-                        let (updates, head) = result.output.take_upload();
-                        aggregator_ref.submit(participant.id, updates, head);
+                        submit_upload(aggregator_ref, participant.id, upload, global_ref);
+                    } else {
+                        result.upload = Some(upload);
                     }
                     TaskOut::Participant(Box::new(result))
                 }));
@@ -1059,6 +1174,7 @@ impl ActiveRun {
             aggregator,
             results,
             eval_of_pending,
+            snapshot: global,
         });
     }
 
@@ -1077,6 +1193,7 @@ impl ActiveRun {
             aggregator,
             mut results,
             eval_of_pending,
+            snapshot,
         } = self
             .computed
             .take()
@@ -1112,19 +1229,29 @@ impl ActiveRun {
                 self.assigner
                     .report_utilities(participant.id, &result.reported_utilities);
             }
-            let out = &mut result.output;
+            let out = &result.output;
             reduction.loss_sum += out.train_loss;
             reduction.active += 1;
             reduction.tokens_trained += out.trained_tokens;
+            reduction.upload_bytes_dense += result.upload_bytes_dense;
+            reduction.upload_bytes_compressed += result.upload_bytes_encoded;
+            if out.cost.total_s() > reduction.critical.total_s() {
+                reduction.critical = out.cost;
+            }
             if !pipelined {
-                let (updates, head) = out.take_upload();
+                // The barriered reference decodes at the same point with
+                // the same base as the pipelined staging layer, so the two
+                // schedules stay bit-identical under every compression
+                // mode.
+                let (updates, head) = match result.upload.take() {
+                    Some(RoundUpload::Dense(updates, head)) => (updates, head),
+                    Some(RoundUpload::Encoded(encoded)) => encoded.decode(&snapshot),
+                    None => (Vec::new(), None),
+                };
                 expert_updates.extend(updates);
                 if let Some(head) = head {
                     head_updates.push(head);
                 }
-            }
-            if out.cost.total_s() > reduction.critical.total_s() {
-                reduction.critical = out.cost;
             }
         }
 
@@ -1133,7 +1260,7 @@ impl ActiveRun {
                 // Replay the retained uploads in a seeded-shuffled
                 // participant order: a deterministic stand-in for the
                 // scheduler's arbitrary completion order.
-                submit_shuffled(&aggregator, &self.fleet, results, round, seed);
+                submit_shuffled(&aggregator, &self.fleet, results, round, seed, &snapshot);
             }
             self.store.apply_round(&aggregator, pool);
         } else {
@@ -1165,6 +1292,8 @@ impl ActiveRun {
             train_loss: reduction.loss_sum / reduction.active.max(1) as f32,
             round_seconds,
             tokens_trained: reduction.tokens_trained,
+            upload_bytes_dense: reduction.upload_bytes_dense,
+            upload_bytes_compressed: reduction.upload_bytes_compressed,
             breakdown: critical,
         };
         if pipelined {
@@ -1193,12 +1322,16 @@ impl ActiveRun {
             self.records.push(last.finish(eval.score));
         }
         let final_score = self.records.last().map(|r| r.score).unwrap_or(0.0);
+        let upload_bytes_dense = self.records.iter().map(|r| r.upload_bytes_dense).sum();
+        let upload_bytes_compressed = self.records.iter().map(|r| r.upload_bytes_compressed).sum();
         RunResult {
             method: self.method,
             tracker: self.tracker,
             rounds: self.records,
             phase_times: self.phases,
             final_score,
+            upload_bytes_dense,
+            upload_bytes_compressed,
             final_model: self.store.global_model(),
         }
     }
@@ -1212,14 +1345,14 @@ fn submit_shuffled(
     results: Vec<TaskOut>,
     round: usize,
     seed: u64,
+    base: &MoeModel,
 ) {
-    let mut uploads: Vec<RetainedUpload> = fleet
+    let mut uploads: Vec<(usize, RoundUpload)> = fleet
         .iter()
         .zip(results)
         .filter_map(|(participant, task_out)| match task_out {
             TaskOut::Participant(mut result) => {
-                let (updates, head) = result.output.take_upload();
-                Some((participant.id, updates, head))
+                result.upload.take().map(|upload| (participant.id, upload))
             }
             _ => None,
         })
@@ -1228,8 +1361,8 @@ fn submit_shuffled(
     // round sees a different arrival order.
     let mut shuffle_rng = SeededRng::new(seed).derive(round as u64 + 1);
     shuffle_rng.shuffle(&mut uploads);
-    for (pid, updates, head) in uploads {
-        aggregator.submit(pid, updates, head);
+    for (pid, upload) in uploads {
+        submit_upload(aggregator, pid, upload, base);
     }
 }
 

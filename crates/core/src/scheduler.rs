@@ -14,6 +14,11 @@
 //! Jobs may arrive staggered ([`JobSpec::with_arrival`]): a job joins the
 //! schedule at its arrival tick while earlier jobs are mid-flight.
 //!
+//! Per-run knobs ride the [`FederatedRun`]'s `RunConfig` — including the
+//! upload-compression mode and link profile — so a scheduled job compresses
+//! and prices communication exactly like its standalone twin
+//! (`tests/integration_compression.rs` pins this).
+//!
 //! # Determinism
 //!
 //! Every run's trace (per-round losses, scores, final weight checksum) is

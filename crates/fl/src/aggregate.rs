@@ -8,8 +8,10 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
 
-use flux_moe::{Expert, ExpertKey};
+use flux_moe::{Expert, ExpertKey, MoeModel};
 use flux_tensor::Matrix;
+
+use crate::compress::EncodedUpload;
 
 /// One participant's update for a single expert.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -164,6 +166,25 @@ impl ShardedAggregator {
             lock(&self.heads).push((participant_id, head, weight));
         }
         true
+    }
+
+    /// Stages one participant's *encoded* upload: the compressed payload is
+    /// decoded against the round-start snapshot `base` right here at the
+    /// staging layer, so the decoded updates reduce under the same
+    /// per-shard locks and participant-id-ordered reduction as dense
+    /// uploads — compression never perturbs aggregation order. Duplicate
+    /// submissions are rejected before the (non-trivial) decode work.
+    pub fn submit_encoded(
+        &self,
+        participant_id: usize,
+        upload: &EncodedUpload,
+        base: &MoeModel,
+    ) -> bool {
+        if lock(&self.submitted).contains(&participant_id) {
+            return false;
+        }
+        let (expert_updates, head_update) = upload.decode(base);
+        self.submit(participant_id, expert_updates, head_update)
     }
 
     /// Participants staged so far.
@@ -499,6 +520,75 @@ mod tests {
         let reference = one_shot(&[2]);
         assert_expert_maps_identical(&experts, &reference.0);
         assert_eq!(head, reference.1);
+    }
+
+    /// A round-start snapshot plus a perturbed upload against it, keyed to
+    /// real experts of the model so encoded submissions can decode.
+    fn model_and_upload(pid: usize) -> (MoeModel, Vec<ExpertUpdate>, Option<(Matrix, f32)>) {
+        let mut rng = SeededRng::new(99);
+        let model = MoeModel::new(flux_moe::MoeConfig::tiny(), &mut rng);
+        let keys = model.expert_keys();
+        let updates: Vec<ExpertUpdate> = keys
+            .iter()
+            .take(2)
+            .map(|&key| {
+                let mut tuned = model.expert(key).clone();
+                let mut prng = SeededRng::new(pid as u64 + key.expert as u64 * 17 + 3);
+                let (r, c) = tuned.w1.shape();
+                let noise = Matrix::random_normal(r, c, 0.01, &mut prng);
+                tuned.w1.add_scaled(&noise, 1.0).unwrap();
+                ExpertUpdate {
+                    key,
+                    expert: tuned,
+                    weight: 1.0 + pid as f32,
+                }
+            })
+            .collect();
+        let head = model.active_head().clone();
+        (model, updates, Some((head, 1.0 + pid as f32)))
+    }
+
+    #[test]
+    fn encoded_lossless_submission_matches_dense_submission_bitwise() {
+        use crate::compress::{CompressionConfig, EncodedUpload};
+        let pool = ThreadPool::new(1);
+        let (model, updates, head) = model_and_upload(0);
+        let (_, updates1, head1) = model_and_upload(1);
+
+        let dense = ShardedAggregator::new(4);
+        assert!(dense.submit(0, updates.clone(), head.clone()));
+        assert!(dense.submit(1, updates1.clone(), head1.clone()));
+        let (experts_dense, head_dense) = dense.finalize(&pool);
+
+        let encoded = ShardedAggregator::new(4);
+        for (pid, (u, h)) in [(0usize, (&updates, &head)), (1, (&updates1, &head1))] {
+            let enc =
+                EncodedUpload::encode(u, h.as_ref(), &model, CompressionConfig::LosslessDelta);
+            assert!(enc.encoded_bytes() < enc.dense_bytes());
+            assert!(encoded.submit_encoded(pid, &enc, &model));
+        }
+        let (experts_enc, head_enc) = encoded.finalize(&pool);
+
+        assert_expert_maps_identical(&experts_dense, &experts_enc);
+        assert_eq!(head_dense, head_enc);
+    }
+
+    #[test]
+    fn encoded_duplicate_submission_is_rejected() {
+        use crate::compress::{CompressionConfig, EncodedUpload};
+        let (model, updates, head) = model_and_upload(3);
+        let enc = EncodedUpload::encode(
+            &updates,
+            head.as_ref(),
+            &model,
+            CompressionConfig::LosslessDelta,
+        );
+        let agg = ShardedAggregator::new(2);
+        assert!(agg.submit_encoded(3, &enc, &model));
+        assert!(!agg.submit_encoded(3, &enc, &model));
+        // Mixing transports cannot double-count either.
+        assert!(!agg.submit(3, updates, head));
+        assert_eq!(agg.submitted_participants(), 1);
     }
 
     #[test]

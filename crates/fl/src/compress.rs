@@ -1,0 +1,771 @@
+//! Communication compression for expert uploads.
+//!
+//! Participants encode their updates as `new − base` deltas against the
+//! round-start snapshot instead of shipping full-precision dense tensors.
+//! Three knobs, all per-run via [`CompressionConfig`]:
+//!
+//! * **Lossless delta** — the delta is the bitwise XOR of the new and base
+//!   f32 words. Decoding XORs the base back in, so the reconstruction is
+//!   **bit-identical** for every value (including zeros, subnormals and
+//!   NaN payloads) — unlike an arithmetic `base + (new − base)`, which
+//!   rounds. Fine-tuning deltas leave sign, exponent and the high mantissa
+//!   bits of most weights untouched, so the XOR words are mostly leading
+//!   zeros and the simulated wire format charges only the significant
+//!   bytes of each changed word (plus a changed-word bitmap).
+//! * **Quantization** — the arithmetic delta is quantized with the
+//!   symmetric per-row [`QuantizedMatrix`] scheme at int8/int4 (int2 also
+//!   works). Lossy: the decoded expert is `base + dequantize(delta)`.
+//! * **Top-k sparsification** — only the `⌈k·n⌉` largest-magnitude delta
+//!   entries ship; near-zero deltas are dropped. Composes with
+//!   quantization (the surviving values quantize against one shared
+//!   scale).
+//!
+//! The decode point is [`crate::aggregate::ShardedAggregator`] staging:
+//! decoded updates reduce under the same per-shard locks and
+//! participant-id-ordered reduction as dense uploads, so compression never
+//! perturbs aggregation order.
+
+use serde::{Deserialize, Serialize};
+
+use flux_moe::{Expert, ExpertKey, MoeModel};
+use flux_quant::{BitWidth, QuantizedMatrix};
+use flux_tensor::Matrix;
+
+use crate::aggregate::ExpertUpdate;
+
+/// Per-run upload compression knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum CompressionConfig {
+    /// Legacy wire format: full-precision dense tensors, no delta.
+    #[default]
+    Dense,
+    /// Bitwise XOR delta against the round-start snapshot. Decodes
+    /// bit-identically; runs with this mode produce the same losses,
+    /// scores and weights as [`CompressionConfig::Dense`].
+    LosslessDelta,
+    /// Arithmetic delta, optionally top-k sparsified and/or quantized.
+    /// Lossy: decoded experts carry quantization/sparsification error,
+    /// pinned within tolerance of dense golden traces by the integration
+    /// suite.
+    LossyDelta {
+        /// Quantize the (surviving) delta entries at this width.
+        quantization: Option<BitWidth>,
+        /// Fraction of delta entries kept by top-k magnitude selection
+        /// (`1.0` keeps everything; values are clamped to `[0, 1]`).
+        top_k_fraction: f32,
+    },
+}
+
+impl CompressionConfig {
+    /// Lossy delta quantized at `width`, keeping every entry.
+    pub fn quantized(width: BitWidth) -> Self {
+        CompressionConfig::LossyDelta {
+            quantization: Some(width),
+            top_k_fraction: 1.0,
+        }
+    }
+
+    /// Lossy delta: top-k sparsified, then quantized at `width`.
+    pub fn quantized_sparse(width: BitWidth, top_k_fraction: f32) -> Self {
+        CompressionConfig::LossyDelta {
+            quantization: Some(width),
+            top_k_fraction,
+        }
+    }
+
+    /// Lossy delta: top-k sparsified full-precision values.
+    pub fn sparse(top_k_fraction: f32) -> Self {
+        CompressionConfig::LossyDelta {
+            quantization: None,
+            top_k_fraction,
+        }
+    }
+
+    /// Whether this is the uncompressed legacy format.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, CompressionConfig::Dense)
+    }
+
+    /// Whether decoding reproduces the dense upload bit-identically.
+    pub fn is_lossless(&self) -> bool {
+        match self {
+            CompressionConfig::Dense | CompressionConfig::LosslessDelta => true,
+            CompressionConfig::LossyDelta {
+                quantization,
+                top_k_fraction,
+            } => quantization.is_none() && *top_k_fraction >= 1.0,
+        }
+    }
+}
+
+/// Fixed per-tensor header charged by the simulated wire format (shape,
+/// payload tag, scale bookkeeping).
+const TENSOR_HEADER_BYTES: usize = 8;
+
+/// Wire payload of one encoded tensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum DeltaPayload {
+    /// Raw f32 values (dense upload; decodes without a base).
+    Dense(Vec<f32>),
+    /// `new.to_bits() ^ base.to_bits()` per word. Bit-identical decode.
+    Xor(Vec<u32>),
+    /// Per-row quantized arithmetic delta.
+    Quantized(QuantizedMatrix),
+    /// Top-k full-precision delta entries at ascending flat indices.
+    Sparse {
+        /// Flat indices of the surviving entries.
+        indices: Vec<u32>,
+        /// Delta values at those indices.
+        values: Vec<f32>,
+    },
+    /// Top-k delta entries quantized against one shared symmetric scale.
+    SparseQuantized {
+        /// Flat indices of the surviving entries.
+        indices: Vec<u32>,
+        /// Quantized levels at those indices.
+        levels: Vec<i8>,
+        /// Shared dequantization scale.
+        scale: f32,
+        /// Quantization width (prices the packed level bytes).
+        width: BitWidth,
+    },
+}
+
+/// One tensor of an expert upload in its encoded wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodedTensor {
+    rows: usize,
+    cols: usize,
+    payload: DeltaPayload,
+}
+
+impl EncodedTensor {
+    /// Encodes `new` against `base` (flattened, row-major; `base` must have
+    /// the same length).
+    fn encode_slices(
+        new: &[f32],
+        base: &[f32],
+        rows: usize,
+        cols: usize,
+        config: CompressionConfig,
+    ) -> Self {
+        debug_assert_eq!(new.len(), base.len());
+        debug_assert_eq!(new.len(), rows * cols);
+        let payload = match config {
+            CompressionConfig::Dense => DeltaPayload::Dense(new.to_vec()),
+            CompressionConfig::LosslessDelta => DeltaPayload::Xor(
+                new.iter()
+                    .zip(base)
+                    .map(|(n, b)| n.to_bits() ^ b.to_bits())
+                    .collect(),
+            ),
+            CompressionConfig::LossyDelta {
+                quantization,
+                top_k_fraction,
+            } => {
+                let frac = top_k_fraction.clamp(0.0, 1.0);
+                if frac >= 1.0 && quantization.is_none() {
+                    // Degenerate lossy config: an un-quantized, un-sparsified
+                    // delta. The XOR form carries the same information in
+                    // fewer bytes and decodes exactly, so use it.
+                    return Self::encode_slices(
+                        new,
+                        base,
+                        rows,
+                        cols,
+                        CompressionConfig::LosslessDelta,
+                    );
+                }
+                let delta: Vec<f32> = new.iter().zip(base).map(|(n, b)| n - b).collect();
+                if frac >= 1.0 {
+                    let width = quantization.expect("handled above");
+                    let delta_matrix = Matrix::from_vec(rows, cols, delta)
+                        .expect("encoded tensor shape is consistent");
+                    DeltaPayload::Quantized(QuantizedMatrix::quantize(&delta_matrix, width))
+                } else {
+                    let (indices, values) = top_k_entries(&delta, frac);
+                    match quantization {
+                        None => DeltaPayload::Sparse { indices, values },
+                        Some(width) => {
+                            let (levels, scale) = quantize_values(&values, width);
+                            DeltaPayload::SparseQuantized {
+                                indices,
+                                levels,
+                                scale,
+                                width,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        Self {
+            rows,
+            cols,
+            payload,
+        }
+    }
+
+    /// Encodes a matrix against its base.
+    pub fn encode(new: &Matrix, base: &Matrix, config: CompressionConfig) -> Self {
+        let (rows, cols) = new.shape();
+        Self::encode_slices(new.as_slice(), base.as_slice(), rows, cols, config)
+    }
+
+    /// Encodes a bias vector (a 1×n tensor) against its base.
+    pub fn encode_vec(new: &[f32], base: &[f32], config: CompressionConfig) -> Self {
+        Self::encode_slices(new, base, 1, new.len(), config)
+    }
+
+    /// Tensor shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether decoding requires the base tensor (everything but the dense
+    /// payload is a delta).
+    pub fn needs_base(&self) -> bool {
+        !matches!(self.payload, DeltaPayload::Dense(_))
+    }
+
+    /// Decodes against `base`, returning the reconstructed flat values.
+    /// Returns `None` when a delta payload meets a base of the wrong length
+    /// (a rogue or stale upload the aggregator skips).
+    fn decode_slices(&self, base: &[f32]) -> Option<Vec<f32>> {
+        let n = self.rows * self.cols;
+        if self.needs_base() && base.len() != n {
+            return None;
+        }
+        let out = match &self.payload {
+            DeltaPayload::Dense(values) => values.clone(),
+            DeltaPayload::Xor(words) => words
+                .iter()
+                .zip(base)
+                .map(|(w, b)| f32::from_bits(b.to_bits() ^ w))
+                .collect(),
+            DeltaPayload::Quantized(q) => {
+                let delta = q.dequantize();
+                base.iter()
+                    .zip(delta.as_slice())
+                    .map(|(b, d)| b + d)
+                    .collect()
+            }
+            DeltaPayload::Sparse { indices, values } => {
+                let mut out = base.to_vec();
+                for (&i, &v) in indices.iter().zip(values) {
+                    if let Some(slot) = out.get_mut(i as usize) {
+                        *slot += v;
+                    }
+                }
+                out
+            }
+            DeltaPayload::SparseQuantized {
+                indices,
+                levels,
+                scale,
+                ..
+            } => {
+                let mut out = base.to_vec();
+                for (&i, &level) in indices.iter().zip(levels) {
+                    if let Some(slot) = out.get_mut(i as usize) {
+                        *slot += level as f32 * scale;
+                    }
+                }
+                out
+            }
+        };
+        Some(out)
+    }
+
+    /// Decodes into a matrix of this tensor's shape.
+    pub fn decode(&self, base: &Matrix) -> Option<Matrix> {
+        let values = self.decode_slices(base.as_slice())?;
+        Some(Matrix::from_vec(self.rows, self.cols, values).expect("shape preserved by decode"))
+    }
+
+    /// Decodes a bias vector.
+    pub fn decode_vec(&self, base: &[f32]) -> Option<Vec<f32>> {
+        self.decode_slices(base)
+    }
+
+    /// Bytes of the uncompressed dense payload (4 per f32).
+    pub fn dense_bytes(&self) -> usize {
+        self.rows * self.cols * 4
+    }
+
+    /// Simulated wire bytes of this payload.
+    ///
+    /// * Dense: 4 bytes per word.
+    /// * XOR delta: a changed-word bitmap (`⌈n/8⌉` bytes) plus the
+    ///   significant bytes of each nonzero word — close values share sign,
+    ///   exponent and high mantissa bits, so their XOR has many leading
+    ///   zeros.
+    /// * Quantized: packed levels plus per-row f32 scales.
+    /// * Sparse: a membership mask — the cheaper of a dense bitmap and
+    ///   explicit u32 indices — plus the surviving values (f32 or packed
+    ///   levels with one shared scale).
+    pub fn encoded_bytes(&self) -> usize {
+        let n = self.rows * self.cols;
+        let body = match &self.payload {
+            DeltaPayload::Dense(values) => values.len() * 4,
+            DeltaPayload::Xor(words) => {
+                let bitmap = n.div_ceil(8);
+                let significant: usize = words
+                    .iter()
+                    .filter(|&&w| w != 0)
+                    .map(|&w| (32 - w.leading_zeros() as usize).div_ceil(8))
+                    .sum();
+                bitmap + significant
+            }
+            DeltaPayload::Quantized(q) => q.storage_bytes(),
+            DeltaPayload::Sparse { indices, values } => {
+                sparse_mask_bytes(n, indices.len()) + values.len() * 4
+            }
+            DeltaPayload::SparseQuantized {
+                indices,
+                levels,
+                width,
+                ..
+            } => sparse_mask_bytes(n, indices.len()) + width.storage_bytes(levels.len()) + 4,
+        };
+        TENSOR_HEADER_BYTES + body
+    }
+}
+
+/// Bytes needed to transmit which of `n` entries survived: the cheaper of a
+/// dense bitmap and an explicit u32 index list.
+fn sparse_mask_bytes(n: usize, kept: usize) -> usize {
+    n.div_ceil(8).min(kept * 4)
+}
+
+/// Deterministic top-k selection by |value|: ties break toward the lower
+/// flat index, exact zeros never ship, and the surviving indices come back
+/// sorted ascending.
+fn top_k_entries(delta: &[f32], fraction: f32) -> (Vec<u32>, Vec<f32>) {
+    let n = delta.len();
+    let k = ((n as f64) * fraction as f64).ceil() as usize;
+    let mut order: Vec<u32> = (0..n as u32)
+        .filter(|&i| delta[i as usize] != 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let ma = delta[a as usize].abs();
+        let mb = delta[b as usize].abs();
+        mb.partial_cmp(&ma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    let values = order.iter().map(|&i| delta[i as usize]).collect();
+    (order, values)
+}
+
+/// Symmetric quantization of a value list against one shared scale.
+fn quantize_values(values: &[f32], width: BitWidth) -> (Vec<i8>, f32) {
+    let max_level = width.max_level() as f32;
+    let max_abs = values.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    let scale = if max_abs > 0.0 {
+        max_abs / max_level
+    } else {
+        1.0
+    };
+    let levels = values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-max_level, max_level) as i8)
+        .collect();
+    (levels, scale)
+}
+
+/// One participant's update for a single expert in encoded wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodedExpertUpdate {
+    /// Which global expert this update targets.
+    pub key: ExpertKey,
+    /// Encoded `w1`.
+    pub w1: EncodedTensor,
+    /// Encoded `b1`.
+    pub b1: EncodedTensor,
+    /// Encoded `w2`.
+    pub w2: EncodedTensor,
+    /// Encoded `b2`.
+    pub b2: EncodedTensor,
+    /// FedAvg aggregation weight.
+    pub weight: f32,
+}
+
+impl EncodedExpertUpdate {
+    /// Encodes one expert update against its base (round-start) expert.
+    pub fn encode(
+        key: ExpertKey,
+        new: &Expert,
+        base: &Expert,
+        weight: f32,
+        config: CompressionConfig,
+    ) -> Self {
+        Self {
+            key,
+            w1: EncodedTensor::encode(&new.w1, &base.w1, config),
+            b1: EncodedTensor::encode_vec(&new.b1, &base.b1, config),
+            w2: EncodedTensor::encode(&new.w2, &base.w2, config),
+            b2: EncodedTensor::encode_vec(&new.b2, &base.b2, config),
+            weight,
+        }
+    }
+
+    /// Decodes against the base expert. `None` when any tensor's base shape
+    /// mismatches (rogue upload).
+    pub fn decode(&self, base: &Expert) -> Option<ExpertUpdate> {
+        Some(ExpertUpdate {
+            key: self.key,
+            expert: Expert {
+                w1: self.w1.decode(&base.w1)?,
+                b1: self.b1.decode_vec(&base.b1)?,
+                w2: self.w2.decode(&base.w2)?,
+                b2: self.b2.decode_vec(&base.b2)?,
+            },
+            weight: self.weight,
+        })
+    }
+
+    /// Simulated wire bytes of this update.
+    pub fn encoded_bytes(&self) -> usize {
+        self.w1.encoded_bytes()
+            + self.b1.encoded_bytes()
+            + self.w2.encoded_bytes()
+            + self.b2.encoded_bytes()
+    }
+
+    /// Bytes the dense upload of the same tensors would take.
+    pub fn dense_bytes(&self) -> usize {
+        self.w1.dense_bytes()
+            + self.b1.dense_bytes()
+            + self.w2.dense_bytes()
+            + self.b2.dense_bytes()
+    }
+}
+
+/// One participant's full encoded upload: expert updates plus the optional
+/// task head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodedUpload {
+    /// Encoded expert updates.
+    pub experts: Vec<EncodedExpertUpdate>,
+    /// Encoded task head and its aggregation weight.
+    pub head: Option<(EncodedTensor, f32)>,
+}
+
+impl EncodedUpload {
+    /// Encodes a dense upload against the round-start snapshot `base`.
+    ///
+    /// Every update key must exist in `base` (participants derive their
+    /// keys from the snapshot they downloaded, so this holds by
+    /// construction).
+    pub fn encode(
+        updates: &[ExpertUpdate],
+        head: Option<&(Matrix, f32)>,
+        base: &MoeModel,
+        config: CompressionConfig,
+    ) -> Self {
+        let experts = updates
+            .iter()
+            .map(|u| {
+                EncodedExpertUpdate::encode(u.key, &u.expert, base.expert(u.key), u.weight, config)
+            })
+            .collect();
+        let head = head.map(|(matrix, weight)| {
+            (
+                EncodedTensor::encode(matrix, base.active_head(), config),
+                *weight,
+            )
+        });
+        Self { experts, head }
+    }
+
+    /// Decodes against the round-start snapshot, skipping updates whose key
+    /// is out of range or whose shape mismatches the base (rogue uploads —
+    /// the same ones the store's install path rejects).
+    pub fn decode(&self, base: &MoeModel) -> (Vec<ExpertUpdate>, Option<(Matrix, f32)>) {
+        let per_layer = base.experts_per_layer();
+        let updates = self
+            .experts
+            .iter()
+            .filter_map(|encoded| {
+                let in_range = per_layer
+                    .get(encoded.key.layer)
+                    .is_some_and(|&n| encoded.key.expert < n);
+                if !in_range {
+                    return None;
+                }
+                encoded.decode(base.expert(encoded.key))
+            })
+            .collect();
+        let head = self
+            .head
+            .as_ref()
+            .and_then(|(tensor, weight)| Some((tensor.decode(base.active_head())?, *weight)));
+        (updates, head)
+    }
+
+    /// Simulated wire bytes of the whole upload.
+    pub fn encoded_bytes(&self) -> usize {
+        let experts: usize = self.experts.iter().map(|e| e.encoded_bytes()).sum();
+        let head = self
+            .head
+            .as_ref()
+            .map(|(t, _)| t.encoded_bytes())
+            .unwrap_or(0);
+        experts + head
+    }
+
+    /// Bytes the dense upload of the same payload would take.
+    pub fn dense_bytes(&self) -> usize {
+        let experts: usize = self.experts.iter().map(|e| e.dense_bytes()).sum();
+        let head = self
+            .head
+            .as_ref()
+            .map(|(t, _)| t.dense_bytes())
+            .unwrap_or(0);
+        experts + head
+    }
+}
+
+/// Bytes a dense (uncompressed) upload payload occupies on the wire: 4 per
+/// f32 across every expert tensor plus the optional head.
+pub fn dense_upload_payload_bytes(updates: &[ExpertUpdate], head: Option<&(Matrix, f32)>) -> usize {
+    let params: usize = updates.iter().map(|u| u.expert.num_params()).sum();
+    let head_params = head.map(|(m, _)| m.len()).unwrap_or(0);
+    (params + head_params) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_tensor::SeededRng;
+
+    fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        Matrix::random_normal(rows, cols, 1.0, &mut rng)
+    }
+
+    /// A "fine-tuned" variant: the base plus small perturbations on most
+    /// entries (how real training deltas look).
+    fn perturbed(base: &Matrix, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let noise = Matrix::random_normal(base.shape().0, base.shape().1, 0.01, &mut rng);
+        let mut out = base.clone();
+        out.add_scaled(&noise, 1.0).unwrap();
+        out
+    }
+
+    #[test]
+    fn xor_delta_round_trips_bit_identically() {
+        let base = random_matrix(1, 6, 9);
+        let mut new = perturbed(&base, 2);
+        // Special values must survive exactly too.
+        new.set(0, 0, 0.0);
+        new.set(0, 1, -0.0);
+        new.set(1, 0, f32::MIN_POSITIVE / 2.0); // subnormal
+        let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::LosslessDelta);
+        let decoded = encoded.decode(&base).unwrap();
+        for (d, n) in decoded.as_slice().iter().zip(new.as_slice()) {
+            assert_eq!(d.to_bits(), n.to_bits(), "bitwise mismatch");
+        }
+    }
+
+    #[test]
+    fn dense_payload_round_trips_without_base() {
+        let base = random_matrix(3, 4, 4);
+        let new = random_matrix(4, 4, 4);
+        let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::Dense);
+        assert!(!encoded.needs_base());
+        let decoded = encoded.decode(&Matrix::zeros(4, 4)).unwrap();
+        assert_eq!(decoded, new);
+    }
+
+    #[test]
+    fn xor_delta_of_training_style_update_undercuts_dense_bytes() {
+        let base = random_matrix(5, 16, 32);
+        let new = perturbed(&base, 6);
+        let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::LosslessDelta);
+        assert!(
+            encoded.encoded_bytes() < encoded.dense_bytes(),
+            "xor delta {} should undercut dense {}",
+            encoded.encoded_bytes(),
+            encoded.dense_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_delta_error_shrinks_with_width() {
+        let base = random_matrix(7, 12, 12);
+        let new = perturbed(&base, 8);
+        let mut errs = Vec::new();
+        for width in [BitWidth::Int4, BitWidth::Int8] {
+            let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::quantized(width));
+            let decoded = encoded.decode(&base).unwrap();
+            let err = decoded.sub(&new).unwrap().frobenius_norm() / new.frobenius_norm();
+            errs.push(err);
+        }
+        assert!(
+            errs[0] > errs[1],
+            "int4 err {} <= int8 err {}",
+            errs[0],
+            errs[1]
+        );
+        assert!(errs[1] < 0.01, "int8 delta error {} too large", errs[1]);
+    }
+
+    #[test]
+    fn sparse_delta_keeps_only_top_k() {
+        let base = Matrix::zeros(1, 8);
+        let mut new = Matrix::zeros(1, 8);
+        for (i, v) in [0.5f32, -3.0, 0.1, 2.0, 0.0, -0.2, 1.0, 0.05]
+            .iter()
+            .enumerate()
+        {
+            new.set(0, i, *v);
+        }
+        let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::sparse(0.25));
+        let decoded = encoded.decode(&base).unwrap();
+        // ceil(8 * 0.25) = 2 survivors: -3.0 and 2.0.
+        let expected = [0.0f32, -3.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0];
+        for (d, e) in decoded.as_slice().iter().zip(expected.iter()) {
+            assert_eq!(d, e);
+        }
+    }
+
+    #[test]
+    fn encoded_bytes_shrink_with_width_and_sparsity() {
+        let base = random_matrix(9, 16, 32);
+        let new = perturbed(&base, 10);
+        let dense = EncodedTensor::encode(&new, &base, CompressionConfig::Dense).encoded_bytes();
+        let int8 = EncodedTensor::encode(&new, &base, CompressionConfig::quantized(BitWidth::Int8))
+            .encoded_bytes();
+        let int4 = EncodedTensor::encode(&new, &base, CompressionConfig::quantized(BitWidth::Int4))
+            .encoded_bytes();
+        let int4_sparse = EncodedTensor::encode(
+            &new,
+            &base,
+            CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25),
+        )
+        .encoded_bytes();
+        assert!(dense > int8, "dense {dense} int8 {int8}");
+        assert!(int8 > int4, "int8 {int8} int4 {int4}");
+        assert!(int4 > int4_sparse, "int4 {int4} sparse {int4_sparse}");
+    }
+
+    #[test]
+    fn quantized_byte_ratio_matches_configured_width() {
+        // Satellite check: the compressed-vs-dense byte ratio tracks the
+        // configured bit width — int8 ≈ 4×, int4 ≈ 8× smaller levels, with
+        // per-row scale + header overhead on top.
+        let base = random_matrix(11, 32, 32);
+        let new = perturbed(&base, 12);
+        let dense = (32 * 32 * 4) as f64;
+        for (width, min_ratio) in [(BitWidth::Int8, 3.0), (BitWidth::Int4, 6.0)] {
+            let enc = EncodedTensor::encode(&new, &base, CompressionConfig::quantized(width))
+                .encoded_bytes() as f64;
+            let ratio = dense / enc;
+            assert!(
+                ratio >= min_ratio && ratio <= width.compression_ratio() as f64 + 0.5,
+                "{width:?}: ratio {ratio}"
+            );
+        }
+        // Sparsity stacks on top: keeping 25% at int4 beats 8× alone.
+        let sparse = EncodedTensor::encode(
+            &new,
+            &base,
+            CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25),
+        )
+        .encoded_bytes() as f64;
+        assert!(dense / sparse > 10.0, "sparse ratio {}", dense / sparse);
+    }
+
+    #[test]
+    fn lossy_delta_without_knobs_falls_back_to_lossless() {
+        let base = random_matrix(13, 4, 4);
+        let new = perturbed(&base, 14);
+        let cfg = CompressionConfig::LossyDelta {
+            quantization: None,
+            top_k_fraction: 1.0,
+        };
+        assert!(cfg.is_lossless());
+        let decoded = EncodedTensor::encode(&new, &base, cfg)
+            .decode(&base)
+            .unwrap();
+        assert_eq!(decoded, new);
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_base_shape() {
+        let base = random_matrix(15, 4, 4);
+        let new = perturbed(&base, 16);
+        let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::LosslessDelta);
+        assert!(encoded.decode(&Matrix::zeros(3, 3)).is_none());
+    }
+
+    #[test]
+    fn expert_update_round_trip_and_bytes() {
+        let mut rng = SeededRng::new(17);
+        let base = Expert::new(6, 12, &mut rng);
+        let mut new = base.clone();
+        let (r, c) = new.w1.shape();
+        new.w1.add_scaled(&random_matrix(18, r, c), 0.01).unwrap();
+        new.b1[0] += 0.25;
+        let key = ExpertKey::new(1, 2);
+        let encoded =
+            EncodedExpertUpdate::encode(key, &new, &base, 3.0, CompressionConfig::LosslessDelta);
+        let decoded = encoded.decode(&base).unwrap();
+        assert_eq!(decoded.key, key);
+        assert_eq!(decoded.weight, 3.0);
+        assert_eq!(decoded.expert.w1, new.w1);
+        assert_eq!(decoded.expert.b1, new.b1);
+        assert_eq!(decoded.expert.w2, new.w2);
+        assert_eq!(decoded.expert.b2, new.b2);
+        assert!(encoded.encoded_bytes() < encoded.dense_bytes());
+        assert_eq!(encoded.dense_bytes(), new.num_params() * 4);
+    }
+
+    #[test]
+    fn upload_decode_skips_out_of_range_keys() {
+        let mut rng = SeededRng::new(19);
+        let model = MoeModel::new(flux_moe::MoeConfig::tiny(), &mut rng);
+        let good_key = model.expert_keys()[0];
+        let new = model.expert(good_key).clone();
+        let updates = vec![ExpertUpdate {
+            key: good_key,
+            expert: new,
+            weight: 1.0,
+        }];
+        let mut encoded =
+            EncodedUpload::encode(&updates, None, &model, CompressionConfig::LosslessDelta);
+        // Forge a rogue key far out of range.
+        encoded.experts[0].key = ExpertKey::new(good_key.layer, 10_000);
+        let (decoded, head) = encoded.decode(&model);
+        assert!(decoded.is_empty());
+        assert!(head.is_none());
+    }
+
+    #[test]
+    fn dense_payload_byte_helper_matches_encoder() {
+        let mut rng = SeededRng::new(20);
+        let model = MoeModel::new(flux_moe::MoeConfig::tiny(), &mut rng);
+        let key = model.expert_keys()[0];
+        let updates = vec![ExpertUpdate {
+            key,
+            expert: model.expert(key).clone(),
+            weight: 1.0,
+        }];
+        let head = (model.active_head().clone(), 1.0f32);
+        let encoded = EncodedUpload::encode(
+            &updates,
+            Some(&head),
+            &model,
+            CompressionConfig::LosslessDelta,
+        );
+        assert_eq!(
+            encoded.dense_bytes(),
+            dense_upload_payload_bytes(&updates, Some(&head))
+        );
+    }
+}

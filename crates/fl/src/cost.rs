@@ -259,17 +259,44 @@ impl CostModel {
         bytes / (device.pcie_gbps * 1e9 * self.pcie_efficiency)
     }
 
-    /// Seconds to exchange `expert_updates` expert tensors (upload) plus the
-    /// same amount of download with the parameter server.
+    /// Bytes of a dense (uncompressed) upload of `expert_updates` reference
+    /// expert tensors — the download of the refreshed experts is the same
+    /// size, since the server ships them back dense.
+    pub fn dense_upload_bytes(config: &MoeConfig, expert_updates: usize) -> f64 {
+        DeviceProfile::expert_bytes(config) * expert_updates as f64
+    }
+
+    /// Seconds to move `upload_bytes` up and `download_bytes` down over the
+    /// device's (possibly asymmetric) last-mile link.
+    ///
+    /// This is the byte-true core of the communication model: upload is
+    /// priced from the *encoded* payload, so compression changes simulated
+    /// time; download stays dense (the server ships refreshed experts at
+    /// full precision).
+    pub fn communication_time_s_bytes(
+        &self,
+        device: &DeviceProfile,
+        upload_bytes: f64,
+        download_bytes: f64,
+    ) -> f64 {
+        upload_bytes * 8.0 / (device.link.uplink_mbps * 1e6)
+            + download_bytes * 8.0 / (device.link.downlink_mbps * 1e6)
+    }
+
+    /// Seconds to exchange `expert_updates` dense expert tensors (upload)
+    /// plus the same amount of download with the parameter server.
+    ///
+    /// Convenience wrapper over [`CostModel::communication_time_s_bytes`]
+    /// for the uncompressed path; on a symmetric link it reproduces the
+    /// legacy expert-count pricing exactly.
     pub fn communication_time_s(
         &self,
         device: &DeviceProfile,
         config: &MoeConfig,
         expert_updates: usize,
     ) -> f64 {
-        let bytes = DeviceProfile::expert_bytes(config) * expert_updates as f64 * 2.0;
-        let bits = bytes * 8.0;
-        bits / (device.network_mbps * 1e6)
+        let bytes = Self::dense_upload_bytes(config, expert_updates);
+        self.communication_time_s_bytes(device, bytes, bytes)
     }
 
     /// Seconds for the expert clustering + merging pipeline.
@@ -378,6 +405,94 @@ mod tests {
         assert!(
             cost.communication_time_s(&fast, &cfg, 64) > cost.communication_time_s(&fast, &cfg, 16)
         );
+    }
+
+    #[test]
+    fn communication_time_is_byte_based() {
+        // Regression test for the expert-count proxy: time must scale
+        // exactly linearly with payload bytes on each direction of the
+        // link, independent of how many experts those bytes came from.
+        let cost = CostModel::default();
+        let device = DeviceClass::Consumer12G
+            .profile()
+            .with_link(crate::device::LinkProfile::three_g());
+        let up_only = cost.communication_time_s_bytes(&device, 1e6, 0.0);
+        let down_only = cost.communication_time_s_bytes(&device, 0.0, 1e6);
+        assert!((cost.communication_time_s_bytes(&device, 2e6, 0.0) - 2.0 * up_only).abs() < 1e-9);
+        assert!(
+            (cost.communication_time_s_bytes(&device, 1e6, 1e6) - (up_only + down_only)).abs()
+                < 1e-9
+        );
+        // The asymmetric 3G link prices uplink bytes ~7.2× dearer.
+        assert!((up_only / down_only - 7.2).abs() < 1e-6);
+        // Halving upload bytes (e.g. int8→int4 levels) halves only the
+        // upload term, leaving the dense download term untouched.
+        let full = cost.communication_time_s_bytes(&device, 4e6, 4e6);
+        let compressed = cost.communication_time_s_bytes(&device, 5e5, 4e6);
+        assert!((full - compressed - 3.5e6 * 8.0 / (1.0 * 1e6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn legacy_wrapper_matches_byte_form_on_symmetric_links() {
+        let (cost, device, cfg) = setup();
+        let bytes = CostModel::dense_upload_bytes(&cfg, 32);
+        assert_eq!(
+            cost.communication_time_s(&device, &cfg, 32),
+            cost.communication_time_s_bytes(&device, bytes, bytes)
+        );
+    }
+
+    #[test]
+    fn link_profiles_order_round_communication() {
+        // Satellite check: 3G < 4G < WiFi in round-communication throughput,
+        // i.e. the same round payload takes strictly longer on each slower
+        // link.
+        let cost = CostModel::default();
+        let cfg = MoeConfig::llama_moe_sim();
+        let base = DeviceClass::Consumer12G.profile();
+        let times: Vec<f64> = [
+            crate::device::LinkProfile::three_g(),
+            crate::device::LinkProfile::four_g(),
+            crate::device::LinkProfile::wifi(),
+        ]
+        .into_iter()
+        .map(|link| {
+            let device = base.clone().with_link(link);
+            let bytes = CostModel::dense_upload_bytes(&cfg, 32);
+            cost.communication_time_s_bytes(&device, bytes, bytes)
+        })
+        .collect();
+        assert!(
+            times[0] > times[1] && times[1] > times[2],
+            "3G {} 4G {} WiFi {}",
+            times[0],
+            times[1],
+            times[2]
+        );
+    }
+
+    #[test]
+    fn compressed_upload_ratio_matches_bit_width_and_sparsity() {
+        // Satellite check: with the dense download held fixed, shrinking the
+        // upload payload by the configured width/sparsity factor shrinks
+        // the upload *term* by exactly that factor.
+        let cost = CostModel::default();
+        let cfg = MoeConfig::llama_moe_sim();
+        let device = DeviceClass::Consumer12G
+            .profile()
+            .with_link(crate::device::LinkProfile::three_g());
+        let dense = CostModel::dense_upload_bytes(&cfg, 32);
+        let download = cost.communication_time_s_bytes(&device, 0.0, dense);
+        for factor in [8.0f64, 16.0] {
+            // int4 ≈ 8× fewer payload bytes; int4 + 50% top-k ≈ 16×.
+            let t_dense = cost.communication_time_s_bytes(&device, dense, dense);
+            let t_comp = cost.communication_time_s_bytes(&device, dense / factor, dense);
+            let upload_ratio = (t_dense - download) / (t_comp - download);
+            assert!(
+                (upload_ratio - factor).abs() < 1e-6,
+                "factor {factor}: got {upload_ratio}"
+            );
+        }
     }
 
     #[test]

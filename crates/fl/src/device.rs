@@ -48,6 +48,56 @@ impl DeviceClass {
     }
 }
 
+/// Last-mile link of one participant: asymmetric uplink/downlink
+/// bandwidth in Mbit/s.
+///
+/// Federated rounds are uplink-dominated, and real consumer links are far
+/// from symmetric — a 3G uplink is ~7× slower than its downlink. The cost
+/// model prices uploads against `uplink_mbps` and snapshot downloads
+/// against `downlink_mbps`, so upload compression buys exactly the
+/// simulated seconds the link actually charges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Participant → server bandwidth in Mbit/s.
+    pub uplink_mbps: f64,
+    /// Server → participant bandwidth in Mbit/s.
+    pub downlink_mbps: f64,
+}
+
+impl LinkProfile {
+    /// A symmetric link (legacy behavior: one `network_mbps` both ways).
+    pub fn symmetric(mbps: f64) -> Self {
+        Self {
+            uplink_mbps: mbps,
+            downlink_mbps: mbps,
+        }
+    }
+
+    /// HSPA-era cellular: ~1 Mbit/s up, ~7.2 Mbit/s down.
+    pub fn three_g() -> Self {
+        Self {
+            uplink_mbps: 1.0,
+            downlink_mbps: 7.2,
+        }
+    }
+
+    /// LTE: ~15 Mbit/s up, ~60 Mbit/s down.
+    pub fn four_g() -> Self {
+        Self {
+            uplink_mbps: 15.0,
+            downlink_mbps: 60.0,
+        }
+    }
+
+    /// Home WiFi on a cable/fiber backhaul: ~120 Mbit/s up, ~150 down.
+    pub fn wifi() -> Self {
+        Self {
+            uplink_mbps: 120.0,
+            downlink_mbps: 150.0,
+        }
+    }
+}
+
 /// Hardware description of one participant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceProfile {
@@ -59,8 +109,12 @@ pub struct DeviceProfile {
     pub compute_tflops: f64,
     /// Host↔GPU (PCIe) bandwidth in GB/s, the offloading bottleneck.
     pub pcie_gbps: f64,
-    /// Network bandwidth to the parameter server in Mbit/s.
+    /// Network bandwidth to the parameter server in Mbit/s (the symmetric
+    /// legacy figure; `link` carries the asymmetric up/down split).
     pub network_mbps: f64,
+    /// Asymmetric last-mile link. Defaults to a symmetric link at
+    /// `network_mbps`, which reproduces the legacy cost model exactly.
+    pub link: LinkProfile,
     /// Fraction of GPU memory usable for expert parameters after activations,
     /// optimizer state and the frozen backbone are accounted for.
     pub memory_utilization: f64,
@@ -83,6 +137,7 @@ impl DeviceProfile {
             compute_tflops,
             pcie_gbps,
             network_mbps,
+            link: LinkProfile::symmetric(network_mbps),
             memory_utilization: 0.6,
             round_deadline_s: 120.0,
         }
@@ -91,6 +146,12 @@ impl DeviceProfile {
     /// Overrides the per-round compute deadline.
     pub fn with_round_deadline(mut self, seconds: f64) -> Self {
         self.round_deadline_s = seconds;
+        self
+    }
+
+    /// Overrides the last-mile link profile.
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
         self
     }
 
@@ -254,6 +315,40 @@ mod tests {
             .profile()
             .with_round_deadline(600.0);
         assert!(long.tuning_capacity(&cfg, 5000) >= short.tuning_capacity(&cfg, 5000));
+    }
+
+    #[test]
+    fn default_link_is_symmetric_at_network_mbps() {
+        for class in DeviceClass::all() {
+            let p = class.profile();
+            assert_eq!(p.link, LinkProfile::symmetric(p.network_mbps));
+            assert_eq!(p.link.uplink_mbps, p.network_mbps);
+            assert_eq!(p.link.downlink_mbps, p.network_mbps);
+        }
+    }
+
+    #[test]
+    fn link_presets_order_by_uplink_and_skew_upward() {
+        let (g3, g4, wifi) = (
+            LinkProfile::three_g(),
+            LinkProfile::four_g(),
+            LinkProfile::wifi(),
+        );
+        assert!(g3.uplink_mbps < g4.uplink_mbps);
+        assert!(g4.uplink_mbps < wifi.uplink_mbps);
+        // Every preset is uplink-constrained — the paper's bottleneck.
+        for link in [g3, g4, wifi] {
+            assert!(link.uplink_mbps < link.downlink_mbps);
+        }
+    }
+
+    #[test]
+    fn with_link_overrides_only_the_link() {
+        let base = DeviceClass::Consumer12G.profile();
+        let cellular = base.clone().with_link(LinkProfile::three_g());
+        assert_eq!(cellular.link, LinkProfile::three_g());
+        assert_eq!(cellular.network_mbps, base.network_mbps);
+        assert_eq!(cellular.compute_tflops, base.compute_tflops);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod aggregate;
 pub mod clock;
+pub mod compress;
 pub mod cost;
 pub mod device;
 pub mod participant;
@@ -33,8 +34,12 @@ pub mod store;
 
 pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate, ShardedAggregator};
 pub use clock::{PhaseTimes, SimClock};
+pub use compress::{
+    dense_upload_payload_bytes, CompressionConfig, EncodedExpertUpdate, EncodedTensor,
+    EncodedUpload,
+};
 pub use cost::{CostModel, RoundCostBreakdown};
-pub use device::{DeviceClass, DeviceProfile};
+pub use device::{DeviceClass, DeviceProfile, LinkProfile};
 pub use participant::{build_fleet, Participant, ParticipantBehavior};
 pub use server::{ParameterServer, DEFAULT_SHARDS};
 pub use store::{shard_of_key, ShardedStore};

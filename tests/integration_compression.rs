@@ -1,0 +1,252 @@
+//! Golden-trace suite for the upload-compression layer.
+//!
+//! The dense-upload run is the reference semantics. Lossless delta
+//! encoding (XOR bit patterns against the round-start snapshot) must
+//! reproduce its per-round losses, per-round scores, and final global
+//! weights **bit-identically** — across thread counts, both execution
+//! schedules, and shuffled arrival orders — while shipping strictly fewer
+//! bytes. Lossy modes (int8/int4 quantized deltas, top-k sparsification)
+//! trade accuracy for bytes; their scores are pinned within tolerance of
+//! the dense run and their byte counts must shrink monotonically with the
+//! configured width and sparsity.
+//!
+//! CI runs this suite under `FLUX_THREADS` 1/4/8, so the default-pool runs
+//! exercise every pool width.
+
+use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig, RunResult};
+use flux_core::scheduler::{JobSpec, SchedulePolicy, Scheduler};
+use flux_data::DatasetKind;
+use flux_fl::{CompressionConfig, LinkProfile};
+use flux_moe::MoeConfig;
+use flux_quant::BitWidth;
+use threadpool::ThreadPool;
+
+fn quick() -> RunConfig {
+    RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
+}
+
+/// The golden trace of one run: (train_loss, score) per round plus the
+/// final weight checksum.
+#[derive(Debug, Clone, PartialEq)]
+struct Trace {
+    rounds: Vec<(f32, f32)>,
+    checksum: u64,
+}
+
+fn trace_of(result: &RunResult) -> Trace {
+    Trace {
+        rounds: result
+            .rounds
+            .iter()
+            .map(|r| (r.train_loss, r.score))
+            .collect(),
+        checksum: result.final_model.param_checksum(),
+    }
+}
+
+#[test]
+fn lossless_delta_is_bit_identical_to_dense_uploads() {
+    // Reference: dense uploads, barriered, fully sequential.
+    let dense = FederatedRun::new(quick(), 404)
+        .with_mode(ExecutionMode::Barriered)
+        .with_threads(1)
+        .run(Method::Flux);
+    let golden = trace_of(&dense);
+    assert_eq!(golden.rounds.len(), 3);
+
+    // Lossless compression must not change a single bit, whatever the
+    // schedule or thread count. The default-pool run (no with_threads)
+    // sizes its pool from FLUX_THREADS, which the CI legs sweep over 1/4/8.
+    let configs: Vec<FederatedRun> = vec![
+        FederatedRun::new(
+            quick().with_compression(CompressionConfig::LosslessDelta),
+            404,
+        ),
+        FederatedRun::new(
+            quick().with_compression(CompressionConfig::LosslessDelta),
+            404,
+        )
+        .with_mode(ExecutionMode::Barriered),
+        FederatedRun::new(
+            quick().with_compression(CompressionConfig::LosslessDelta),
+            404,
+        )
+        .with_threads(1),
+        FederatedRun::new(
+            quick().with_compression(CompressionConfig::LosslessDelta),
+            404,
+        )
+        .with_threads(4),
+    ];
+    for (i, run) in configs.into_iter().enumerate() {
+        let compressed = run.run(Method::Flux);
+        assert_eq!(
+            golden,
+            trace_of(&compressed),
+            "lossless variant {i} diverged from the dense golden trace"
+        );
+        // ...while actually compressing: every round ships fewer bytes.
+        assert!(
+            compressed.upload_bytes_compressed < compressed.upload_bytes_dense,
+            "variant {i}: encoded {} >= dense {}",
+            compressed.upload_bytes_compressed,
+            compressed.upload_bytes_dense
+        );
+        assert_eq!(compressed.upload_bytes_dense, dense.upload_bytes_dense);
+    }
+}
+
+#[test]
+fn lossless_delta_survives_shuffled_arrival_orders() {
+    let golden = trace_of(
+        &FederatedRun::new(
+            quick().with_compression(CompressionConfig::LosslessDelta),
+            404,
+        )
+        .with_threads(1)
+        .run(Method::Flux),
+    );
+    for arrival_seed in [1u64, 2, 3] {
+        let shuffled = trace_of(
+            &FederatedRun::new(
+                quick().with_compression(CompressionConfig::LosslessDelta),
+                404,
+            )
+            .with_threads(4)
+            .with_shuffled_arrivals(arrival_seed)
+            .run(Method::Flux),
+        );
+        assert_eq!(
+            golden, shuffled,
+            "arrival seed {arrival_seed} changed the compressed trace"
+        );
+    }
+}
+
+#[test]
+fn lossy_modes_stay_within_tolerance_of_the_dense_run() {
+    let dense = FederatedRun::new(quick(), 404).run(Method::Flux);
+    for (label, config) in [
+        ("int8", CompressionConfig::quantized(BitWidth::Int8)),
+        ("int4", CompressionConfig::quantized(BitWidth::Int4)),
+        (
+            "int4+topk25",
+            CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25),
+        ),
+    ] {
+        let lossy = FederatedRun::new(quick().with_compression(config), 404).run(Method::Flux);
+        assert_eq!(lossy.rounds.len(), dense.rounds.len());
+        for (d, l) in dense.rounds.iter().zip(lossy.rounds.iter()) {
+            assert!(
+                (d.score - l.score).abs() <= 0.15,
+                "{label} round {}: score {} vs dense {}",
+                d.round,
+                l.score,
+                d.score
+            );
+            assert!(
+                (d.train_loss - l.train_loss).abs() <= 0.25,
+                "{label} round {}: loss {} vs dense {}",
+                d.round,
+                l.train_loss,
+                d.train_loss
+            );
+        }
+    }
+}
+
+#[test]
+fn lossy_runs_are_bit_identical_across_thread_counts_and_arrivals() {
+    // Lossy ≠ nondeterministic: the quantized/sparsified payload is a pure
+    // function of the upload and the snapshot, so the whole run stays
+    // bit-identical across pool widths and arrival orders.
+    let config = CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25);
+    let reference = FederatedRun::new(quick().with_compression(config), 404)
+        .with_threads(1)
+        .run(Method::Flux);
+    let golden = trace_of(&reference);
+    for threads in [2usize, 4] {
+        let threaded = FederatedRun::new(quick().with_compression(config), 404)
+            .with_threads(threads)
+            .run(Method::Flux);
+        assert_eq!(golden, trace_of(&threaded), "threads {threads} diverged");
+        assert_eq!(reference.rounds, threaded.rounds);
+    }
+    let shuffled = FederatedRun::new(quick().with_compression(config), 404)
+        .with_threads(4)
+        .with_shuffled_arrivals(7)
+        .run(Method::Flux);
+    assert_eq!(golden, trace_of(&shuffled), "shuffled arrivals diverged");
+}
+
+#[test]
+fn encoded_bytes_shrink_with_width_and_sparsity() {
+    let bytes_of = |config: CompressionConfig| {
+        FederatedRun::new(quick().with_compression(config), 404)
+            .run(Method::Flux)
+            .upload_bytes_compressed
+    };
+    let dense = bytes_of(CompressionConfig::Dense);
+    let lossless = bytes_of(CompressionConfig::LosslessDelta);
+    let int8 = bytes_of(CompressionConfig::quantized(BitWidth::Int8));
+    let int4 = bytes_of(CompressionConfig::quantized(BitWidth::Int4));
+    let int4_sparse = bytes_of(CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25));
+    assert!(lossless < dense, "lossless {lossless} dense {dense}");
+    assert!(int8 < dense, "int8 {int8} dense {dense}");
+    assert!(int4 < int8, "int4 {int4} int8 {int8}");
+    assert!(int4_sparse < int4, "sparse {int4_sparse} int4 {int4}");
+}
+
+#[test]
+fn compression_cuts_simulated_communication_on_a_slow_uplink() {
+    // The acceptance scenario: on a 3G link, int4 + top-k uploads must cut
+    // simulated communication seconds by at least 4× versus dense uploads.
+    let dense = FederatedRun::new(quick().with_link(LinkProfile::three_g()), 404).run(Method::Flux);
+    let compressed = FederatedRun::new(
+        quick()
+            .with_link(LinkProfile::three_g())
+            .with_compression(CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25)),
+        404,
+    )
+    .run(Method::Flux);
+    let dense_comm = dense.phase_times.communication_s;
+    let compressed_comm = compressed.phase_times.communication_s;
+    assert!(
+        dense_comm / compressed_comm >= 4.0,
+        "3G speedup {:.2}x (dense {dense_comm}s, compressed {compressed_comm}s)",
+        dense_comm / compressed_comm
+    );
+}
+
+#[test]
+fn compression_threads_through_the_scheduler() {
+    // A compressed job stepped through the multi-run scheduler must equal
+    // the same run executed standalone — JobSpec carries the full
+    // RunConfig, compression knob included.
+    let config = quick().with_compression(CompressionConfig::LosslessDelta);
+    let standalone = trace_of(
+        &FederatedRun::new(config.clone(), 404)
+            .with_threads(2)
+            .run(Method::Flux),
+    );
+    let scheduler = Scheduler::on_pool(ThreadPool::new(2), SchedulePolicy::Concurrent);
+    let mut results = scheduler.run_all(vec![
+        JobSpec::new(
+            "compressed",
+            FederatedRun::new(config, 404).with_threads(2),
+            Method::Flux,
+        ),
+        JobSpec::new(
+            "dense-neighbor",
+            FederatedRun::new(quick(), 405).with_threads(2),
+            Method::Fmd,
+        ),
+    ]);
+    let scheduled = results.remove(0);
+    assert_eq!(scheduled.name, "compressed");
+    assert_eq!(
+        standalone,
+        trace_of(&scheduled.result),
+        "scheduler interleaving changed the compressed run"
+    );
+}
