@@ -25,6 +25,9 @@
 //!   non-zero below it.
 //! * `FLUX_PERF_COMPRESSION_SCORE_TOL` — maximum final-score deviation the
 //!   compressed run may show versus the dense run (default `0.1`).
+//! * `FLUX_PERF_MAX_CKPT_OVERHEAD` — maximum fraction of a round's wall
+//!   time an incremental durable checkpoint may cost (default `0.5`); the
+//!   process exits non-zero above it — the crash-recovery perf gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -160,6 +163,107 @@ fn measure_compression() -> CompressionReport {
     }
 }
 
+/// The durable-checkpoint scenario: a quick-demo Flux run checkpointed to
+/// a scratch directory. Measures the first (full) snapshot, the no-op
+/// snapshot of an unchanged store, the incremental snapshot after one more
+/// round, and a full restore — and verifies the restored run finishes
+/// bit-identical to the uninterrupted one, so the perf numbers can never
+/// come from a snapshot that dropped state.
+struct CheckpointReport {
+    full_ms: f64,
+    full_bytes: u64,
+    noop_ms: f64,
+    noop_bytes: u64,
+    incremental_ms: f64,
+    incremental_bytes: u64,
+    incremental_shards_written: usize,
+    restore_ms: f64,
+    round_wall_ms: f64,
+    /// incremental_ms / round_wall_ms — what checkpointing every round
+    /// would add to the round loop.
+    overhead: f64,
+}
+
+fn measure_checkpoint(reps: usize) -> CheckpointReport {
+    let dir = std::env::temp_dir().join(format!("flux_perf_ckpt_{}", std::process::id()));
+    let pool = threadpool::ThreadPool::from_env();
+    let cfg = || RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k);
+    let reference = FederatedRun::new(cfg(), 42).run(Method::Flux);
+    let rounds = reference.rounds.len().max(1);
+
+    let mut full_ms = f64::INFINITY;
+    let mut noop_ms = f64::INFINITY;
+    let mut incremental_ms = f64::INFINITY;
+    let mut restore_ms = f64::INFINITY;
+    let mut round_wall_ms = f64::INFINITY;
+    let mut full_bytes = 0;
+    let mut noop_bytes = 0;
+    let mut incremental_bytes = 0;
+    let mut incremental_shards_written = 0;
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = FederatedRun::new(cfg(), 42);
+
+        let start = Instant::now();
+        let mut active = run.start(Method::Flux);
+        while !active.is_done() {
+            active.step_round(&pool);
+        }
+        let _ = active.finish();
+        round_wall_ms = round_wall_ms.min(start.elapsed().as_secs_f64() * 1e3 / rounds as f64);
+
+        let mut active = run.start(Method::Flux);
+        active.step_round(&pool);
+        let start = Instant::now();
+        let full = active.checkpoint(&dir).expect("full checkpoint");
+        if start.elapsed().as_secs_f64() * 1e3 < full_ms {
+            full_ms = start.elapsed().as_secs_f64() * 1e3;
+            full_bytes = full.bytes_written;
+        }
+        let start = Instant::now();
+        let noop = active.checkpoint(&dir).expect("no-op checkpoint");
+        if start.elapsed().as_secs_f64() * 1e3 < noop_ms {
+            noop_ms = start.elapsed().as_secs_f64() * 1e3;
+            noop_bytes = noop.bytes_written;
+        }
+        active.step_round(&pool);
+        let start = Instant::now();
+        let incremental = active.checkpoint(&dir).expect("incremental checkpoint");
+        if start.elapsed().as_secs_f64() * 1e3 < incremental_ms {
+            incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+            incremental_bytes = incremental.bytes_written;
+            incremental_shards_written = incremental.shards_written;
+        }
+        drop(active); // the simulated crash
+
+        let start = Instant::now();
+        let mut restored = run.restore(Method::Flux, &dir).expect("restore");
+        restore_ms = restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        while !restored.is_done() {
+            restored.step_round(&pool);
+        }
+        let recovered = restored.finish();
+        assert_eq!(
+            recovered.final_model.param_checksum(),
+            reference.final_model.param_checksum(),
+            "a restored run must finish bit-identical to the uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointReport {
+        full_ms,
+        full_bytes,
+        noop_ms,
+        noop_bytes,
+        incremental_ms,
+        incremental_bytes,
+        incremental_shards_written,
+        restore_ms,
+        round_wall_ms,
+        overhead: incremental_ms / round_wall_ms,
+    }
+}
+
 fn main() {
     let reps: usize = std::env::var("FLUX_PERF_REPS")
         .ok()
@@ -193,6 +297,7 @@ fn main() {
 
     let (multi_serial_ms, multi_concurrent_ms) = measure_multi_run(reps);
     let compression = measure_compression();
+    let checkpoint = measure_checkpoint(reps);
 
     let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
     let barriered_total_ms: f64 = reports.iter().map(|r| r.barriered_wall_ms).sum();
@@ -233,10 +338,25 @@ fn main() {
         compression.dense_final_score,
         compression.compressed_final_score,
     );
+    println!(
+        "  CHECKPOINT full={:.2}ms/{}B  noop={:.2}ms/{}B  incr={:.2}ms/{}B ({} shards)  \
+         restore={:.2}ms  overhead={:.1}% of a {:.1}ms round",
+        checkpoint.full_ms,
+        checkpoint.full_bytes,
+        checkpoint.noop_ms,
+        checkpoint.noop_bytes,
+        checkpoint.incremental_ms,
+        checkpoint.incremental_bytes,
+        checkpoint.incremental_shards_written,
+        checkpoint.restore_ms,
+        checkpoint.overhead * 100.0,
+        checkpoint.round_wall_ms,
+    );
 
     let json = render_json(
         &reports,
         &compression,
+        &checkpoint,
         Totals {
             total_ms,
             barriered_total_ms,
@@ -294,6 +414,32 @@ fn main() {
             "compression gate FAILED: encoded payload {} B does not undercut the dense \
              payload {} B",
             compression.upload_bytes_compressed, compression.upload_bytes_dense
+        );
+        std::process::exit(1);
+    }
+
+    // Checkpoint gate: an incremental durable snapshot must stay a small
+    // fraction of a round's wall time, or checkpoint-every-round becomes
+    // an unaffordable policy. Both sides are measured as minima over the
+    // same repetitions on the same host, so the ratio is noise-robust.
+    let max_ckpt_overhead: f64 = std::env::var("FLUX_PERF_MAX_CKPT_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    println!(
+        "checkpoint gate: incremental snapshot {:.2} ms is {:.1}% of a {:.1} ms round \
+         (max {:.0}%)",
+        checkpoint.incremental_ms,
+        checkpoint.overhead * 100.0,
+        checkpoint.round_wall_ms,
+        max_ckpt_overhead * 100.0
+    );
+    if checkpoint.overhead > max_ckpt_overhead {
+        eprintln!(
+            "checkpoint gate FAILED: an incremental checkpoint costs {:.1}% of a round, \
+             above the allowed {:.0}%",
+            checkpoint.overhead * 100.0,
+            max_ckpt_overhead * 100.0
         );
         std::process::exit(1);
     }
@@ -372,6 +518,7 @@ struct Totals {
 fn render_json(
     reports: &[MethodReport],
     compression: &CompressionReport,
+    checkpoint: &CheckpointReport,
     totals: Totals,
     threads: usize,
     host_parallelism: usize,
@@ -381,7 +528,7 @@ fn render_json(
     // enough to render by hand.
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v4\",");
     let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
     let _ = writeln!(s, "  \"flux_threads\": {threads},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
@@ -510,6 +657,39 @@ fn render_json(
         "    \"compressed_final_score\": {:.4}",
         compression.compressed_final_score
     );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"checkpoint\": {{");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"durable per-shard snapshot of the quick-demo Flux run: full = first \
+         snapshot (every shard + frozen base), noop = re-snapshot of an unchanged store \
+         (manifest only), incremental = snapshot after one more round (dirty shards only); \
+         restore rebuilds the run from disk and the measured run is asserted bit-identical \
+         to the uninterrupted one; overhead = incremental_ms / round_wall_ms, gated by \
+         FLUX_PERF_MAX_CKPT_OVERHEAD\","
+    );
+    let _ = writeln!(s, "    \"full_ms\": {:.3},", checkpoint.full_ms);
+    let _ = writeln!(s, "    \"full_bytes\": {},", checkpoint.full_bytes);
+    let _ = writeln!(s, "    \"noop_ms\": {:.3},", checkpoint.noop_ms);
+    let _ = writeln!(s, "    \"noop_bytes\": {},", checkpoint.noop_bytes);
+    let _ = writeln!(
+        s,
+        "    \"incremental_ms\": {:.3},",
+        checkpoint.incremental_ms
+    );
+    let _ = writeln!(
+        s,
+        "    \"incremental_bytes\": {},",
+        checkpoint.incremental_bytes
+    );
+    let _ = writeln!(
+        s,
+        "    \"incremental_shards_written\": {},",
+        checkpoint.incremental_shards_written
+    );
+    let _ = writeln!(s, "    \"restore_ms\": {:.3},", checkpoint.restore_ms);
+    let _ = writeln!(s, "    \"round_wall_ms\": {:.3},", checkpoint.round_wall_ms);
+    let _ = writeln!(s, "    \"overhead\": {:.4}", checkpoint.overhead);
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"pr2_baseline\": {{");
     let _ = writeln!(s, "    \"commit\": \"{PR2_COMMIT}\",");

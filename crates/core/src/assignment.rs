@@ -174,6 +174,32 @@ impl RoleAssigner {
         self.utilities.get(&participant)
     }
 
+    /// Every recorded utility, sorted by `(participant, layer, expert)` —
+    /// a canonical order, so a checkpoint of the table is byte-stable no
+    /// matter what order reports arrived in.
+    pub fn export_utilities(&self) -> Vec<(usize, ExpertUtility)> {
+        let mut all: Vec<(usize, ExpertUtility)> = self
+            .utilities
+            .iter()
+            .flat_map(|(&pid, table)| table.values().map(move |&u| (pid, u)))
+            .collect();
+        all.sort_by_key(|(pid, u)| (*pid, u.key.layer, u.key.expert));
+        all
+    }
+
+    /// Rebuilds an assigner from checkpointed state: the ε schedule plus
+    /// the utility table exported by [`RoleAssigner::export_utilities`].
+    pub fn from_utilities(
+        epsilon: DynamicEpsilon,
+        utilities: impl IntoIterator<Item = (usize, ExpertUtility)>,
+    ) -> Self {
+        let mut assigner = Self::new(epsilon);
+        for (pid, u) in utilities {
+            assigner.utilities.entry(pid).or_default().insert(u.key, u);
+        }
+        assigner
+    }
+
     /// Runs Algorithm 1 for one participant.
     ///
     /// * Solves the per-participant budgeted selection (Eq. 4): take the

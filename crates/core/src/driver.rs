@@ -43,6 +43,7 @@
 //! inside a single run's loop.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::path::Path;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -50,9 +51,11 @@ use threadpool::ThreadPool;
 
 use flux_data::{Dataset, DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
-    build_fleet, dense_upload_payload_bytes, CompressionConfig, CostModel, EncodedUpload,
-    ExpertUpdate, LinkProfile, ParameterServer, Participant, ParticipantBehavior, PhaseTimes,
-    RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock, DEFAULT_SHARDS,
+    build_fleet, decode_staged_aggregator, dense_upload_payload_bytes, encode_staged_aggregator,
+    load_store, CheckpointStats, CompressionConfig, CostModel, EncodedUpload, ExpertUpdate,
+    FaultKind, FaultPlan, FaultToleranceConfig, LinkProfile, ParameterServer, Participant,
+    ParticipantBehavior, PhaseTimes, RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock,
+    SnapshotError, DEFAULT_SHARDS,
 };
 use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
 use flux_moe::{ActivationProfile, EvalResult, ExpertKey, MoeConfig, MoeModel};
@@ -163,6 +166,14 @@ pub struct RunConfig {
     /// custom). `None` keeps each device's default symmetric link at its
     /// `network_mbps`.
     pub link: Option<LinkProfile>,
+    /// Seeded random fault injection across the fleet (`None` disables it;
+    /// one-shot incidents can still be scripted per participant with
+    /// [`ParticipantBehavior`]).
+    pub fault_plan: Option<FaultPlan>,
+    /// Server-side delivery policy: quorum fraction, retry budget, backoff
+    /// and per-round deadline. The default accepts every upload and never
+    /// retries, which reproduces the fault-free pipeline bit-for-bit.
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
 impl RunConfig {
@@ -186,6 +197,8 @@ impl RunConfig {
             reference_token_scale: 500,
             compression: CompressionConfig::Dense,
             link: None,
+            fault_plan: None,
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 
@@ -253,6 +266,19 @@ impl RunConfig {
         self
     }
 
+    /// Enables seeded random fault injection across the fleet.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the server-side delivery policy (quorum, retries,
+    /// deadline).
+    pub fn with_fault_tolerance(mut self, tolerance: FaultToleranceConfig) -> Self {
+        self.fault_tolerance = tolerance;
+        self
+    }
+
     /// The evaluation metric (with target) for this run.
     pub fn metric(&self) -> TargetMetric {
         let target = self
@@ -266,8 +292,29 @@ impl RunConfig {
     }
 }
 
+/// What the delivery layer did to this round's uploads (empty in a
+/// fault-free round).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundFaults {
+    /// Participants whose upload never landed (crash, stall-out, deadline
+    /// miss, or cut by the quorum); their weight is excluded this round.
+    pub dropped: Vec<usize>,
+    /// Participants whose upload landed only after at least one retry.
+    pub retried: Vec<usize>,
+    /// Participants that shipped at least one payload the server's
+    /// checksum-validated decode rejected.
+    pub rejected: Vec<usize>,
+}
+
+impl RoundFaults {
+    /// Whether the round saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && self.retried.is_empty() && self.rejected.is_empty()
+    }
+}
+
 /// Record of one federated round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
@@ -290,6 +337,8 @@ pub struct RoundRecord {
     pub upload_bytes_compressed: usize,
     /// Critical-path participant's per-phase breakdown.
     pub breakdown: RoundCostBreakdown,
+    /// Dropped/retried/rejected participants this round (fault scenarios).
+    pub faults: RoundFaults,
 }
 
 /// Result of a complete federated run.
@@ -382,6 +431,13 @@ enum RoundUpload {
 
 /// Stages one upload into the aggregator, decoding encoded payloads
 /// against the round-start snapshot `base`.
+///
+/// # Panics
+///
+/// Panics when an encoded payload fails its checksum-validated decode:
+/// this path only carries uploads the driver produced itself, so a decode
+/// failure is a driver bug, not a simulated wire fault (those go through
+/// the delivery layer, which rejects without panicking).
 fn submit_upload(
     aggregator: &ShardedAggregator,
     participant_id: usize,
@@ -390,8 +446,177 @@ fn submit_upload(
 ) -> bool {
     match upload {
         RoundUpload::Dense(updates, head) => aggregator.submit(participant_id, updates, head),
-        RoundUpload::Encoded(encoded) => aggregator.submit_encoded(participant_id, &encoded, base),
+        RoundUpload::Encoded(encoded) => aggregator
+            .submit_encoded(participant_id, &encoded, base)
+            .expect("a driver-produced upload decodes against its round-start snapshot"),
     }
+}
+
+/// Outcome of the delivery simulation for one fleet slot.
+struct SlotDelivery {
+    /// Whether the upload landed (within deadline and quorum).
+    delivered: bool,
+    /// Extra communication seconds the retries cost this participant.
+    extra_comm_s: f64,
+}
+
+/// The delivery layer's verdict for one round: per-slot outcomes plus the
+/// fault ledger for the round record.
+struct RoundDelivery {
+    /// One entry per fleet slot (`None` for dropout slots).
+    slots: Vec<Option<SlotDelivery>>,
+    faults: RoundFaults,
+}
+
+/// Puts one retained upload into the damaged wire form a corrupting
+/// participant ships: encoded payloads are bit-flipped (or truncated —
+/// the seed picks), dense payloads first cross the wire as a lossless
+/// delta so the damage flows through the same checksum-validated decode.
+fn corrupt_for_wire(upload: &RoundUpload, base: &MoeModel, seed: u64) -> EncodedUpload {
+    let encoded = match upload {
+        RoundUpload::Encoded(encoded) => encoded.clone(),
+        RoundUpload::Dense(updates, head) => EncodedUpload::encode(
+            updates,
+            head.as_ref(),
+            base,
+            CompressionConfig::LosslessDelta,
+        ),
+    };
+    if seed & 1 == 0 {
+        encoded.corrupted(seed)
+    } else {
+        encoded.truncated(seed)
+    }
+}
+
+/// Simulates the delivery of every retained upload under the configured
+/// fault plan, behaviors and tolerance policy, staging the uploads that
+/// land into `aggregator`.
+///
+/// Per attempt (up to `max_retries` retries): a crash loses the upload for
+/// the round; a corrupt attempt reaches the server but its checksum-
+/// validated decode rejects it (the attempt counts, the pid stays
+/// unstaged); a stall never arrives. Clean attempts arrive at
+/// `local cost + attempt × backoff` and land iff within the round
+/// deadline. Landed uploads are then sorted by `(arrival, pid)` and cut at
+/// the quorum count — the round finalizes once a quorum landed; later
+/// arrivals are dropped. Everything is a pure function of the seeds, so
+/// the same plan yields the same faults for every thread count, schedule
+/// and restore point.
+fn simulate_deliveries(
+    driver: &FederatedRun,
+    round: usize,
+    aggregator: &ShardedAggregator,
+    fleet: &[Participant],
+    results: &mut [TaskOut],
+    base: &MoeModel,
+) -> RoundDelivery {
+    let ft = driver.config.fault_tolerance;
+    let plan = driver.config.fault_plan;
+    let mut slots: Vec<Option<SlotDelivery>> = Vec::with_capacity(fleet.len());
+    let mut faults = RoundFaults::default();
+    // (arrival_s, pid, slot index, successful attempt, upload)
+    let mut landed: Vec<(f64, usize, usize, u32, RoundUpload)> = Vec::new();
+    let mut cohort = 0usize;
+    for (slot, (participant, task_out)) in fleet.iter().zip(results.iter_mut()).enumerate() {
+        let TaskOut::Participant(result) = task_out else {
+            slots.push(None);
+            continue;
+        };
+        cohort += 1;
+        slots.push(Some(SlotDelivery {
+            delivered: false,
+            extra_comm_s: 0.0,
+        }));
+        let pid = participant.id;
+        let behavior = driver.behaviors.get(&pid).copied().unwrap_or_default();
+        let upload = result
+            .upload
+            .take()
+            .expect("faulty rounds retain every upload for the delivery layer");
+        let base_arrival = result.output.cost.total_s();
+        let mut was_rejected = false;
+        let mut delivery: Option<(f64, u32)> = None;
+        for attempt in 0..=ft.max_retries {
+            // Scripted one-shot behaviors take precedence over the random
+            // plan, so a test can pin a specific incident under a plan.
+            let fault = match behavior.fault_at(round, attempt) {
+                FaultKind::None => plan
+                    .map(|p| p.fault_for(round, pid, attempt))
+                    .unwrap_or(FaultKind::None),
+                scripted => scripted,
+            };
+            match fault {
+                FaultKind::Crash => break,
+                FaultKind::Corrupt => {
+                    let seed = plan
+                        .map(|p| p.corruption_seed(round, pid, attempt))
+                        .unwrap_or_else(|| {
+                            (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ (pid as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                                ^ u64::from(attempt)
+                        });
+                    let damaged = corrupt_for_wire(&upload, base, seed);
+                    // The damaged payload reaches the server; the checksum-
+                    // validated decode must reject it without staging
+                    // anything and without panicking.
+                    let verdict = aggregator.submit_encoded(pid, &damaged, base);
+                    debug_assert!(
+                        verdict.is_err() || verdict == Ok(false),
+                        "a damaged upload must never stage"
+                    );
+                    was_rejected = true;
+                }
+                FaultKind::Stall => {}
+                FaultKind::None => {
+                    let arrival = base_arrival + f64::from(attempt) * ft.retry_backoff_s;
+                    if arrival <= ft.round_deadline_s {
+                        delivery = Some((arrival, attempt));
+                    }
+                    break;
+                }
+            }
+        }
+        if was_rejected {
+            faults.rejected.push(pid);
+        }
+        match delivery {
+            Some((arrival, attempt)) => {
+                if attempt > 0 {
+                    faults.retried.push(pid);
+                }
+                landed.push((arrival, pid, slot, attempt, upload));
+            }
+            None => faults.dropped.push(pid),
+        }
+    }
+    // The round finalizes once a quorum of the cohort landed; later
+    // arrivals are dropped from the round. Ties break by pid so the cut is
+    // deterministic.
+    landed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let quorum = ft.quorum_count(cohort);
+    for (index, (_arrival, pid, slot, attempt, upload)) in landed.into_iter().enumerate() {
+        if index >= quorum {
+            faults.dropped.push(pid);
+            continue;
+        }
+        // A pid already staged by a restored mid-round aggregator rejects
+        // the duplicate here; the delivery still counts.
+        submit_upload(aggregator, pid, upload, base);
+        let delivered = slots[slot]
+            .as_mut()
+            .expect("landed uploads come from participant slots");
+        delivered.delivered = true;
+        delivered.extra_comm_s = f64::from(attempt) * ft.retry_backoff_s;
+    }
+    faults.dropped.sort_unstable();
+    faults.retried.sort_unstable();
+    faults.rejected.sort_unstable();
+    RoundDelivery { slots, faults }
 }
 
 /// One task's result in a round's fan-out.
@@ -418,15 +643,17 @@ struct RoundReduction {
 
 /// A round whose compute has finished but whose evaluation is still in
 /// flight on the pipeline.
-struct PendingRound {
-    round: usize,
-    elapsed_hours: f64,
-    train_loss: f32,
-    round_seconds: f64,
-    tokens_trained: usize,
-    upload_bytes_dense: usize,
-    upload_bytes_compressed: usize,
-    breakdown: RoundCostBreakdown,
+#[derive(Clone)]
+pub(crate) struct PendingRound {
+    pub(crate) round: usize,
+    pub(crate) elapsed_hours: f64,
+    pub(crate) train_loss: f32,
+    pub(crate) round_seconds: f64,
+    pub(crate) tokens_trained: usize,
+    pub(crate) upload_bytes_dense: usize,
+    pub(crate) upload_bytes_compressed: usize,
+    pub(crate) breakdown: RoundCostBreakdown,
+    pub(crate) faults: RoundFaults,
 }
 
 impl PendingRound {
@@ -441,6 +668,7 @@ impl PendingRound {
             upload_bytes_dense: self.upload_bytes_dense,
             upload_bytes_compressed: self.upload_bytes_compressed,
             breakdown: self.breakdown,
+            faults: self.faults,
         }
     }
 }
@@ -511,6 +739,22 @@ impl FederatedRun {
         &self.config
     }
 
+    /// Whether any fault source or non-default delivery policy is active —
+    /// the switch that routes uploads through the delivery layer instead of
+    /// streaming them straight into the aggregator.
+    fn faults_active(&self) -> bool {
+        self.config.fault_plan.is_some()
+            || self.config.fault_tolerance != FaultToleranceConfig::default()
+            || self.behaviors.values().any(|b| {
+                matches!(
+                    b,
+                    ParticipantBehavior::CrashAt { .. }
+                        | ParticipantBehavior::CorruptAt { .. }
+                        | ParticipantBehavior::StallAt { .. }
+                )
+            })
+    }
+
     /// Executes the full federated fine-tuning process with one method:
     /// the convenience loop over the resumable state machine.
     pub fn run(&self, method: Method) -> RunResult {
@@ -539,6 +783,98 @@ impl FederatedRun {
     /// per-shard locks.
     pub fn start_on(&self, method: Method, server: &ParameterServer) -> ActiveRun {
         self.start_with(method, |model| server.register_tenant(model))
+    }
+
+    /// Restores a standalone run from a durable checkpoint directory
+    /// (written by [`ActiveRun::checkpoint`]) and returns it positioned to
+    /// re-enter its next round.
+    ///
+    /// The checkpoint's fingerprint (seed, method, schedule, round and
+    /// fleet shape) must match this run; everything the checkpoint does not
+    /// persist — dataset, fleet, RNG chain — is rebuilt deterministically
+    /// from the seed, so a restored run replays to results bit-identical
+    /// to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt or truncated checkpoint files (each
+    /// attributed to the shard that failed its checksum), and fingerprint
+    /// mismatches.
+    pub fn restore(
+        &self,
+        method: Method,
+        dir: impl AsRef<Path>,
+    ) -> Result<ActiveRun, SnapshotError> {
+        self.restore_with(method, dir, |store| store)
+    }
+
+    /// Like [`FederatedRun::restore`], but the restored store joins a
+    /// shared multi-tenant [`ParameterServer`] as a tenant.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FederatedRun::restore`].
+    pub fn restore_on(
+        &self,
+        method: Method,
+        server: &ParameterServer,
+        dir: impl AsRef<Path>,
+    ) -> Result<ActiveRun, SnapshotError> {
+        self.restore_with(method, dir, |store| server.adopt_tenant(store))
+    }
+
+    fn restore_with(
+        &self,
+        method: Method,
+        dir: impl AsRef<Path>,
+        adopt: impl FnOnce(Arc<ShardedStore>) -> Arc<ShardedStore>,
+    ) -> Result<ActiveRun, SnapshotError> {
+        let loaded = load_store(dir.as_ref())?;
+        let state = crate::recovery::decode_run_state(&loaded.meta)?;
+        state.verify_fingerprint(
+            self.seed,
+            method,
+            self.mode,
+            self.config.rounds,
+            self.config.num_participants,
+        )?;
+        let restored = Arc::new(loaded.store);
+        // Deterministic rebuild of everything the checkpoint does not
+        // carry (dataset, fleet, eval set, RNG chain); the freshly
+        // initialized model is discarded in favor of the restored store.
+        let mut active = self.start_with(method, move |_fresh| adopt(restored));
+        if state.flux.len() != active.fleet.len() || state.fmes.len() != active.fleet.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint profiles cover {} participants, run has {}",
+                state.flux.len(),
+                active.fleet.len()
+            )));
+        }
+        // Overlay the persisted run state.
+        active.clock = SimClock::from_elapsed_s(state.elapsed_s);
+        active.phases = state.phases;
+        for record in &state.records {
+            active
+                .tracker
+                .record(record.round, record.elapsed_hours, record.score);
+        }
+        active.records = state.records;
+        active.assigner = RoleAssigner::from_utilities(self.config.epsilon, state.utilities);
+        active.flux_states = state
+            .flux
+            .into_iter()
+            .map(|(profile, refreshes)| FluxState {
+                profiler: StaleProfiler::from_parts(self.config.profiling, profile, refreshes),
+            })
+            .collect();
+        active.fmes_profiles = state.fmes;
+        active.pending = state.pending;
+        active.next_round = state.next_round as usize;
+        active.restored_aggregator = match state.aggregator {
+            Some(bytes) => Some(decode_staged_aggregator(&bytes)?),
+            None => None,
+        };
+        Ok(active)
     }
 
     /// Shared setup: synthesizes the dataset, partitions the fleet,
@@ -607,6 +943,8 @@ impl FederatedRun {
             pending: None,
             next_round: 0,
             computed: None,
+            round_start_capture: None,
+            restored_aggregator: None,
         }
     }
 
@@ -929,6 +1267,16 @@ pub enum RunPhase {
     Done,
 }
 
+/// The per-participant profile state as it stood at the top of
+/// `start_round` — what a mid-round checkpoint must persist so a restored
+/// run can replay the round's fan-out (which refreshes these profiles)
+/// identically.
+#[derive(Clone)]
+struct RoundCapture {
+    flux: Vec<(Option<ActivationProfile>, usize)>,
+    fmes: Vec<Option<ActivationProfile>>,
+}
+
 /// A round whose participant fan-out has completed but whose reduction and
 /// aggregation have not run yet (between `start_round` and `finish_round`).
 struct ComputedRound {
@@ -977,6 +1325,13 @@ pub struct ActiveRun {
     pending: Option<PendingRound>,
     next_round: usize,
     computed: Option<ComputedRound>,
+    /// Profile state at the top of the in-flight round (mid-round
+    /// checkpoints persist this instead of the already-refreshed live
+    /// state).
+    round_start_capture: Option<RoundCapture>,
+    /// A staged aggregator recovered from a mid-round checkpoint; the next
+    /// `start_round` resumes it instead of opening a fresh one.
+    restored_aggregator: Option<ShardedAggregator>,
 }
 
 impl ActiveRun {
@@ -988,6 +1343,67 @@ impl ActiveRun {
     /// The tenant store holding this run's global model.
     pub fn store(&self) -> &Arc<ShardedStore> {
         &self.store
+    }
+
+    /// Writes a durable checkpoint of this run into `dir`: the store's
+    /// versioned per-shard snapshot (dirty shards only after the first
+    /// write) plus the run state needed to resume — round index, clock,
+    /// per-round records, assigner utilities, profiling pipelines, and,
+    /// mid-round, the staged aggregator with the set of participants
+    /// already reduced into it.
+    ///
+    /// Valid at any [`RunPhase`]. A checkpoint taken between `start_round`
+    /// and `finish_round` persists the *top-of-round* state: on restore
+    /// the round's fan-out replays deterministically, the restored
+    /// aggregator rejects duplicate re-submissions of already-staged pids,
+    /// and the run continues to results bit-identical to an uninterrupted
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors; a partially written file never replaces a
+    /// previous good checkpoint (temp-file + atomic rename, manifest
+    /// last).
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<CheckpointStats, SnapshotError> {
+        let (flux, fmes, staged) = match (&self.computed, &self.round_start_capture) {
+            // Mid-round: persist the top-of-round profile view plus the
+            // staged aggregator; restore replays the fan-out.
+            (Some(computed), Some(capture)) => (
+                capture.flux.clone(),
+                capture.fmes.clone(),
+                Some(encode_staged_aggregator(&computed.aggregator)),
+            ),
+            (Some(_), None) => unreachable!("start_round always captures before computing"),
+            // Round boundary: live state; an aggregator restored but not
+            // yet resumed rides along unchanged.
+            (None, _) => (
+                self.flux_states
+                    .iter()
+                    .map(|s| (s.profiler.stale_profile().cloned(), s.profiler.refreshes()))
+                    .collect(),
+                self.fmes_profiles.clone(),
+                self.restored_aggregator
+                    .as_ref()
+                    .map(encode_staged_aggregator),
+            ),
+        };
+        let meta = crate::recovery::encode_run_state(&crate::recovery::RunState {
+            seed: self.driver.seed,
+            method: self.method,
+            mode: self.driver.mode,
+            rounds: self.driver.config.rounds as u32,
+            participants: self.driver.config.num_participants as u32,
+            next_round: self.next_round as u32,
+            elapsed_s: self.clock.elapsed_s(),
+            phases: self.phases,
+            records: self.records.clone(),
+            pending: self.pending.clone(),
+            utilities: self.assigner.export_utilities(),
+            flux,
+            fmes,
+            aggregator: staged,
+        });
+        self.store.checkpoint(dir.as_ref(), &meta)
     }
 
     /// Where the run currently stands.
@@ -1043,16 +1459,35 @@ impl ActiveRun {
             round < self.driver.config.rounds,
             "run already executed every round"
         );
+        // Capture the only state the fan-out mutates (the stale-profiling
+        // pipelines), so a checkpoint taken mid-round can persist the
+        // top-of-round view and replay the fan-out identically on restore.
+        self.round_start_capture = Some(RoundCapture {
+            flux: self
+                .flux_states
+                .iter()
+                .map(|s| (s.profiler.stale_profile().cloned(), s.profiler.refreshes()))
+                .collect(),
+            fmes: self.fmes_profiles.clone(),
+        });
         let driver = &self.driver;
         let method = self.method;
         let pipelined = driver.mode == ExecutionMode::Pipelined;
-        let aggregator = self.store.begin_round();
+        let faults_active = driver.faults_active();
+        // A mid-round restore resumes the staged aggregator recovered from
+        // the checkpoint; its already-staged pids reject this fan-out's
+        // duplicate re-submissions.
+        let aggregator = self
+            .restored_aggregator
+            .take()
+            .unwrap_or_else(|| self.store.begin_round());
         // In pipelined mode uploads stream into the aggregator the moment
         // each participant finishes — unless the arrival shuffle knob is
         // on, in which case they are replayed in a seeded order during
         // finish_round (either way the aggregator's pid-ordered finalize
-        // makes arrival order unobservable).
-        let submit_on_completion = pipelined && driver.arrival_seed.is_none();
+        // makes arrival order unobservable), or the delivery layer is
+        // active, which decides per upload what arrives at all.
+        let submit_on_completion = pipelined && driver.arrival_seed.is_none() && !faults_active;
 
         // One materialized snapshot per round: participants and the
         // overlapped evaluation share it through the `Arc`, so aggregation
@@ -1200,6 +1635,7 @@ impl ActiveRun {
             .expect("start_round must compute a round first");
         let cfg = &self.driver.config;
         let pipelined = self.driver.mode == ExecutionMode::Pipelined;
+        let faults_active = self.driver.faults_active();
 
         // The previous round's record completes as soon as its overlapped
         // evaluation lands (order is preserved: one round is in flight at
@@ -1211,16 +1647,44 @@ impl ActiveRun {
             self.records.push(previous.finish(eval.score));
         }
 
+        // The delivery layer: under faults every upload was retained, and
+        // the simulation decides which of them reach the aggregator (and
+        // what the retries cost), purely from the seeds.
+        let (delivery_slots, round_faults) = if faults_active {
+            let delivery = simulate_deliveries(
+                &self.driver,
+                round,
+                &aggregator,
+                &self.fleet,
+                &mut results,
+                &snapshot,
+            );
+            (Some(delivery.slots), delivery.faults)
+        } else {
+            (None, RoundFaults::default())
+        };
+
         // Ordered reduction: participant-id order, same as the old
         // sequential loop, regardless of completion order.
         let mut reduction = RoundReduction::default();
         let mut expert_updates: Vec<ExpertUpdate> = Vec::new();
         let mut head_updates = Vec::new();
-        for (participant, task_out) in self.fleet.iter().zip(results.iter_mut()) {
+        for (slot, (participant, task_out)) in self.fleet.iter().zip(results.iter_mut()).enumerate()
+        {
             let result = match task_out {
                 TaskOut::Participant(result) => result,
                 TaskOut::Dropped => continue,
                 TaskOut::Eval(_) => unreachable!("eval result was popped in start_round"),
+            };
+            // Under faults, an upload that never landed excludes its
+            // participant from the round entirely — no utility reports, no
+            // loss/token/byte contribution — exactly like a dropout.
+            let extra_comm_s = match &delivery_slots {
+                Some(slots) => match &slots[slot] {
+                    Some(delivered) if delivered.delivered => delivered.extra_comm_s,
+                    _ => continue,
+                },
+                None => 0.0,
             };
             if let Some(bootstrap) = &result.bootstrap_utilities {
                 self.assigner.report_utilities(participant.id, bootstrap);
@@ -1235,17 +1699,21 @@ impl ActiveRun {
             reduction.tokens_trained += out.trained_tokens;
             reduction.upload_bytes_dense += result.upload_bytes_dense;
             reduction.upload_bytes_compressed += result.upload_bytes_encoded;
-            if out.cost.total_s() > reduction.critical.total_s() {
-                reduction.critical = out.cost;
+            let mut cost = out.cost;
+            cost.communication_s += extra_comm_s;
+            if cost.total_s() > reduction.critical.total_s() {
+                reduction.critical = cost;
             }
-            if !pipelined {
+            if !pipelined && !faults_active {
                 // The barriered reference decodes at the same point with
                 // the same base as the pipelined staging layer, so the two
                 // schedules stay bit-identical under every compression
                 // mode.
                 let (updates, head) = match result.upload.take() {
                     Some(RoundUpload::Dense(updates, head)) => (updates, head),
-                    Some(RoundUpload::Encoded(encoded)) => encoded.decode(&snapshot),
+                    Some(RoundUpload::Encoded(encoded)) => encoded
+                        .decode(&snapshot)
+                        .expect("a driver-produced upload decodes against its snapshot"),
                     None => (Vec::new(), None),
                 };
                 expert_updates.extend(updates);
@@ -1255,7 +1723,12 @@ impl ActiveRun {
             }
         }
 
-        if pipelined {
+        if faults_active {
+            // Both schedules reduce what the delivery layer staged: the
+            // aggregator's pid-ordered finalize keeps the result identical
+            // under either mode for the same fault draws.
+            self.store.apply_round(&aggregator, pool);
+        } else if pipelined {
             if let Some(seed) = self.driver.arrival_seed {
                 // Replay the retained uploads in a seeded-shuffled
                 // participant order: a deterministic stand-in for the
@@ -1295,7 +1768,11 @@ impl ActiveRun {
             upload_bytes_dense: reduction.upload_bytes_dense,
             upload_bytes_compressed: reduction.upload_bytes_compressed,
             breakdown: critical,
+            faults: round_faults,
         };
+        // The round is closed: the next checkpoint is a round boundary
+        // again.
+        self.round_start_capture = None;
         if pipelined {
             self.pending = Some(this_round);
         } else {

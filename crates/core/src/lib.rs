@@ -50,10 +50,14 @@ pub mod baselines;
 pub mod driver;
 pub mod merging;
 pub mod profiling;
+mod recovery;
 pub mod scheduler;
 
 pub use assignment::{DynamicEpsilon, ExpertUtility, RoleAssigner, RoleAssignment};
-pub use driver::{ActiveRun, FederatedRun, Method, RoundRecord, RunConfig, RunPhase, RunResult};
+pub use driver::{
+    ActiveRun, ExecutionMode, FederatedRun, Method, RoundFaults, RoundRecord, RunConfig, RunPhase,
+    RunResult,
+};
 pub use merging::{CompactModelPlan, MergeStrategy, MergingConfig};
 pub use profiling::{LocalProfiler, ProfilingConfig, QuantizedModelCache, StaleProfiler};
 pub use scheduler::{JobSpec, RunHandle, SchedulePolicy, ScheduledRun, Scheduler};

@@ -212,6 +212,22 @@ impl StaleProfiler {
         }
     }
 
+    /// Rebuilds a stale profiler from checkpointed state (the profile
+    /// computed before the crash plus how many refreshes produced it), so a
+    /// restored run resumes with the exact stale view the interrupted round
+    /// was using.
+    pub fn from_parts(
+        config: ProfilingConfig,
+        current: Option<ActivationProfile>,
+        refreshes: usize,
+    ) -> Self {
+        Self {
+            profiler: LocalProfiler::new(config),
+            current,
+            refreshes,
+        }
+    }
+
     /// The profile available for use this round (stale), if any. The first
     /// round has no stale profile and must call
     /// [`StaleProfiler::refresh_blocking`] instead.

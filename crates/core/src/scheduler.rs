@@ -28,6 +28,8 @@
 //! tenants, and the compute kernels are thread-count-invariant.
 //! `tests/integration_scheduler.rs` pins this under `FLUX_THREADS` 1/4/8.
 
+use std::path::PathBuf;
+
 use threadpool::ThreadPool;
 
 use flux_fl::{ParameterServer, DEFAULT_SHARDS};
@@ -62,6 +64,10 @@ pub struct JobSpec {
     /// Scheduler tick at which the job arrives (0 = present from the
     /// start). One tick ≈ one interleaved round slot.
     pub arrival_tick: usize,
+    /// Resume the job from a durable checkpoint directory instead of
+    /// starting it fresh (the restored store joins the scheduler's server
+    /// as a tenant).
+    pub resume_from: Option<PathBuf>,
 }
 
 impl JobSpec {
@@ -72,12 +78,20 @@ impl JobSpec {
             run,
             method,
             arrival_tick: 0,
+            resume_from: None,
         }
     }
 
     /// Delays the job's arrival to `tick` (staggered-arrival scenarios).
     pub fn with_arrival(mut self, tick: usize) -> Self {
         self.arrival_tick = tick;
+        self
+    }
+
+    /// Resumes the job from a checkpoint written by
+    /// [`ActiveRun::checkpoint`] when it activates.
+    pub fn with_resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(dir.into());
         self
     }
 }
@@ -100,6 +114,7 @@ pub struct RunHandle {
     started_tick: Option<usize>,
     finished_tick: Option<usize>,
     state: HandleState,
+    resume_from: Option<PathBuf>,
 }
 
 impl RunHandle {
@@ -110,11 +125,17 @@ impl RunHandle {
             started_tick: None,
             finished_tick: None,
             state: HandleState::Waiting(Box::new(spec.run), spec.method),
+            resume_from: spec.resume_from,
         }
     }
 
     /// Registers the job as a tenant and activates it once its arrival
-    /// tick is reached.
+    /// tick is reached — fresh, or resumed from its checkpoint directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`JobSpec::with_resume`] checkpoint fails to load: a
+    /// job scripted to resume has no sensible fresh-start fallback.
     fn activate_if_arrived(&mut self, tick: usize, server: &ParameterServer) {
         if tick < self.arrival_tick {
             return;
@@ -126,7 +147,13 @@ impl RunHandle {
                 unreachable!("checked above")
             };
             self.started_tick = Some(tick);
-            self.state = HandleState::Active(Box::new(run.start_on(method, server)));
+            let active = match &self.resume_from {
+                Some(dir) => run
+                    .restore_on(method, server, dir)
+                    .unwrap_or_else(|err| panic!("job {:?} failed to resume: {err}", self.name)),
+                None => run.start_on(method, server),
+            };
+            self.state = HandleState::Active(Box::new(active));
         }
     }
 

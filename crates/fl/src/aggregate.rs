@@ -11,7 +11,7 @@ use threadpool::ThreadPool;
 use flux_moe::{Expert, ExpertKey, MoeModel};
 use flux_tensor::Matrix;
 
-use crate::compress::EncodedUpload;
+use crate::compress::{DecodeError, EncodedUpload};
 
 /// One participant's update for a single expert.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -173,23 +173,72 @@ impl ShardedAggregator {
     /// staging layer, so the decoded updates reduce under the same
     /// per-shard locks and participant-id-ordered reduction as dense
     /// uploads — compression never perturbs aggregation order. Duplicate
-    /// submissions are rejected before the (non-trivial) decode work.
+    /// submissions are rejected (`Ok(false)`) before the (non-trivial)
+    /// decode work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DecodeError`] when the upload fails checksum or
+    /// payload validation. A rejected upload stages *nothing* and does not
+    /// mark the participant as submitted, so a clean retransmission of the
+    /// same pid still lands.
     pub fn submit_encoded(
         &self,
         participant_id: usize,
         upload: &EncodedUpload,
         base: &MoeModel,
-    ) -> bool {
+    ) -> Result<bool, DecodeError> {
         if lock(&self.submitted).contains(&participant_id) {
-            return false;
+            return Ok(false);
         }
-        let (expert_updates, head_update) = upload.decode(base);
-        self.submit(participant_id, expert_updates, head_update)
+        let (expert_updates, head_update) = upload.decode(base)?;
+        Ok(self.submit(participant_id, expert_updates, head_update))
     }
 
     /// Participants staged so far.
     pub fn submitted_participants(&self) -> usize {
         lock(&self.submitted).len()
+    }
+
+    /// Whether `participant_id` has already submitted this round.
+    pub fn has_submitted(&self, participant_id: usize) -> bool {
+        lock(&self.submitted).contains(&participant_id)
+    }
+
+    /// A canonical copy of the staged round state for checkpointing:
+    /// per-shard updates and head entries sorted by participant id, plus
+    /// the submitted-pid set (ascending). Staging order is unobservable —
+    /// finalization sorts by pid anyway — so the sorted form restores to a
+    /// bit-identical round.
+    pub(crate) fn staged_state(&self) -> StagedRound {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut staged = lock(shard).clone();
+                staged.sort_by_key(|(pid, _)| *pid);
+                staged
+            })
+            .collect();
+        let mut heads = lock(&self.heads).clone();
+        heads.sort_by_key(|(pid, _, _)| *pid);
+        let submitted = lock(&self.submitted).iter().copied().collect();
+        StagedRound {
+            shards,
+            heads,
+            submitted,
+        }
+    }
+
+    /// Rebuilds an aggregator from a checkpointed [`StagedRound`]. The
+    /// restored submitted-pid set keeps rejecting re-delivered uploads
+    /// exactly as the pre-crash aggregator did.
+    pub(crate) fn from_staged(state: StagedRound) -> Self {
+        Self {
+            shards: state.shards.into_iter().map(Mutex::new).collect(),
+            heads: Mutex::new(state.heads),
+            submitted: Mutex::new(state.submitted.into_iter().collect()),
+        }
     }
 
     /// Reduces one shard: its staged updates sorted into participant-id
@@ -236,6 +285,19 @@ impl ShardedAggregator {
         self.reset_round();
         (experts, head)
     }
+}
+
+/// The staged state of an in-flight aggregation round in canonical
+/// (participant-id-sorted) form, as captured by
+/// [`ShardedAggregator::staged_state`] for mid-round checkpoints.
+#[derive(Debug, Clone)]
+pub(crate) struct StagedRound {
+    /// Per-shard staged `(pid, update)` pairs, sorted by pid.
+    pub shards: Vec<Vec<(usize, ExpertUpdate)>>,
+    /// Staged `(pid, head, weight)` entries, sorted by pid.
+    pub heads: Vec<(usize, Matrix, f32)>,
+    /// Participants that have submitted, ascending.
+    pub submitted: Vec<usize>,
 }
 
 /// Acquires a mutex, recovering from poisoning: staged vectors are
@@ -565,7 +627,7 @@ mod tests {
             let enc =
                 EncodedUpload::encode(u, h.as_ref(), &model, CompressionConfig::LosslessDelta);
             assert!(enc.encoded_bytes() < enc.dense_bytes());
-            assert!(encoded.submit_encoded(pid, &enc, &model));
+            assert!(encoded.submit_encoded(pid, &enc, &model).unwrap());
         }
         let (experts_enc, head_enc) = encoded.finalize(&pool);
 
@@ -584,11 +646,59 @@ mod tests {
             CompressionConfig::LosslessDelta,
         );
         let agg = ShardedAggregator::new(2);
-        assert!(agg.submit_encoded(3, &enc, &model));
-        assert!(!agg.submit_encoded(3, &enc, &model));
+        assert!(agg.submit_encoded(3, &enc, &model).unwrap());
+        assert!(!agg.submit_encoded(3, &enc, &model).unwrap());
         // Mixing transports cannot double-count either.
         assert!(!agg.submit(3, updates, head));
         assert_eq!(agg.submitted_participants(), 1);
+    }
+
+    #[test]
+    fn corrupt_encoded_submission_is_rejected_and_retryable() {
+        use crate::compress::{CompressionConfig, DecodeError, EncodedUpload};
+        let (model, updates, head) = model_and_upload(5);
+        let enc = EncodedUpload::encode(
+            &updates,
+            head.as_ref(),
+            &model,
+            CompressionConfig::LosslessDelta,
+        );
+        let agg = ShardedAggregator::new(2);
+        // Bit-flipped and truncated deliveries are rejected with a typed
+        // error — no panic — and stage nothing.
+        for seed in 0..4 {
+            let err = agg
+                .submit_encoded(5, &enc.corrupted(seed), &model)
+                .unwrap_err();
+            assert!(matches!(err, DecodeError::ChecksumMismatch { .. }));
+            assert!(agg.submit_encoded(5, &enc.truncated(seed), &model).is_err());
+        }
+        assert_eq!(agg.submitted_participants(), 0);
+        assert!(!agg.has_submitted(5));
+        // The clean retransmission of the same pid still lands.
+        assert!(agg.submit_encoded(5, &enc, &model).unwrap());
+        assert!(agg.has_submitted(5));
+    }
+
+    #[test]
+    fn staged_state_round_trips_and_keeps_rejecting_duplicates() {
+        let pool = ThreadPool::new(1);
+        let pids = [3usize, 0, 4];
+        let reference = one_shot(&pids);
+        let agg = ShardedAggregator::new(4);
+        for &pid in &pids {
+            let (u, h) = upload(pid);
+            assert!(agg.submit(pid, u, h));
+        }
+        let restored = ShardedAggregator::from_staged(agg.staged_state());
+        // The reduced-pid set survives: a re-delivered upload after the
+        // restore is still rejected exactly once.
+        let (u, h) = upload(3);
+        assert!(!restored.submit(3, u, h));
+        assert_eq!(restored.submitted_participants(), 3);
+        let (experts, head) = restored.finalize(&pool);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
     }
 
     #[test]

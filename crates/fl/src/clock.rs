@@ -73,6 +73,20 @@ impl SimClock {
         Self::default()
     }
 
+    /// Restores a clock at an already-elapsed point in time (checkpoint
+    /// recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite elapsed times.
+    pub fn from_elapsed_s(elapsed_s: f64) -> Self {
+        assert!(
+            elapsed_s.is_finite() && elapsed_s >= 0.0,
+            "invalid elapsed time {elapsed_s}"
+        );
+        Self { elapsed_s }
+    }
+
     /// Advances the clock by `seconds`.
     ///
     /// # Panics

@@ -98,9 +98,115 @@ impl CompressionConfig {
     }
 }
 
+/// Why an encoded payload failed to decode.
+///
+/// Malformed uploads — truncated payload vectors, bit-flipped words, rogue
+/// expert keys, broken quantization parameters — are an expected input in
+/// the paper's deployment (flaky edge links), so every decode path returns
+/// a typed error instead of panicking; the aggregator rejects the upload
+/// and the round carries on without it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The upload's stored integrity checksum does not match its content.
+    ChecksumMismatch {
+        /// Checksum stamped at encode time.
+        expected: u64,
+        /// Checksum recomputed from the received content.
+        actual: u64,
+    },
+    /// A payload or base buffer holds the wrong number of entries.
+    LengthMismatch {
+        /// Which buffer mismatched.
+        what: &'static str,
+        /// Entries required by the tensor shape.
+        expected: usize,
+        /// Entries actually present.
+        actual: usize,
+    },
+    /// An expert key addresses a layer/expert the base model does not have.
+    KeyOutOfRange {
+        /// The rogue key.
+        key: ExpertKey,
+    },
+    /// A sparse index addresses beyond the end of the tensor.
+    IndexOutOfRange {
+        /// The rogue flat index.
+        index: usize,
+        /// Number of entries in the tensor.
+        len: usize,
+    },
+    /// Quantization parameters are unusable (non-finite scale, or a level
+    /// that overflows the declared bit width).
+    BadQuantization(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "upload checksum mismatch: stored {expected:#018x}, content {actual:#018x}"
+            ),
+            DecodeError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{what} length mismatch: expected {expected}, got {actual}"
+            ),
+            DecodeError::KeyOutOfRange { key } => write!(
+                f,
+                "expert key out of range: layer {}, expert {}",
+                key.layer, key.expert
+            ),
+            DecodeError::IndexOutOfRange { index, len } => {
+                write!(f, "sparse index {index} out of range for {len} entries")
+            }
+            DecodeError::BadQuantization(msg) => write!(f, "bad quantization parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Fixed per-tensor header charged by the simulated wire format (shape,
 /// payload tag, scale bookkeeping).
 const TENSOR_HEADER_BYTES: usize = 8;
+
+/// FNV-1a offset basis (matches `MoeModel::param_checksum`).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+pub(crate) fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv_u64(hash: u64, v: u64) -> u64 {
+    fnv_bytes(hash, &v.to_le_bytes())
+}
+
+fn fnv_u32(hash: u64, v: u32) -> u64 {
+    fnv_bytes(hash, &v.to_le_bytes())
+}
+
+fn fnv_f32(hash: u64, v: f32) -> u64 {
+    fnv_u32(hash, v.to_bits())
+}
+
+/// One step of the SplitMix64 generator (drives deterministic corruption).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Wire payload of one encoded tensor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -229,21 +335,70 @@ impl EncodedTensor {
     }
 
     /// Decodes against `base`, returning the reconstructed flat values.
-    /// Returns `None` when a delta payload meets a base of the wrong length
-    /// (a rogue or stale upload the aggregator skips).
-    fn decode_slices(&self, base: &[f32]) -> Option<Vec<f32>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the base has the wrong length for a
+    /// delta payload, a payload vector is truncated or oversized, a sparse
+    /// index is out of range, or quantization parameters are unusable —
+    /// every malformed-input case a flaky uplink can produce.
+    fn decode_slices(&self, base: &[f32]) -> Result<Vec<f32>, DecodeError> {
         let n = self.rows * self.cols;
         if self.needs_base() && base.len() != n {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                what: "base tensor",
+                expected: n,
+                actual: base.len(),
+            });
         }
         let out = match &self.payload {
-            DeltaPayload::Dense(values) => values.clone(),
-            DeltaPayload::Xor(words) => words
-                .iter()
-                .zip(base)
-                .map(|(w, b)| f32::from_bits(b.to_bits() ^ w))
-                .collect(),
+            DeltaPayload::Dense(values) => {
+                if values.len() != n {
+                    return Err(DecodeError::LengthMismatch {
+                        what: "dense payload",
+                        expected: n,
+                        actual: values.len(),
+                    });
+                }
+                values.clone()
+            }
+            DeltaPayload::Xor(words) => {
+                if words.len() != n {
+                    return Err(DecodeError::LengthMismatch {
+                        what: "xor payload",
+                        expected: n,
+                        actual: words.len(),
+                    });
+                }
+                words
+                    .iter()
+                    .zip(base)
+                    .map(|(w, b)| f32::from_bits(b.to_bits() ^ w))
+                    .collect()
+            }
             DeltaPayload::Quantized(q) => {
+                if q.shape() != (self.rows, self.cols) {
+                    return Err(DecodeError::LengthMismatch {
+                        what: "quantized delta",
+                        expected: n,
+                        actual: q.rows() * q.cols(),
+                    });
+                }
+                if q.scales().iter().any(|s| !s.is_finite()) {
+                    return Err(DecodeError::BadQuantization("non-finite row scale".into()));
+                }
+                let max_level = q.width().max_level();
+                for row in 0..q.rows() {
+                    if q.levels_row(row)
+                        .iter()
+                        .any(|&l| (l as i32).abs() > max_level)
+                    {
+                        return Err(DecodeError::BadQuantization(format!(
+                            "level overflows {:?}",
+                            q.width()
+                        )));
+                    }
+                }
                 let delta = q.dequantize();
                 base.iter()
                     .zip(delta.as_slice())
@@ -251,11 +406,22 @@ impl EncodedTensor {
                     .collect()
             }
             DeltaPayload::Sparse { indices, values } => {
+                if values.len() != indices.len() {
+                    return Err(DecodeError::LengthMismatch {
+                        what: "sparse values",
+                        expected: indices.len(),
+                        actual: values.len(),
+                    });
+                }
                 let mut out = base.to_vec();
                 for (&i, &v) in indices.iter().zip(values) {
-                    if let Some(slot) = out.get_mut(i as usize) {
-                        *slot += v;
-                    }
+                    let slot = out
+                        .get_mut(i as usize)
+                        .ok_or(DecodeError::IndexOutOfRange {
+                            index: i as usize,
+                            len: n,
+                        })?;
+                    *slot += v;
                 }
                 out
             }
@@ -263,28 +429,60 @@ impl EncodedTensor {
                 indices,
                 levels,
                 scale,
-                ..
+                width,
             } => {
+                if levels.len() != indices.len() {
+                    return Err(DecodeError::LengthMismatch {
+                        what: "sparse levels",
+                        expected: indices.len(),
+                        actual: levels.len(),
+                    });
+                }
+                if !scale.is_finite() {
+                    return Err(DecodeError::BadQuantization("non-finite scale".into()));
+                }
+                let max_level = width.max_level();
+                if levels.iter().any(|&l| (l as i32).abs() > max_level) {
+                    return Err(DecodeError::BadQuantization(format!(
+                        "level overflows {width:?}"
+                    )));
+                }
                 let mut out = base.to_vec();
                 for (&i, &level) in indices.iter().zip(levels) {
-                    if let Some(slot) = out.get_mut(i as usize) {
-                        *slot += level as f32 * scale;
-                    }
+                    let slot = out
+                        .get_mut(i as usize)
+                        .ok_or(DecodeError::IndexOutOfRange {
+                            index: i as usize,
+                            len: n,
+                        })?;
+                    *slot += level as f32 * scale;
                 }
                 out
             }
         };
-        Some(out)
+        debug_assert_eq!(out.len(), n, "every branch validates its length");
+        Ok(out)
     }
 
     /// Decodes into a matrix of this tensor's shape.
-    pub fn decode(&self, base: &Matrix) -> Option<Matrix> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the payload is malformed (see
+    /// [`EncodedTensor::decode_slices`]).
+    pub fn decode(&self, base: &Matrix) -> Result<Matrix, DecodeError> {
         let values = self.decode_slices(base.as_slice())?;
-        Some(Matrix::from_vec(self.rows, self.cols, values).expect("shape preserved by decode"))
+        Ok(Matrix::from_vec(self.rows, self.cols, values)
+            .expect("decode_slices validated the length"))
     }
 
     /// Decodes a bias vector.
-    pub fn decode_vec(&self, base: &[f32]) -> Option<Vec<f32>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the payload is malformed (see
+    /// [`EncodedTensor::decode_slices`]).
+    pub fn decode_vec(&self, base: &[f32]) -> Result<Vec<f32>, DecodeError> {
         self.decode_slices(base)
     }
 
@@ -329,6 +527,110 @@ impl EncodedTensor {
             } => sparse_mask_bytes(n, indices.len()) + width.storage_bytes(levels.len()) + 4,
         };
         TENSOR_HEADER_BYTES + body
+    }
+
+    /// Folds this tensor's shape and payload content into an FNV-1a hash.
+    fn fold_checksum(&self, mut hash: u64) -> u64 {
+        hash = fnv_u64(hash, self.rows as u64);
+        hash = fnv_u64(hash, self.cols as u64);
+        match &self.payload {
+            DeltaPayload::Dense(values) => {
+                hash = fnv_u64(hash, 0);
+                hash = fnv_u64(hash, values.len() as u64);
+                for &v in values {
+                    hash = fnv_f32(hash, v);
+                }
+            }
+            DeltaPayload::Xor(words) => {
+                hash = fnv_u64(hash, 1);
+                hash = fnv_u64(hash, words.len() as u64);
+                for &w in words {
+                    hash = fnv_u32(hash, w);
+                }
+            }
+            DeltaPayload::Quantized(q) => {
+                hash = fnv_u64(hash, 2);
+                hash = fnv_u64(hash, q.width().bits() as u64);
+                for &s in q.scales() {
+                    hash = fnv_f32(hash, s);
+                }
+                for row in 0..q.rows() {
+                    for &l in q.levels_row(row) {
+                        hash = fnv_bytes(hash, &[l as u8]);
+                    }
+                }
+            }
+            DeltaPayload::Sparse { indices, values } => {
+                hash = fnv_u64(hash, 3);
+                hash = fnv_u64(hash, indices.len() as u64);
+                for (&i, &v) in indices.iter().zip(values) {
+                    hash = fnv_u32(hash, i);
+                    hash = fnv_f32(hash, v);
+                }
+            }
+            DeltaPayload::SparseQuantized {
+                indices,
+                levels,
+                scale,
+                width,
+            } => {
+                hash = fnv_u64(hash, 4);
+                hash = fnv_u64(hash, width.bits() as u64);
+                hash = fnv_f32(hash, *scale);
+                hash = fnv_u64(hash, indices.len() as u64);
+                for (&i, &l) in indices.iter().zip(levels) {
+                    hash = fnv_u32(hash, i);
+                    hash = fnv_bytes(hash, &[l as u8]);
+                }
+            }
+        }
+        hash
+    }
+
+    /// Deterministically damages this tensor: flips one payload bit (or,
+    /// for payloads without directly addressable words, perturbs the
+    /// shape). `r` seeds the choice of word and bit.
+    fn corrupt(&mut self, r: u64) {
+        let bit = (r >> 32) % 31;
+        match &mut self.payload {
+            DeltaPayload::Dense(values) if !values.is_empty() => {
+                let i = r as usize % values.len();
+                values[i] = f32::from_bits(values[i].to_bits() ^ (1 << bit));
+            }
+            DeltaPayload::Xor(words) if !words.is_empty() => {
+                let i = r as usize % words.len();
+                words[i] ^= 1 << bit;
+            }
+            DeltaPayload::Sparse { values, .. } if !values.is_empty() => {
+                let i = r as usize % values.len();
+                values[i] = f32::from_bits(values[i].to_bits() ^ (1 << bit));
+            }
+            DeltaPayload::SparseQuantized { scale, .. } => {
+                *scale = f32::from_bits(scale.to_bits() ^ (1 << bit));
+            }
+            _ => self.rows ^= 1,
+        }
+    }
+
+    /// Deterministically truncates this tensor's payload vector (models a
+    /// connection dropped mid-upload). Payloads without a vector body fall
+    /// back to bit corruption.
+    fn truncate_payload(&mut self, r: u64) {
+        match &mut self.payload {
+            DeltaPayload::Dense(values) if values.len() > 1 => {
+                values.truncate(1 + r as usize % (values.len() - 1));
+            }
+            DeltaPayload::Xor(words) if words.len() > 1 => {
+                words.truncate(1 + r as usize % (words.len() - 1));
+            }
+            DeltaPayload::Sparse { values, .. } if !values.is_empty() => {
+                values.truncate(values.len() - 1);
+            }
+            DeltaPayload::SparseQuantized { levels, .. } if !levels.is_empty() => {
+                levels.truncate(levels.len() - 1);
+            }
+            _ => self.corrupt(r),
+        }
     }
 }
 
@@ -412,10 +714,14 @@ impl EncodedExpertUpdate {
         }
     }
 
-    /// Decodes against the base expert. `None` when any tensor's base shape
-    /// mismatches (rogue upload).
-    pub fn decode(&self, base: &Expert) -> Option<ExpertUpdate> {
-        Some(ExpertUpdate {
+    /// Decodes against the base expert.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when any tensor's payload is malformed or
+    /// its base shape mismatches (rogue upload).
+    pub fn decode(&self, base: &Expert) -> Result<ExpertUpdate, DecodeError> {
+        Ok(ExpertUpdate {
             key: self.key,
             expert: Expert {
                 w1: self.w1.decode(&base.w1)?,
@@ -425,6 +731,17 @@ impl EncodedExpertUpdate {
             },
             weight: self.weight,
         })
+    }
+
+    /// Folds this update's key, weight and tensors into an FNV-1a hash.
+    fn fold_checksum(&self, mut hash: u64) -> u64 {
+        hash = fnv_u64(hash, self.key.layer as u64);
+        hash = fnv_u64(hash, self.key.expert as u64);
+        hash = fnv_f32(hash, self.weight);
+        hash = self.w1.fold_checksum(hash);
+        hash = self.b1.fold_checksum(hash);
+        hash = self.w2.fold_checksum(hash);
+        self.b2.fold_checksum(hash)
     }
 
     /// Simulated wire bytes of this update.
@@ -444,14 +761,22 @@ impl EncodedExpertUpdate {
     }
 }
 
+/// What [`EncodedUpload::decode`] yields: the expert updates plus the
+/// optional `(head, weight)` pair.
+pub type DecodedUpload = (Vec<ExpertUpdate>, Option<(Matrix, f32)>);
+
 /// One participant's full encoded upload: expert updates plus the optional
-/// task head.
+/// task head, sealed with an end-to-end FNV-1a content checksum.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EncodedUpload {
     /// Encoded expert updates.
     pub experts: Vec<EncodedExpertUpdate>,
     /// Encoded task head and its aggregation weight.
     pub head: Option<(EncodedTensor, f32)>,
+    /// FNV-1a checksum over every key, weight, shape and payload word,
+    /// stamped at encode time. [`EncodedUpload::decode`] verifies it before
+    /// touching any tensor, so a bit flip anywhere in flight is rejected.
+    pub checksum: u64,
 }
 
 impl EncodedUpload {
@@ -478,32 +803,133 @@ impl EncodedUpload {
                 *weight,
             )
         });
-        Self { experts, head }
+        let mut upload = Self {
+            experts,
+            head,
+            checksum: 0,
+        };
+        upload.checksum = upload.content_checksum();
+        upload
     }
 
-    /// Decodes against the round-start snapshot, skipping updates whose key
-    /// is out of range or whose shape mismatches the base (rogue uploads —
-    /// the same ones the store's install path rejects).
-    pub fn decode(&self, base: &MoeModel) -> (Vec<ExpertUpdate>, Option<(Matrix, f32)>) {
+    /// FNV-1a hash over the upload's entire content (keys, weights, shapes
+    /// and payload words) — what [`EncodedUpload::checksum`] must equal.
+    pub fn content_checksum(&self) -> u64 {
+        let mut hash = FNV_OFFSET;
+        hash = fnv_u64(hash, self.experts.len() as u64);
+        for expert in &self.experts {
+            hash = expert.fold_checksum(hash);
+        }
+        match &self.head {
+            Some((tensor, weight)) => {
+                hash = fnv_u64(hash, 1);
+                hash = tensor.fold_checksum(hash);
+                hash = fnv_f32(hash, *weight);
+            }
+            None => hash = fnv_u64(hash, 0),
+        }
+        hash
+    }
+
+    /// Re-stamps the checksum from the current content. Only needed after
+    /// deliberately mutating an upload (tests forging rogue keys).
+    pub fn reseal(&mut self) {
+        self.checksum = self.content_checksum();
+    }
+
+    /// Decodes against the round-start snapshot.
+    ///
+    /// The stored checksum is verified against the received content before
+    /// any tensor is touched; then every expert key is range-checked
+    /// against the base model and each tensor payload is validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on checksum mismatch, rogue keys, or any
+    /// malformed tensor payload. The upload is rejected as a unit — a
+    /// partially-decoded upload never reaches the aggregator.
+    pub fn decode(&self, base: &MoeModel) -> Result<DecodedUpload, DecodeError> {
+        let actual = self.content_checksum();
+        if actual != self.checksum {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: self.checksum,
+                actual,
+            });
+        }
         let per_layer = base.experts_per_layer();
-        let updates = self
-            .experts
-            .iter()
-            .filter_map(|encoded| {
-                let in_range = per_layer
-                    .get(encoded.key.layer)
-                    .is_some_and(|&n| encoded.key.expert < n);
-                if !in_range {
-                    return None;
-                }
-                encoded.decode(base.expert(encoded.key))
-            })
-            .collect();
-        let head = self
-            .head
-            .as_ref()
-            .and_then(|(tensor, weight)| Some((tensor.decode(base.active_head())?, *weight)));
-        (updates, head)
+        let mut updates = Vec::with_capacity(self.experts.len());
+        for encoded in &self.experts {
+            let in_range = per_layer
+                .get(encoded.key.layer)
+                .is_some_and(|&n| encoded.key.expert < n);
+            if !in_range {
+                return Err(DecodeError::KeyOutOfRange { key: encoded.key });
+            }
+            updates.push(encoded.decode(base.expert(encoded.key))?);
+        }
+        let head = match &self.head {
+            Some((tensor, weight)) => Some((tensor.decode(base.active_head())?, *weight)),
+            None => None,
+        };
+        Ok((updates, head))
+    }
+
+    /// A deterministically corrupted copy of this upload: one payload word
+    /// (chosen by `seed`) is bit-flipped while the stored checksum is left
+    /// untouched, so [`EncodedUpload::decode`] must reject the result.
+    /// This is the fault-injection hook modeling in-flight corruption.
+    pub fn corrupted(&self, seed: u64) -> Self {
+        let mut out = self.clone();
+        let mut state = seed;
+        let r = splitmix(&mut state);
+        let slots = out.experts.len() * 4 + usize::from(out.head.is_some());
+        if slots == 0 {
+            // Nothing in the payload to damage: flip the checksum itself.
+            out.checksum ^= 1;
+            return out;
+        }
+        let slot = (r as usize) % slots;
+        let tensor = if slot < out.experts.len() * 4 {
+            let expert = &mut out.experts[slot / 4];
+            match slot % 4 {
+                0 => &mut expert.w1,
+                1 => &mut expert.b1,
+                2 => &mut expert.w2,
+                _ => &mut expert.b2,
+            }
+        } else {
+            &mut out.head.as_mut().expect("slot implies head exists").0
+        };
+        tensor.corrupt(splitmix(&mut state));
+        out
+    }
+
+    /// A deterministically truncated copy of this upload: one tensor's
+    /// payload vector loses its tail (the stored checksum is left
+    /// untouched), modeling a connection dropped mid-upload.
+    pub fn truncated(&self, seed: u64) -> Self {
+        let mut out = self.clone();
+        let mut state = seed ^ 0x5bf0_3635;
+        let r = splitmix(&mut state);
+        let slots = out.experts.len() * 4 + usize::from(out.head.is_some());
+        if slots == 0 {
+            out.checksum ^= 1;
+            return out;
+        }
+        let slot = (r as usize) % slots;
+        let tensor = if slot < out.experts.len() * 4 {
+            let expert = &mut out.experts[slot / 4];
+            match slot % 4 {
+                0 => &mut expert.w1,
+                1 => &mut expert.b1,
+                2 => &mut expert.w2,
+                _ => &mut expert.b2,
+            }
+        } else {
+            &mut out.head.as_mut().expect("slot implies head exists").0
+        };
+        tensor.truncate_payload(splitmix(&mut state));
+        out
     }
 
     /// Simulated wire bytes of the whole upload.
@@ -701,7 +1127,84 @@ mod tests {
         let base = random_matrix(15, 4, 4);
         let new = perturbed(&base, 16);
         let encoded = EncodedTensor::encode(&new, &base, CompressionConfig::LosslessDelta);
-        assert!(encoded.decode(&Matrix::zeros(3, 3)).is_none());
+        let err = encoded.decode(&Matrix::zeros(3, 3)).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::LengthMismatch {
+                what: "base tensor",
+                expected: 16,
+                actual: 9,
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_yields_typed_error_not_panic() {
+        let base = random_matrix(21, 6, 6);
+        let new = perturbed(&base, 22);
+        for config in [
+            CompressionConfig::Dense,
+            CompressionConfig::LosslessDelta,
+            CompressionConfig::sparse(0.5),
+            CompressionConfig::quantized_sparse(BitWidth::Int4, 0.5),
+        ] {
+            let mut encoded = EncodedTensor::encode(&new, &base, config);
+            encoded.truncate_payload(3);
+            let err = encoded.decode(&base).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::LengthMismatch { .. }),
+                "{config:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_index_out_of_range_is_rejected() {
+        let base = Matrix::zeros(1, 4);
+        let encoded = EncodedTensor {
+            rows: 1,
+            cols: 4,
+            payload: DeltaPayload::Sparse {
+                indices: vec![0, 9],
+                values: vec![1.0, 2.0],
+            },
+        };
+        let err = encoded.decode(&base).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::IndexOutOfRange { index: 9, len: 4 }
+        ));
+    }
+
+    #[test]
+    fn bad_quantization_params_are_rejected() {
+        let base = Matrix::zeros(1, 4);
+        let encoded = EncodedTensor {
+            rows: 1,
+            cols: 4,
+            payload: DeltaPayload::SparseQuantized {
+                indices: vec![0],
+                levels: vec![1],
+                scale: f32::NAN,
+                width: BitWidth::Int4,
+            },
+        };
+        let err = encoded.decode(&base).unwrap_err();
+        assert!(matches!(err, DecodeError::BadQuantization(_)));
+
+        // A level that overflows the declared width is equally rejected.
+        let encoded = EncodedTensor {
+            rows: 1,
+            cols: 4,
+            payload: DeltaPayload::SparseQuantized {
+                indices: vec![0],
+                levels: vec![100],
+                scale: 0.5,
+                width: BitWidth::Int4,
+            },
+        };
+        let err = encoded.decode(&base).unwrap_err();
+        assert!(matches!(err, DecodeError::BadQuantization(_)));
     }
 
     #[test]
@@ -727,7 +1230,7 @@ mod tests {
     }
 
     #[test]
-    fn upload_decode_skips_out_of_range_keys() {
+    fn upload_decode_rejects_out_of_range_keys() {
         let mut rng = SeededRng::new(19);
         let model = MoeModel::new(flux_moe::MoeConfig::tiny(), &mut rng);
         let good_key = model.expert_keys()[0];
@@ -739,11 +1242,57 @@ mod tests {
         }];
         let mut encoded =
             EncodedUpload::encode(&updates, None, &model, CompressionConfig::LosslessDelta);
-        // Forge a rogue key far out of range.
+        // Forge a rogue key far out of range. Without resealing, the
+        // checksum catches the tampering first.
         encoded.experts[0].key = ExpertKey::new(good_key.layer, 10_000);
-        let (decoded, head) = encoded.decode(&model);
-        assert!(decoded.is_empty());
-        assert!(head.is_none());
+        let err = encoded.decode(&model).unwrap_err();
+        assert!(matches!(err, DecodeError::ChecksumMismatch { .. }));
+        // With a fresh seal the typed key validation fires instead.
+        encoded.reseal();
+        let err = encoded.decode(&model).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::KeyOutOfRange { key } if key.expert == 10_000
+        ));
+    }
+
+    #[test]
+    fn upload_checksum_round_trip_and_corruption() {
+        let mut rng = SeededRng::new(23);
+        let model = MoeModel::new(flux_moe::MoeConfig::tiny(), &mut rng);
+        let key = model.expert_keys()[0];
+        let updates = vec![ExpertUpdate {
+            key,
+            expert: model.expert(key).clone(),
+            weight: 2.0,
+        }];
+        let head = (model.active_head().clone(), 1.0f32);
+        for config in [
+            CompressionConfig::Dense,
+            CompressionConfig::LosslessDelta,
+            CompressionConfig::quantized(BitWidth::Int8),
+            CompressionConfig::quantized_sparse(BitWidth::Int4, 0.25),
+        ] {
+            let encoded = EncodedUpload::encode(&updates, Some(&head), &model, config);
+            assert_eq!(encoded.checksum, encoded.content_checksum());
+            // Clean uploads decode.
+            let (decoded, decoded_head) = encoded.decode(&model).unwrap();
+            assert_eq!(decoded.len(), 1);
+            assert!(decoded_head.is_some());
+            // Every seeded corruption and truncation is rejected, never a
+            // panic.
+            for seed in 0..8 {
+                let err = encoded.corrupted(seed).decode(&model).unwrap_err();
+                assert!(
+                    matches!(err, DecodeError::ChecksumMismatch { .. }),
+                    "{config:?} seed {seed}: {err}"
+                );
+                assert!(
+                    encoded.truncated(seed).decode(&model).is_err(),
+                    "{config:?} seed {seed}: truncated upload decoded"
+                );
+            }
+        }
     }
 
     #[test]

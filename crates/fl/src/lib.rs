@@ -28,18 +28,25 @@ pub mod clock;
 pub mod compress;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod participant;
 pub mod server;
+pub mod snapshot;
 pub mod store;
 
 pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate, ShardedAggregator};
 pub use clock::{PhaseTimes, SimClock};
 pub use compress::{
-    dense_upload_payload_bytes, CompressionConfig, EncodedExpertUpdate, EncodedTensor,
+    dense_upload_payload_bytes, CompressionConfig, DecodeError, EncodedExpertUpdate, EncodedTensor,
     EncodedUpload,
 };
 pub use cost::{CostModel, RoundCostBreakdown};
 pub use device::{DeviceClass, DeviceProfile, LinkProfile};
+pub use fault::{FaultKind, FaultPlan, FaultToleranceConfig};
 pub use participant::{build_fleet, Participant, ParticipantBehavior};
 pub use server::{ParameterServer, DEFAULT_SHARDS};
+pub use snapshot::{
+    decode_staged_aggregator, encode_staged_aggregator, load_store, CheckpointStats,
+    LoadedSnapshot, SnapshotError,
+};
 pub use store::{shard_of_key, ShardedStore};

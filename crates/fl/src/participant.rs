@@ -8,6 +8,7 @@ use flux_quant::BitWidth;
 use flux_tensor::SeededRng;
 
 use crate::device::{sample_fleet, DeviceProfile};
+use crate::fault::FaultKind;
 
 /// One federated participant: a device plus its local (private) data shard.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,6 +86,25 @@ pub enum ParticipantBehavior {
         /// First round the participant misses.
         round: usize,
     },
+    /// Crashes during exactly one round: trains, but its upload never
+    /// reaches the server that round (and, unlike [`Self::DropoutAt`],
+    /// it returns healthy next round).
+    CrashAt {
+        /// The single round whose upload is lost.
+        round: usize,
+    },
+    /// Its round-`round` upload arrives bit-flipped; the server's
+    /// checksum-validated decode must reject (not crash on) it.
+    CorruptAt {
+        /// The round whose upload arrives damaged.
+        round: usize,
+    },
+    /// Its round-`round` upload stalls past the delivery window and is
+    /// only recovered by a server-side retry.
+    StallAt {
+        /// The round whose upload stalls.
+        round: usize,
+    },
 }
 
 impl ParticipantBehavior {
@@ -99,6 +119,22 @@ impl ParticipantBehavior {
         match self {
             ParticipantBehavior::Straggler { delay_ms } => *delay_ms,
             _ => 0,
+        }
+    }
+
+    /// The fault this behavior injects into the *first* delivery attempt of
+    /// the participant's round-`round` upload (retries are clean — behaviors
+    /// model one-shot incidents; use a
+    /// [`FaultPlan`](crate::fault::FaultPlan) for sustained failure rates).
+    pub fn fault_at(&self, round: usize, attempt: u32) -> FaultKind {
+        if attempt > 0 {
+            return FaultKind::None;
+        }
+        match self {
+            ParticipantBehavior::CrashAt { round: r } if *r == round => FaultKind::Crash,
+            ParticipantBehavior::CorruptAt { round: r } if *r == round => FaultKind::Corrupt,
+            ParticipantBehavior::StallAt { round: r } if *r == round => FaultKind::Stall,
+            _ => FaultKind::None,
         }
     }
 }
@@ -220,6 +256,24 @@ mod tests {
         assert!(dropout.is_dropped(2));
         assert!(dropout.is_dropped(7));
         assert_eq!(dropout.delay_ms(), 0);
+    }
+
+    #[test]
+    fn fault_behaviors_fire_once_on_the_first_attempt() {
+        let crash = ParticipantBehavior::CrashAt { round: 3 };
+        assert_eq!(crash.fault_at(3, 0), FaultKind::Crash);
+        assert_eq!(crash.fault_at(2, 0), FaultKind::None);
+        assert_eq!(crash.fault_at(4, 0), FaultKind::None);
+        assert!(!crash.is_dropped(3), "a crash is not a dropout");
+
+        let corrupt = ParticipantBehavior::CorruptAt { round: 1 };
+        assert_eq!(corrupt.fault_at(1, 0), FaultKind::Corrupt);
+        assert_eq!(corrupt.fault_at(1, 1), FaultKind::None, "retries are clean");
+
+        let stall = ParticipantBehavior::StallAt { round: 0 };
+        assert_eq!(stall.fault_at(0, 0), FaultKind::Stall);
+        assert_eq!(stall.fault_at(0, 1), FaultKind::None);
+        assert_eq!(ParticipantBehavior::Healthy.fault_at(0, 0), FaultKind::None);
     }
 
     #[test]

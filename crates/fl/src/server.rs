@@ -85,6 +85,24 @@ impl ParameterServer {
         store
     }
 
+    /// Adopts an existing store — one restored from a durable checkpoint —
+    /// as a tenant, instead of building a fresh one from a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store's shard count differs from the server's: a
+    /// checkpoint taken under one sharding cannot be served under another
+    /// (shard routing would disagree with the on-disk layout).
+    pub fn adopt_tenant(&self, store: Arc<ShardedStore>) -> Arc<ShardedStore> {
+        assert_eq!(
+            store.num_shards(),
+            self.num_shards,
+            "restored store sharding must match the server"
+        );
+        self.tenants.write().push(Arc::clone(&store));
+        store
+    }
+
     /// The store of one tenant by registration index.
     ///
     /// # Panics
@@ -374,6 +392,33 @@ mod tests {
         // The caller's handle still works; a second deregister is a no-op.
         assert_eq!(store.rounds_completed(), 0);
         assert!(!server.deregister_tenant(&store));
+    }
+
+    #[test]
+    fn adopt_tenant_registers_a_restored_store() {
+        let server = ParameterServer::empty(4);
+        let mut rng = SeededRng::new(17);
+        let store = Arc::new(ShardedStore::new(
+            MoeModel::new(MoeConfig::tiny(), &mut rng),
+            4,
+        ));
+        let adopted = server.adopt_tenant(Arc::clone(&store));
+        assert!(Arc::ptr_eq(&adopted, &store));
+        assert_eq!(server.num_tenants(), 1);
+        assert!(Arc::ptr_eq(&server.tenant(0), &store));
+        assert!(server.deregister_tenant(&store));
+    }
+
+    #[test]
+    #[should_panic(expected = "sharding must match")]
+    fn adopt_tenant_rejects_mismatched_sharding() {
+        let server = ParameterServer::empty(4);
+        let mut rng = SeededRng::new(18);
+        let store = Arc::new(ShardedStore::new(
+            MoeModel::new(MoeConfig::tiny(), &mut rng),
+            2,
+        ));
+        server.adopt_tenant(store);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use flux_tensor::Matrix;
 use threadpool::ThreadPool;
 
 use crate::aggregate::ShardedAggregator;
+use crate::snapshot::PersistState;
 
 /// Which shard owns `key`, for a store or aggregator of `num_shards`
 /// shards. Deterministic, so every arrival order stages identical shard
@@ -49,21 +50,22 @@ pub fn shard_of_key(key: ExpertKey, num_shards: usize) -> usize {
 /// One expert shard: the authoritative parameters of every expert the shard
 /// owns, plus the change log the snapshot refresh consumes.
 #[derive(Debug)]
-struct ExpertShard {
-    experts: HashMap<ExpertKey, Expert>,
+pub(crate) struct ExpertShard {
+    pub(crate) experts: HashMap<ExpertKey, Expert>,
     /// Keys written since the last snapshot refresh (may repeat).
-    dirty: Vec<ExpertKey>,
+    pub(crate) dirty: Vec<ExpertKey>,
     /// Bumped on every install; lets the refresh skip clean shards with a
-    /// read lock only.
-    version: u64,
+    /// read lock only. The durable checkpoint uses the same counter to
+    /// skip rewriting clean shard files.
+    pub(crate) version: u64,
 }
 
 /// The head shard: both task heads plus the refresh version.
 #[derive(Debug)]
-struct HeadShard {
-    lm_head: Matrix,
-    cls_head: Option<Matrix>,
-    version: u64,
+pub(crate) struct HeadShard {
+    pub(crate) lm_head: Matrix,
+    pub(crate) cls_head: Option<Matrix>,
+    pub(crate) version: u64,
 }
 
 /// The cached materialized view of the whole model.
@@ -78,20 +80,46 @@ struct SnapshotCache {
 /// multi-tenant [`crate::ParameterServer`]).
 #[derive(Debug)]
 pub struct ShardedStore {
-    num_shards: usize,
+    pub(crate) num_shards: usize,
     /// Compact expert counts per layer, for rejecting out-of-range keys
     /// without taking any lock.
     experts_per_layer: Vec<usize>,
-    shards: Vec<RwLock<ExpertShard>>,
-    head: RwLock<HeadShard>,
+    pub(crate) shards: Vec<RwLock<ExpertShard>>,
+    pub(crate) head: RwLock<HeadShard>,
     snapshot: Mutex<SnapshotCache>,
     rounds_completed: AtomicUsize,
+    /// What the on-disk checkpoint of this store currently holds (per-file
+    /// versions, checksums, sizes). Guides dirty-shard-only flushes; see
+    /// [`crate::snapshot`].
+    pub(crate) persist: Mutex<PersistState>,
 }
 
 impl ShardedStore {
     /// Builds a store around an initial global model, partitioned into
     /// `num_shards` expert shards (minimum 1).
     pub fn new(model: MoeModel, num_shards: usize) -> Self {
+        Self::with_state(model, num_shards, 0, None)
+    }
+
+    /// Builds a store restored from a durable checkpoint: `model` already
+    /// carries the checkpointed expert/head parameters, `rounds_completed`
+    /// is the checkpoint epoch, and `persist` records the on-disk files so
+    /// the next checkpoint rewrites only shards dirtied after the restore.
+    pub(crate) fn from_persisted(
+        model: MoeModel,
+        num_shards: usize,
+        rounds_completed: usize,
+        persist: PersistState,
+    ) -> Self {
+        Self::with_state(model, num_shards, rounds_completed, Some(persist))
+    }
+
+    fn with_state(
+        model: MoeModel,
+        num_shards: usize,
+        rounds_completed: usize,
+        persist: Option<PersistState>,
+    ) -> Self {
         let num_shards = num_shards.max(1);
         let experts_per_layer = model.experts_per_layer();
         let mut shards: Vec<ExpertShard> = (0..num_shards)
@@ -111,6 +139,7 @@ impl ShardedStore {
             cls_head: model.cls_head.clone(),
             version: 0,
         };
+        let persist = persist.unwrap_or_else(|| PersistState::empty(num_shards));
         Self {
             num_shards,
             experts_per_layer,
@@ -121,7 +150,8 @@ impl ShardedStore {
                 shard_versions: vec![0; num_shards],
                 head_version: 0,
             }),
-            rounds_completed: AtomicUsize::new(0),
+            rounds_completed: AtomicUsize::new(rounds_completed),
+            persist: Mutex::new(persist),
         }
     }
 

@@ -260,7 +260,8 @@ fn get_config(buf: &mut &[u8]) -> Result<MoeConfig, CheckpointError> {
     })
 }
 
-fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+/// Appends a length-prefixed matrix (rows, cols, row-major f32 data).
+pub fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     buf.put_u32_le(m.rows() as u32);
     buf.put_u32_le(m.cols() as u32);
     for &x in m.as_slice() {
@@ -268,7 +269,13 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     }
 }
 
-fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, CheckpointError> {
+/// Reads a matrix written by [`put_matrix`].
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] when the buffer is truncated or the shape
+/// is implausible.
+pub fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, CheckpointError> {
     let rows = get_u32(buf)? as usize;
     let cols = get_u32(buf)? as usize;
     if rows.saturating_mul(cols) > 64_000_000 {
@@ -284,14 +291,21 @@ fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, CheckpointError> {
         .map_err(|e| CheckpointError::Corrupt(format!("matrix rebuild failed: {e}")))
 }
 
-fn put_vec(buf: &mut BytesMut, v: &[f32]) {
+/// Appends a length-prefixed `f32` vector.
+pub fn put_vec(buf: &mut BytesMut, v: &[f32]) {
     buf.put_u32_le(v.len() as u32);
     for &x in v {
         buf.put_f32_le(x);
     }
 }
 
-fn get_vec(buf: &mut &[u8]) -> Result<Vec<f32>, CheckpointError> {
+/// Reads a vector written by [`put_vec`].
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] when the buffer is truncated or the length
+/// is implausible.
+pub fn get_vec(buf: &mut &[u8]) -> Result<Vec<f32>, CheckpointError> {
     let len = get_u32(buf)? as usize;
     if len > 64_000_000 {
         return Err(CheckpointError::Corrupt("implausible vector length".into()));
@@ -303,7 +317,33 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<f32>, CheckpointError> {
     Ok(out)
 }
 
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
+/// Appends one expert (two projections plus biases) to the buffer.
+pub fn put_expert(buf: &mut BytesMut, e: &Expert) {
+    put_matrix(buf, &e.w1);
+    put_vec(buf, &e.b1);
+    put_matrix(buf, &e.w2);
+    put_vec(buf, &e.b2);
+}
+
+/// Reads an expert written by [`put_expert`].
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] when the buffer is truncated or corrupt.
+pub fn get_expert(buf: &mut &[u8]) -> Result<Expert, CheckpointError> {
+    let w1 = get_matrix(buf)?;
+    let b1 = get_vec(buf)?;
+    let w2 = get_matrix(buf)?;
+    let b2 = get_vec(buf)?;
+    Ok(Expert { w1, b1, w2, b2 })
+}
+
+/// Splits the next `n` bytes off the front of `buf`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when fewer than `n` bytes remain.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
     if buf.len() < n {
         return Err(CheckpointError::Truncated);
     }
@@ -312,25 +352,69 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
     Ok(head)
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8, CheckpointError> {
+/// Reads one byte.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when the buffer is empty.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CheckpointError> {
     if buf.remaining() < 1 {
         return Err(CheckpointError::Truncated);
     }
     Ok(buf.get_u8())
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32, CheckpointError> {
+/// Reads a little-endian `u32`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when fewer than 4 bytes remain.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CheckpointError> {
     if buf.remaining() < 4 {
         return Err(CheckpointError::Truncated);
     }
     Ok(buf.get_u32_le())
 }
 
-fn get_f32(buf: &mut &[u8]) -> Result<f32, CheckpointError> {
+/// Reads a little-endian `u64`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when fewer than 8 bytes remain.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CheckpointError> {
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Reads a little-endian `f32`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when fewer than 4 bytes remain.
+pub fn get_f32(buf: &mut &[u8]) -> Result<f32, CheckpointError> {
     if buf.remaining() < 4 {
         return Err(CheckpointError::Truncated);
     }
     Ok(buf.get_f32_le())
+}
+
+/// Reads a little-endian `f64`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Truncated`] when fewer than 8 bytes remain.
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, CheckpointError> {
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(f64::from_bits(buf.get_u64_le()))
+}
+
+/// Appends a little-endian `f64` (bit-exact, via `to_bits`).
+pub fn put_f64(buf: &mut BytesMut, x: f64) {
+    buf.put_u64_le(x.to_bits());
 }
 
 #[cfg(test)]

@@ -111,6 +111,17 @@ pub trait Buf {
     /// Panics when fewer than four bytes remain.
     fn get_u32_le(&mut self) -> u32;
 
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than eight bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let low = self.get_u32_le() as u64;
+        let high = self.get_u32_le() as u64;
+        low | (high << 32)
+    }
+
     /// Reads a little-endian `f32`.
     ///
     /// # Panics
@@ -154,6 +165,11 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends an `f32` in little-endian order.
     fn put_f32_le(&mut self, v: f32) {
         self.put_slice(&v.to_le_bytes());
@@ -175,14 +191,16 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(7);
         buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
         buf.put_f32_le(1.5);
         buf.put_slice(b"xyz");
         let frozen = buf.freeze();
-        assert_eq!(frozen.len(), 1 + 4 + 4 + 3);
+        assert_eq!(frozen.len(), 1 + 4 + 8 + 4 + 3);
 
         let mut rd: &[u8] = &frozen;
         assert_eq!(rd.get_u8(), 7);
         assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(rd.get_f32_le(), 1.5);
         assert_eq!(rd, b"xyz");
         assert_eq!(rd.remaining(), 3);
