@@ -28,6 +28,10 @@
 //! * `FLUX_PERF_MAX_CKPT_OVERHEAD` — maximum fraction of a round's wall
 //!   time an incremental durable checkpoint may cost (default `0.5`); the
 //!   process exits non-zero above it — the crash-recovery perf gate.
+//! * `FLUX_PERF_MAX_COHORT_SETUP` — maximum ratio the 10,000-client
+//!   registration setup may cost versus the 1,000-client setup in the
+//!   large-cohort scenario (default `8.0`); the process exits non-zero
+//!   above it — the cohort-scalability gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -161,6 +165,53 @@ fn measure_compression() -> CompressionReport {
         dense_final_score: dense.final_score,
         compressed_final_score: compressed.final_score,
     }
+}
+
+/// The large-cohort scenario: N clients registered as lightweight specs,
+/// K = 32 sampled and materialized per round. Setup (dataset + model +
+/// registry build) must stay cheap as N grows — the registry holds index
+/// shards, not participant state — and the round itself is O(K), not
+/// O(N). Measured at N = 1k and N = 10k.
+struct CohortScaleReport {
+    registered: usize,
+    cohort: usize,
+    setup_ms: f64,
+    round_ms: f64,
+}
+
+fn measure_cohort(reps: usize) -> Vec<CohortScaleReport> {
+    let pool = threadpool::ThreadPool::from_env();
+    [1_000usize, 10_000]
+        .iter()
+        .map(|&n| {
+            let cfg = RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
+                .with_participants(n)
+                .with_cohort(32)
+                .with_rounds(1);
+            let mut setup_ms = f64::INFINITY;
+            let mut round_ms = f64::INFINITY;
+            for _ in 0..reps {
+                let run = FederatedRun::new(cfg.clone(), 42);
+                let start = Instant::now();
+                let mut active = run.start(Method::Flux);
+                setup_ms = setup_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                let start = Instant::now();
+                active.step_round(&pool);
+                round_ms = round_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    active.active_participants(),
+                    32,
+                    "a sampled round must materialize exactly the cohort"
+                );
+            }
+            CohortScaleReport {
+                registered: n,
+                cohort: 32,
+                setup_ms,
+                round_ms,
+            }
+        })
+        .collect()
 }
 
 /// The durable-checkpoint scenario: a quick-demo Flux run checkpointed to
@@ -298,6 +349,7 @@ fn main() {
     let (multi_serial_ms, multi_concurrent_ms) = measure_multi_run(reps);
     let compression = measure_compression();
     let checkpoint = measure_checkpoint(reps);
+    let cohorts = measure_cohort(reps);
 
     let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
     let barriered_total_ms: f64 = reports.iter().map(|r| r.barriered_wall_ms).sum();
@@ -338,6 +390,12 @@ fn main() {
         compression.dense_final_score,
         compression.compressed_final_score,
     );
+    for c in &cohorts {
+        println!(
+            "  COHORT N={:<6} K={}  setup={:.1}ms  round={:.1}ms",
+            c.registered, c.cohort, c.setup_ms, c.round_ms
+        );
+    }
     println!(
         "  CHECKPOINT full={:.2}ms/{}B  noop={:.2}ms/{}B  incr={:.2}ms/{}B ({} shards)  \
          restore={:.2}ms  overhead={:.1}% of a {:.1}ms round",
@@ -357,6 +415,7 @@ fn main() {
         &reports,
         &compression,
         &checkpoint,
+        &cohorts,
         Totals {
             total_ms,
             barriered_total_ms,
@@ -444,6 +503,32 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Cohort gate: registering 10k clients must not make run setup
+    // expensive — the registry is specs, not materialized participants.
+    // Bounded as a multiple of the N=1k setup rather than absolute wall
+    // time, so the gate is host-independent: a 10x fleet may cost at most
+    // FLUX_PERF_MAX_COHORT_SETUP times the 1k setup (default 8.0; the
+    // spec build is O(N) over trivially cheap index shards).
+    let max_cohort_setup: f64 = std::env::var("FLUX_PERF_MAX_COHORT_SETUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8.0);
+    let setup_1k = cohorts[0].setup_ms.max(0.1);
+    let setup_ratio = cohorts[1].setup_ms / setup_1k;
+    println!(
+        "cohort gate: 10k-client setup {:.1} ms is {setup_ratio:.2}x the 1k setup {setup_1k:.1} \
+         ms (max {max_cohort_setup:.1}x)",
+        cohorts[1].setup_ms
+    );
+    if setup_ratio > max_cohort_setup {
+        eprintln!(
+            "cohort gate FAILED: setup for 10,000 registered clients is {setup_ratio:.2}x the \
+             1,000-client setup, above the allowed {max_cohort_setup:.1}x — registration is no \
+             longer O(N)-cheap"
+        );
+        std::process::exit(1);
+    }
+
     // CI regression gate: compare against a committed report when asked.
     if let Ok(baseline_path) = std::env::var("FLUX_PERF_BASELINE_PATH") {
         let max_regression: f64 = std::env::var("FLUX_PERF_MAX_REGRESSION")
@@ -515,10 +600,12 @@ struct Totals {
     multi_concurrent_ms: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     reports: &[MethodReport],
     compression: &CompressionReport,
     checkpoint: &CheckpointReport,
+    cohorts: &[CohortScaleReport],
     totals: Totals,
     threads: usize,
     host_parallelism: usize,
@@ -528,7 +615,7 @@ fn render_json(
     // enough to render by hand.
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v4\",");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v5\",");
     let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
     let _ = writeln!(s, "  \"flux_threads\": {threads},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
@@ -690,6 +777,25 @@ fn render_json(
     let _ = writeln!(s, "    \"restore_ms\": {:.3},", checkpoint.restore_ms);
     let _ = writeln!(s, "    \"round_wall_ms\": {:.3},", checkpoint.round_wall_ms);
     let _ = writeln!(s, "    \"overhead\": {:.4}", checkpoint.overhead);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"cohort\": {{");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"large-cohort scaling: N clients registered as lightweight specs, \
+         K=32 sampled and materialized per round (tiny model, 1 round, Flux); setup = \
+         dataset + model + registry build, round = sample + materialize + train + \
+         aggregate; the perf job gates setup(10k)/setup(1k) via \
+         FLUX_PERF_MAX_COHORT_SETUP\","
+    );
+    for (i, c) in cohorts.iter().enumerate() {
+        let _ = writeln!(s, "    \"n{}\": {{", c.registered);
+        let _ = writeln!(s, "      \"registered\": {},", c.registered);
+        let _ = writeln!(s, "      \"cohort_size\": {},", c.cohort);
+        let _ = writeln!(s, "      \"setup_ms\": {:.2},", c.setup_ms);
+        let _ = writeln!(s, "      \"round_ms\": {:.2}", c.round_ms);
+        let comma = if i + 1 < cohorts.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"pr2_baseline\": {{");
     let _ = writeln!(s, "    \"commit\": \"{PR2_COMMIT}\",");

@@ -51,11 +51,11 @@ use threadpool::ThreadPool;
 
 use flux_data::{Dataset, DatasetConfig, DatasetGenerator, DatasetKind, Sample};
 use flux_fl::{
-    build_fleet, decode_staged_aggregator, dense_upload_payload_bytes, encode_staged_aggregator,
-    load_store, CheckpointStats, CompressionConfig, CostModel, EncodedUpload, ExpertUpdate,
-    FaultKind, FaultPlan, FaultToleranceConfig, LinkProfile, ParameterServer, Participant,
-    ParticipantBehavior, PhaseTimes, RoundCostBreakdown, ShardedAggregator, ShardedStore, SimClock,
-    SnapshotError, DEFAULT_SHARDS,
+    decode_staged_aggregator, dense_upload_payload_bytes, encode_staged_aggregator, load_store,
+    AggregationTree, CheckpointStats, CompressionConfig, CostModel, EncodedUpload, ExpertUpdate,
+    FaultKind, FaultPlan, FaultToleranceConfig, FleetSpec, LinkProfile, ParameterServer,
+    Participant, ParticipantBehavior, PhaseTimes, RoundCostBreakdown, ShardedAggregator,
+    ShardedStore, SimClock, SnapshotError, DEFAULT_SHARDS,
 };
 use flux_metrics::{TargetMetric, TimeToAccuracyTracker};
 use flux_moe::{ActivationProfile, EvalResult, ExpertKey, MoeConfig, MoeModel};
@@ -68,6 +68,7 @@ use crate::assignment::{
 use crate::baselines::{
     fmd_local_round, fmes_local_round, fmq_local_round, local_train, LocalRoundOutput,
 };
+use crate::cohort::CohortSampler;
 use crate::merging::{CompactModelPlan, MergingConfig};
 use crate::profiling::{ProfilingConfig, QuantizedModelCache, StaleProfiler};
 
@@ -174,6 +175,28 @@ pub struct RunConfig {
     /// and per-round deadline. The default accepts every upload and never
     /// retries, which reproduces the fault-free pipeline bit-for-bit.
     pub fault_tolerance: FaultToleranceConfig,
+    /// Clients sampled into each round's cohort. `None` (the default) keeps
+    /// the legacy full-participation behavior: every registered client is
+    /// materialized up front and runs every round. `Some(k)` registers
+    /// `num_participants` lightweight client specs instead and materializes
+    /// only the `k` clients a seeded per-round sampler picks, so
+    /// participant-state memory stays O(k) however many clients register.
+    #[serde(default)]
+    pub cohort_size: Option<usize>,
+    /// Edge aggregators pre-reducing each round's uploads before the root
+    /// reduces into the store (`<= 1` = flat aggregation). Edges do
+    /// structural work only — shard bucketing, checksum-validated decode,
+    /// duplicate rejection — and the root re-sorts by participant id, so
+    /// every tree shape produces a bit-identical global model.
+    #[serde(default = "default_aggregation_edges")]
+    pub aggregation_edges: usize,
+}
+
+/// Serde default for [`RunConfig::aggregation_edges`]. The vendored serde
+/// stub expands derives to nothing, so rustc cannot see this referenced.
+#[allow(dead_code)]
+fn default_aggregation_edges() -> usize {
+    1
 }
 
 impl RunConfig {
@@ -199,6 +222,8 @@ impl RunConfig {
             link: None,
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
+            cohort_size: None,
+            aggregation_edges: 1,
         }
     }
 
@@ -276,6 +301,20 @@ impl RunConfig {
     /// deadline).
     pub fn with_fault_tolerance(mut self, tolerance: FaultToleranceConfig) -> Self {
         self.fault_tolerance = tolerance;
+        self
+    }
+
+    /// Samples `k` of the registered clients into each round's cohort
+    /// (clamped to the fleet size at run start).
+    pub fn with_cohort(mut self, k: usize) -> Self {
+        self.cohort_size = Some(k);
+        self
+    }
+
+    /// Routes each round's uploads through `n` edge aggregators that
+    /// pre-reduce before the root (`<= 1` keeps flat aggregation).
+    pub fn with_aggregation_edges(mut self, n: usize) -> Self {
+        self.aggregation_edges = n;
         self
     }
 
@@ -439,7 +478,7 @@ enum RoundUpload {
 /// failure is a driver bug, not a simulated wire fault (those go through
 /// the delivery layer, which rejects without panicking).
 fn submit_upload(
-    aggregator: &ShardedAggregator,
+    aggregator: &AggregationTree,
     participant_id: usize,
     upload: RoundUpload,
     base: &MoeModel,
@@ -506,7 +545,7 @@ fn corrupt_for_wire(upload: &RoundUpload, base: &MoeModel, seed: u64) -> Encoded
 fn simulate_deliveries(
     driver: &FederatedRun,
     round: usize,
-    aggregator: &ShardedAggregator,
+    aggregator: &AggregationTree,
     fleet: &[Participant],
     results: &mut [TaskOut],
     base: &MoeModel,
@@ -837,17 +876,19 @@ impl FederatedRun {
             self.mode,
             self.config.rounds,
             self.config.num_participants,
+            self.config.cohort_size,
+            self.config.aggregation_edges,
         )?;
         let restored = Arc::new(loaded.store);
         // Deterministic rebuild of everything the checkpoint does not
         // carry (dataset, fleet, eval set, RNG chain); the freshly
         // initialized model is discarded in favor of the restored store.
         let mut active = self.start_with(method, move |_fresh| adopt(restored));
-        if state.flux.len() != active.fleet.len() || state.fmes.len() != active.fleet.len() {
+        if state.flux.len() != active.registry.len() || state.fmes.len() != active.registry.len() {
             return Err(SnapshotError::Mismatch(format!(
-                "checkpoint profiles cover {} participants, run has {}",
+                "checkpoint profiles cover {} clients, run registers {}",
                 state.flux.len(),
-                active.fleet.len()
+                active.registry.len()
             )));
         }
         // Overlay the persisted run state.
@@ -903,31 +944,46 @@ impl FederatedRun {
         let (train, test) = dataset.train_test_split(0.8);
         let eval_indices: Vec<usize> = (0..test.len().min(cfg.eval_samples)).collect();
         let eval_set = test.subset(&eval_indices);
-        let mut fleet = build_fleet(
-            &train,
+        // The fleet registers as lightweight specs (shared corpus + index
+        // shards + device profiles); the partition and device draws consume
+        // `fleet_rng` exactly as the eager builder did, so existing seeds
+        // reproduce bit-for-bit.
+        let mut registry = FleetSpec::build(
+            Arc::new(train),
             cfg.num_participants,
             cfg.non_iid_alpha,
             &mut fleet_rng,
         );
         if let Some(link) = cfg.link {
-            for participant in &mut fleet {
-                participant.device.link = link;
-            }
+            registry.override_link(link);
         }
+        let sampler = cfg
+            .cohort_size
+            .map(|k| CohortSampler::new(cfg.num_participants, k, self.seed));
+        // Full participation materializes everyone up front (the legacy
+        // fleet); sampled runs materialize each round's cohort lazily.
+        let fleet = if sampler.is_some() {
+            Vec::new()
+        } else {
+            registry.materialize_all()
+        };
 
-        // Server-side state.
+        // Server-side state. Per-client profiling state is indexed by the
+        // stable client id and spans the whole registry; only sampled
+        // clients ever grow a profile.
         let global = MoeModel::new(model_config, &mut model_rng);
         let store = register(global);
-        let flux_states: Vec<FluxState> = fleet
-            .iter()
+        let flux_states: Vec<FluxState> = (0..registry.len())
             .map(|_| FluxState {
                 profiler: StaleProfiler::new(cfg.profiling),
             })
             .collect();
-        let fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; fleet.len()];
+        let fmes_profiles: Vec<Option<ActivationProfile>> = vec![None; registry.len()];
         ActiveRun {
             driver: self.clone(),
             method,
+            registry,
+            sampler,
             fleet,
             eval_set,
             store,
@@ -945,6 +1001,7 @@ impl FederatedRun {
             computed: None,
             round_start_capture: None,
             restored_aggregator: None,
+            cache_stats: Vec::new(),
         }
     }
 
@@ -1281,7 +1338,7 @@ struct RoundCapture {
 /// aggregation have not run yet (between `start_round` and `finish_round`).
 struct ComputedRound {
     round: usize,
-    aggregator: ShardedAggregator,
+    aggregator: AggregationTree,
     results: Vec<TaskOut>,
     eval_of_pending: Option<EvalResult>,
     /// The round-start snapshot: the base encoded uploads decode against.
@@ -1310,6 +1367,15 @@ struct ComputedRound {
 pub struct ActiveRun {
     driver: FederatedRun,
     method: Method,
+    /// The registered client fleet as lightweight specs (corpus indices +
+    /// device profile); participants materialize from here.
+    registry: FleetSpec,
+    /// When sampling, the per-round seeded cohort sampler.
+    sampler: Option<CohortSampler>,
+    /// The participants active in the current (or most recent) round. With
+    /// full participation this is the whole fleet, materialized once; with
+    /// cohort sampling it is replaced by each round's freshly materialized
+    /// cohort, so heavy participant state stays O(cohort).
     fleet: Vec<Participant>,
     eval_set: Dataset,
     store: Arc<ShardedStore>,
@@ -1330,8 +1396,14 @@ pub struct ActiveRun {
     /// state).
     round_start_capture: Option<RoundCapture>,
     /// A staged aggregator recovered from a mid-round checkpoint; the next
-    /// `start_round` resumes it instead of opening a fresh one.
+    /// `start_round` resumes it (as the tree's root) instead of opening a
+    /// fresh one.
     restored_aggregator: Option<ShardedAggregator>,
+    /// Per-round `(hits, misses)` of the round-scoped
+    /// [`QuantizedModelCache`]: misses count actual quantizations, so each
+    /// entry proves the cache was fresh that round and deduplicated within
+    /// it.
+    cache_stats: Vec<(usize, usize)>,
 }
 
 impl ActiveRun {
@@ -1343,6 +1415,36 @@ impl ActiveRun {
     /// The tenant store holding this run's global model.
     pub fn store(&self) -> &Arc<ShardedStore> {
         &self.store
+    }
+
+    /// Number of registered clients (the sampling universe).
+    pub fn registered_clients(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Number of participants materialized for the current (or most
+    /// recent) round: the cohort size when sampling, the whole fleet
+    /// otherwise (zero before a sampled run's first round).
+    pub fn active_participants(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// The stable client ids round `round` dispatches (every registered
+    /// client under full participation).
+    pub fn cohort_of(&self, round: usize) -> Vec<usize> {
+        match &self.sampler {
+            Some(sampler) => sampler.cohort(round),
+            None => (0..self.registry.len()).collect(),
+        }
+    }
+
+    /// Per-round `(hits, misses)` of the round-scoped quantized-model
+    /// cache, one entry per `start_round` executed so far. Misses count
+    /// actual quantizations: within a round each bit width quantizes once
+    /// (then hits), and a fresh cache per round means refreshed global
+    /// weights are never profiled through a stale quantized copy.
+    pub fn quant_cache_stats(&self) -> &[(usize, usize)] {
+        &self.cache_stats
     }
 
     /// Writes a durable checkpoint of this run into `dir`: the store's
@@ -1367,11 +1469,16 @@ impl ActiveRun {
     pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<CheckpointStats, SnapshotError> {
         let (flux, fmes, staged) = match (&self.computed, &self.round_start_capture) {
             // Mid-round: persist the top-of-round profile view plus the
-            // staged aggregator; restore replays the fan-out.
+            // staged aggregator (edges flattened into one non-draining
+            // merged view — collapse is result-transparent, so restore can
+            // rebuild a flat root whatever tree shape staged the uploads);
+            // restore replays the fan-out.
             (Some(computed), Some(capture)) => (
                 capture.flux.clone(),
                 capture.fmes.clone(),
-                Some(encode_staged_aggregator(&computed.aggregator)),
+                Some(encode_staged_aggregator(
+                    &computed.aggregator.merged_snapshot(),
+                )),
             ),
             (Some(_), None) => unreachable!("start_round always captures before computing"),
             // Round boundary: live state; an aggregator restored but not
@@ -1393,6 +1500,8 @@ impl ActiveRun {
             mode: self.driver.mode,
             rounds: self.driver.config.rounds as u32,
             participants: self.driver.config.num_participants as u32,
+            cohort_size: self.driver.config.cohort_size.map(|k| k as u32),
+            aggregation_edges: self.driver.config.aggregation_edges.max(1) as u32,
             next_round: self.next_round as u32,
             elapsed_s: self.clock.elapsed_s(),
             phases: self.phases,
@@ -1470,17 +1579,52 @@ impl ActiveRun {
                 .collect(),
             fmes: self.fmes_profiles.clone(),
         });
+        // Cohort sampling: materialize only this round's K sampled clients
+        // (replacing the previous cohort, so heavy participant state stays
+        // O(K)). The sampler is a pure function of (seed, round), so a
+        // restored run re-derives the identical cohort.
+        if let Some(sampler) = &self.sampler {
+            let cohort = sampler.cohort(round);
+            self.fleet = cohort
+                .iter()
+                .map(|&id| self.registry.materialize(id))
+                .collect();
+        }
+        // Lift the active participants' profiling state out of the
+        // registry-indexed arrays for the fan-out (cheap moves; blanks hold
+        // the seats), and put it back below. Full participation lifts
+        // everything, which reproduces the legacy zip exactly.
+        let profiling_cfg = self.driver.config.profiling;
+        let mut active_flux: Vec<FluxState> = self
+            .fleet
+            .iter()
+            .map(|p| {
+                std::mem::replace(
+                    &mut self.flux_states[p.id],
+                    FluxState {
+                        profiler: StaleProfiler::new(profiling_cfg),
+                    },
+                )
+            })
+            .collect();
+        let mut active_fmes: Vec<Option<ActivationProfile>> = self
+            .fleet
+            .iter()
+            .map(|p| self.fmes_profiles[p.id].take())
+            .collect();
         let driver = &self.driver;
         let method = self.method;
         let pipelined = driver.mode == ExecutionMode::Pipelined;
         let faults_active = driver.faults_active();
         // A mid-round restore resumes the staged aggregator recovered from
-        // the checkpoint; its already-staged pids reject this fan-out's
-        // duplicate re-submissions.
-        let aggregator = self
+        // the checkpoint as the tree's root; its already-staged pids reject
+        // this fan-out's duplicate re-submissions at whatever edge they
+        // route through.
+        let root = self
             .restored_aggregator
             .take()
             .unwrap_or_else(|| self.store.begin_round());
+        let aggregator = AggregationTree::new(root, driver.config.aggregation_edges);
         // In pipelined mode uploads stream into the aggregator the moment
         // each participant finishes — unless the arrival shuffle knob is
         // on, in which case they are replayed in a seeded order during
@@ -1509,8 +1653,8 @@ impl ActiveRun {
             for ((participant, state), fmes_profile) in self
                 .fleet
                 .iter()
-                .zip(self.flux_states.iter_mut())
-                .zip(self.fmes_profiles.iter_mut())
+                .zip(active_flux.iter_mut())
+                .zip(active_fmes.iter_mut())
             {
                 let behavior = driver
                     .behaviors
@@ -1600,6 +1744,16 @@ impl ActiveRun {
             };
             (results, eval)
         };
+        // Seat the active participants' (now refreshed) profiling state
+        // back into the registry-indexed arrays.
+        for ((participant, state), fmes) in self.fleet.iter().zip(active_flux).zip(active_fmes) {
+            self.flux_states[participant.id] = state;
+            self.fmes_profiles[participant.id] = fmes;
+        }
+        // The round-scoped quantization cache dies here; record its hit/miss
+        // ledger so tests can pin "one quantization per bit width per
+        // round, never reused across rounds".
+        self.cache_stats.push(quant_cache.stats());
         // Keep slot order aligned with the fleet for the ordered
         // reduction (the eval slot was popped above).
         debug_assert_eq!(results.len(), self.fleet.len());
@@ -1705,29 +1859,39 @@ impl ActiveRun {
                 reduction.critical = cost;
             }
             if !pipelined && !faults_active {
-                // The barriered reference decodes at the same point with
-                // the same base as the pipelined staging layer, so the two
-                // schedules stay bit-identical under every compression
-                // mode.
-                let (updates, head) = match result.upload.take() {
-                    Some(RoundUpload::Dense(updates, head)) => (updates, head),
-                    Some(RoundUpload::Encoded(encoded)) => encoded
-                        .decode(&snapshot)
-                        .expect("a driver-produced upload decodes against its snapshot"),
-                    None => (Vec::new(), None),
-                };
-                expert_updates.extend(updates);
-                if let Some(head) = head {
-                    head_updates.push(head);
+                if aggregator.num_edges() > 0 {
+                    // Barriered with an aggregation tree: the retained
+                    // uploads route through the edges in pid order (the
+                    // root's pid-ordered finalize makes the routing
+                    // unobservable anyway).
+                    if let Some(upload) = result.upload.take() {
+                        submit_upload(&aggregator, participant.id, upload, &snapshot);
+                    }
+                } else {
+                    // The barriered reference decodes at the same point
+                    // with the same base as the pipelined staging layer, so
+                    // the two schedules stay bit-identical under every
+                    // compression mode.
+                    let (updates, head) = match result.upload.take() {
+                        Some(RoundUpload::Dense(updates, head)) => (updates, head),
+                        Some(RoundUpload::Encoded(encoded)) => encoded
+                            .decode(&snapshot)
+                            .expect("a driver-produced upload decodes against its snapshot"),
+                        None => (Vec::new(), None),
+                    };
+                    expert_updates.extend(updates);
+                    if let Some(head) = head {
+                        head_updates.push(head);
+                    }
                 }
             }
         }
 
         if faults_active {
             // Both schedules reduce what the delivery layer staged: the
-            // aggregator's pid-ordered finalize keeps the result identical
-            // under either mode for the same fault draws.
-            self.store.apply_round(&aggregator, pool);
+            // root's pid-ordered finalize keeps the result identical under
+            // either mode (and any tree shape) for the same fault draws.
+            self.store.apply_round(aggregator.collapse(), pool);
         } else if pipelined {
             if let Some(seed) = self.driver.arrival_seed {
                 // Replay the retained uploads in a seeded-shuffled
@@ -1735,7 +1899,9 @@ impl ActiveRun {
                 // scheduler's arbitrary completion order.
                 submit_shuffled(&aggregator, &self.fleet, results, round, seed, &snapshot);
             }
-            self.store.apply_round(&aggregator, pool);
+            self.store.apply_round(aggregator.collapse(), pool);
+        } else if aggregator.num_edges() > 0 {
+            self.store.apply_round(aggregator.collapse(), pool);
         } else {
             self.store.aggregate(&expert_updates, &head_updates);
         }
@@ -1817,7 +1983,7 @@ impl ActiveRun {
 /// Submits the uploads retained by the arrival-shuffle knob in a
 /// seeded-permuted participant order.
 fn submit_shuffled(
-    aggregator: &ShardedAggregator,
+    aggregator: &AggregationTree,
     fleet: &[Participant],
     results: Vec<TaskOut>,
     round: usize,
@@ -1993,6 +2159,109 @@ mod tests {
     fn method_labels() {
         assert_eq!(Method::Flux.label(), "FLUX");
         assert_eq!(Method::all().len(), 4);
+    }
+
+    #[test]
+    fn cohort_sampling_dispatches_k_of_n_and_is_deterministic() {
+        let config = quick_config().with_participants(12).with_cohort(3);
+        let pool = ThreadPool::new(2);
+        let mut active = FederatedRun::new(config.clone(), 19).start(Method::Flux);
+        assert_eq!(active.registered_clients(), 12);
+        assert_eq!(active.active_participants(), 0, "no one materialized yet");
+        let mut cohorts = Vec::new();
+        while !active.is_done() {
+            let RunPhase::ReadyToStart { round } = active.poll() else {
+                panic!("expected a startable round");
+            };
+            cohorts.push(active.cohort_of(round));
+            active.step_round(&pool);
+            assert_eq!(active.active_participants(), 3);
+        }
+        let result = active.finish();
+        assert_eq!(result.rounds.len(), 3);
+        // Cohorts are sorted stable ids and vary across rounds.
+        for cohort in &cohorts {
+            assert_eq!(cohort.len(), 3);
+            assert!(cohort.windows(2).all(|w| w[0] < w[1]));
+            assert!(cohort.iter().all(|&id| id < 12));
+        }
+        assert!(cohorts.windows(2).any(|w| w[0] != w[1]));
+        // Same seed, same everything.
+        let again = FederatedRun::new(config, 19).run(Method::Flux);
+        assert_eq!(result.rounds, again.rounds);
+        assert_eq!(result.final_model.lm_head, again.final_model.lm_head);
+    }
+
+    #[test]
+    fn sampled_runs_are_bit_identical_across_thread_counts_and_schedules() {
+        let config = quick_config().with_participants(10).with_cohort(4);
+        let reference = FederatedRun::new(config.clone(), 23)
+            .with_threads(1)
+            .run(Method::Flux);
+        let threaded = FederatedRun::new(config.clone(), 23)
+            .with_threads(4)
+            .run(Method::Flux);
+        assert_eq!(reference.rounds, threaded.rounds);
+        let barriered = FederatedRun::new(config, 23)
+            .with_mode(ExecutionMode::Barriered)
+            .run(Method::Flux);
+        for (p, b) in reference.rounds.iter().zip(barriered.rounds.iter()) {
+            assert_eq!(p.score, b.score, "round {} diverged", p.round);
+            assert_eq!(p.train_loss, b.train_loss);
+        }
+        assert_eq!(reference.final_model.lm_head, barriered.final_model.lm_head);
+    }
+
+    #[test]
+    fn aggregation_tree_matches_flat_reduction_bit_for_bit() {
+        for edges in [2usize, 3, 5] {
+            let flat = FederatedRun::new(quick_config(), 37).run(Method::Flux);
+            let tree = FederatedRun::new(quick_config().with_aggregation_edges(edges), 37)
+                .run(Method::Flux);
+            assert_eq!(flat.rounds, tree.rounds, "{edges} edges diverged");
+            assert_eq!(flat.final_model.lm_head, tree.final_model.lm_head);
+            for key in flat.final_model.expert_keys() {
+                assert_eq!(
+                    flat.final_model.expert(key),
+                    tree.final_model.expert(key),
+                    "{key:?} diverged under {edges} edges"
+                );
+            }
+            // Barriered routes through the same tree and must agree too.
+            let barriered = FederatedRun::new(quick_config().with_aggregation_edges(edges), 37)
+                .with_mode(ExecutionMode::Barriered)
+                .run(Method::Flux);
+            assert_eq!(flat.final_model.lm_head, barriered.final_model.lm_head);
+        }
+    }
+
+    #[test]
+    fn quantized_cache_is_fresh_per_round_and_deduplicated_within_it() {
+        // Every Flux participant profiles through the round's shared cache
+        // at the configured width, so each round must quantize exactly once
+        // (one distinct width) and serve every other request from memory.
+        // A nonzero miss count in *every* round is the regression guard
+        // against reusing a cache (and thus a stale quantized model) across
+        // rounds.
+        let config = quick_config().with_participants(6);
+        let pool = ThreadPool::new(2);
+        let mut active = FederatedRun::new(config, 41).start(Method::Flux);
+        while !active.is_done() {
+            active.step_round(&pool);
+        }
+        let stats = active.quant_cache_stats().to_vec();
+        assert_eq!(stats.len(), 3, "one ledger entry per round");
+        for (round, &(hits, misses)) in stats.iter().enumerate() {
+            assert_eq!(
+                misses, 1,
+                "round {round} must quantize exactly once per bit width"
+            );
+            assert_eq!(
+                hits + misses,
+                6,
+                "round {round}: every participant profiles through the cache"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod assignment;
 pub mod baselines;
+pub mod cohort;
 pub mod driver;
 pub mod merging;
 pub mod profiling;
@@ -54,6 +55,7 @@ mod recovery;
 pub mod scheduler;
 
 pub use assignment::{DynamicEpsilon, ExpertUtility, RoleAssigner, RoleAssignment};
+pub use cohort::CohortSampler;
 pub use driver::{
     ActiveRun, ExecutionMode, FederatedRun, Method, RoundFaults, RoundRecord, RunConfig, RunPhase,
     RunResult,

@@ -83,17 +83,50 @@ pub fn cluster_non_tuning_experts(
 }
 
 /// Builds the PCA-reduced feature matrix for a set of experts.
+///
+/// The raw feature rows are the experts' flattened parameters in the
+/// `[w1 | b1 | w2 | b2]` layout of
+/// [`flatten_params`](flux_moe::Expert::flatten_params), but constructed
+/// fused: one contiguous panel per parameter block (each filled in a single
+/// extend pass across experts) stitched with the [`Matrix::hstack`] fast
+/// path, instead of flattening every expert into its own intermediate
+/// `Vec`. Bit-identical to the row-by-row construction.
 fn expert_features(
     model: &MoeModel,
     keys: &[ExpertKey],
     pca_dims: usize,
     rng: &mut SeededRng,
 ) -> Matrix {
-    let rows: Vec<Vec<f32>> = keys
-        .iter()
-        .map(|&k| model.expert(k).flatten_params())
-        .collect();
-    let raw = Matrix::from_rows(&rows);
+    let Some(&first_key) = keys.first() else {
+        return Matrix::zeros(0, 0);
+    };
+    let first = model.expert(first_key);
+    let (w1_len, b1_len, w2_len, b2_len) = (
+        first.w1.len(),
+        first.b1.len(),
+        first.w2.len(),
+        first.b2.len(),
+    );
+    let n = keys.len();
+    let mut w1s = Vec::with_capacity(n * w1_len);
+    let mut b1s = Vec::with_capacity(n * b1_len);
+    let mut w2s = Vec::with_capacity(n * w2_len);
+    let mut b2s = Vec::with_capacity(n * b2_len);
+    for &key in keys {
+        let expert = model.expert(key);
+        w1s.extend_from_slice(expert.w1.as_slice());
+        b1s.extend_from_slice(&expert.b1);
+        w2s.extend_from_slice(expert.w2.as_slice());
+        b2s.extend_from_slice(&expert.b2);
+    }
+    // `from_vec` moves each buffer into its panel; no per-row copies until
+    // the single hstack.
+    let w1_panel = Matrix::from_vec(n, w1_len, w1s).expect("experts share w1 dimensions");
+    let b1_panel = Matrix::from_vec(n, b1_len, b1s).expect("experts share b1 dimensions");
+    let w2_panel = Matrix::from_vec(n, w2_len, w2s).expect("experts share w2 dimensions");
+    let b2_panel = Matrix::from_vec(n, b2_len, b2s).expect("experts share b2 dimensions");
+    let raw = Matrix::hstack(&[&w1_panel, &b1_panel, &w2_panel, &b2_panel])
+        .expect("per-block panels share the expert-count row dimension");
     let dims = pca_dims.clamp(1, raw.cols().min(raw.rows()).max(1));
     if raw.rows() < 2 || dims >= raw.cols() {
         return raw;
@@ -190,6 +223,45 @@ mod tests {
             .iter()
             .map(|&n| (0..n).collect())
             .collect()
+    }
+
+    #[test]
+    fn fused_feature_rows_match_the_flatten_params_reference() {
+        // The hstack-fused construction must be bit-identical to the legacy
+        // row-by-row `flatten_params` construction, both for the raw
+        // feature matrix (single expert dodges PCA) and through the PCA
+        // projection (same input bits + same seed → same output bits).
+        let model = model();
+        let mut rng = SeededRng::new(9);
+        let single = expert_features(&model, &[ExpertKey::new(0, 3)], 4, &mut rng);
+        assert_eq!(
+            single.row(0),
+            &model.expert(ExpertKey::new(0, 3)).flatten_params()[..]
+        );
+
+        let keys: Vec<ExpertKey> = (0..model.experts_per_layer()[0])
+            .map(|e| ExpertKey::new(0, e))
+            .chain((0..2).map(|e| ExpertKey::new(1, e)))
+            .collect();
+        let mut rng_fused = SeededRng::new(9);
+        let fused = expert_features(&model, &keys, 4, &mut rng_fused);
+        let rows: Vec<Vec<f32>> = keys
+            .iter()
+            .map(|&k| model.expert(k).flatten_params())
+            .collect();
+        let raw = Matrix::from_rows(&rows);
+        let dims = 4usize.clamp(1, raw.cols().min(raw.rows()).max(1));
+        let mut rng_reference = SeededRng::new(9);
+        let reference = Pca::fit_transform(&raw, dims, &mut rng_reference).unwrap_or(raw);
+        assert_eq!(
+            (fused.rows(), fused.cols()),
+            (reference.rows(), reference.cols())
+        );
+        assert_eq!(fused.as_slice(), reference.as_slice());
+
+        // Empty key sets keep the legacy 0x0 shape.
+        let empty = expert_features(&model, &[], 4, &mut rng);
+        assert_eq!((empty.rows(), empty.cols()), (0, 0));
     }
 
     #[test]

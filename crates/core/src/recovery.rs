@@ -27,7 +27,10 @@ use crate::assignment::ExpertUtility;
 use crate::driver::{ExecutionMode, Method, PendingRound, RoundFaults, RoundRecord};
 
 const MAGIC: &[u8; 8] = b"FLUXRUN1";
-const VERSION: u32 = 1;
+/// Version 2 adds the cohort-sampling fingerprint (cohort size and edge
+/// aggregator count) after the participant count; version-1 blobs decode
+/// with the full-participation defaults (`None`, 1 edge).
+const VERSION: u32 = 2;
 /// Plausibility cap on every decoded count (records, pids, experts…).
 const MAX_COUNT: u64 = 1_000_000;
 
@@ -38,6 +41,11 @@ pub(crate) struct RunState {
     pub(crate) mode: ExecutionMode,
     pub(crate) rounds: u32,
     pub(crate) participants: u32,
+    /// Clients sampled into each round's cohort (`None` = every registered
+    /// client participates every round, the legacy behavior).
+    pub(crate) cohort_size: Option<u32>,
+    /// Edge aggregators pre-reducing each round (`1` = flat aggregation).
+    pub(crate) aggregation_edges: u32,
     pub(crate) next_round: u32,
     pub(crate) elapsed_s: f64,
     pub(crate) phases: PhaseTimes,
@@ -56,6 +64,7 @@ pub(crate) struct RunState {
 impl RunState {
     /// Rejects a checkpoint written by a different run: resuming someone
     /// else's shards would silently diverge instead of failing loudly.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn verify_fingerprint(
         &self,
         seed: u64,
@@ -63,23 +72,31 @@ impl RunState {
         mode: ExecutionMode,
         rounds: usize,
         participants: usize,
+        cohort_size: Option<usize>,
+        aggregation_edges: usize,
     ) -> Result<(), SnapshotError> {
         if self.seed != seed
             || self.method != method
             || self.mode != mode
             || self.rounds as usize != rounds
             || self.participants as usize != participants
+            || self.cohort_size.map(|k| k as usize) != cohort_size
+            || self.aggregation_edges as usize != aggregation_edges.max(1)
         {
             return Err(SnapshotError::Mismatch(format!(
-                "checkpoint fingerprint (seed {}, {}, {:?}, {} rounds, {} participants) \
-                 does not match the run (seed {seed}, {}, {mode:?}, {rounds} rounds, \
-                 {participants} participants)",
+                "checkpoint fingerprint (seed {}, {}, {:?}, {} rounds, {} participants, \
+                 cohort {:?}, {} edges) does not match the run (seed {seed}, {}, {mode:?}, \
+                 {rounds} rounds, {participants} participants, cohort {cohort_size:?}, \
+                 {} edges)",
                 self.seed,
                 self.method.label(),
                 self.mode,
                 self.rounds,
                 self.participants,
+                self.cohort_size,
+                self.aggregation_edges,
                 method.label(),
+                aggregation_edges.max(1),
             )));
         }
         Ok(())
@@ -309,6 +326,14 @@ pub(crate) fn encode_run_state(state: &RunState) -> Vec<u8> {
     buf.put_u8(mode_tag(state.mode));
     buf.put_u32_le(state.rounds);
     buf.put_u32_le(state.participants);
+    match state.cohort_size {
+        Some(k) => {
+            buf.put_u8(1);
+            buf.put_u32_le(k);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u32_le(state.aggregation_edges);
     // Position and clocks.
     buf.put_u32_le(state.next_round);
     put_f64(&mut buf, state.elapsed_s);
@@ -379,7 +404,7 @@ pub(crate) fn decode_run_state(mut buf: &[u8]) -> Result<RunState, SnapshotError
         return Err(corrupt("run-state blob has a bad magic"));
     }
     let version = get_u32(buf)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(corrupt(format!("unsupported run-state version {version}")));
     }
     let seed = get_u64(buf)?;
@@ -387,6 +412,18 @@ pub(crate) fn decode_run_state(mut buf: &[u8]) -> Result<RunState, SnapshotError
     let mode = mode_from_tag(get_u8(buf)?)?;
     let rounds = get_u32(buf)?;
     let participants = get_u32(buf)?;
+    // Version-1 blobs predate cohort sampling: full participation, flat
+    // aggregation.
+    let (cohort_size, aggregation_edges) = if version >= 2 {
+        let cohort = match get_u8(buf)? {
+            0 => None,
+            1 => Some(get_u32(buf)?),
+            other => return Err(corrupt(format!("unknown cohort tag {other}"))),
+        };
+        (cohort, get_u32(buf)?)
+    } else {
+        (None, 1)
+    };
     let next_round = get_u32(buf)?;
     let elapsed_s = get_f64(buf)?;
     let phase_breakdown = get_breakdown(buf)?;
@@ -461,6 +498,8 @@ pub(crate) fn decode_run_state(mut buf: &[u8]) -> Result<RunState, SnapshotError
         mode,
         rounds,
         participants,
+        cohort_size,
+        aggregation_edges,
         next_round,
         elapsed_s,
         phases,
@@ -492,6 +531,8 @@ mod tests {
             mode: ExecutionMode::Pipelined,
             rounds: 5,
             participants: 2,
+            cohort_size: Some(2),
+            aggregation_edges: 3,
             next_round: 3,
             elapsed_s: 1234.5,
             phases: PhaseTimes {
@@ -559,6 +600,8 @@ mod tests {
         assert_eq!(a.mode, b.mode);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.participants, b.participants);
+        assert_eq!(a.cohort_size, b.cohort_size);
+        assert_eq!(a.aggregation_edges, b.aggregation_edges);
         assert_eq!(a.next_round, b.next_round);
         assert_eq!(a.elapsed_s, b.elapsed_s);
         assert_eq!(a.phases, b.phases);
@@ -652,24 +695,48 @@ mod tests {
     #[test]
     fn fingerprint_mismatches_are_attributed() {
         let state = sample_state();
-        assert!(state
-            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 5, 2)
-            .is_ok());
-        let err = state
-            .verify_fingerprint(43, Method::Flux, ExecutionMode::Pipelined, 5, 2)
-            .expect_err("seed mismatch");
+        let ok = |seed, method, mode, rounds, n| {
+            state.verify_fingerprint(seed, method, mode, rounds, n, Some(2), 3)
+        };
+        assert!(ok(42, Method::Flux, ExecutionMode::Pipelined, 5, 2).is_ok());
+        let err = ok(43, Method::Flux, ExecutionMode::Pipelined, 5, 2).expect_err("seed mismatch");
         assert!(matches!(err, SnapshotError::Mismatch(_)));
+        assert!(ok(42, Method::Fmd, ExecutionMode::Pipelined, 5, 2).is_err());
+        assert!(ok(42, Method::Flux, ExecutionMode::Barriered, 5, 2).is_err());
+        assert!(ok(42, Method::Flux, ExecutionMode::Pipelined, 6, 2).is_err());
+        assert!(ok(42, Method::Flux, ExecutionMode::Pipelined, 5, 3).is_err());
+        // Cohort configuration is part of the fingerprint: resuming a
+        // sampled run with a different K (or tree shape) must fail loudly.
         assert!(state
-            .verify_fingerprint(42, Method::Fmd, ExecutionMode::Pipelined, 5, 2)
+            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 5, 2, Some(3), 3)
             .is_err());
         assert!(state
-            .verify_fingerprint(42, Method::Flux, ExecutionMode::Barriered, 5, 2)
+            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 5, 2, None, 3)
             .is_err());
         assert!(state
-            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 6, 2)
+            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 5, 2, Some(2), 2)
             .is_err());
-        assert!(state
-            .verify_fingerprint(42, Method::Flux, ExecutionMode::Pipelined, 5, 3)
-            .is_err());
+    }
+
+    #[test]
+    fn version_one_blobs_decode_with_full_participation_defaults() {
+        // Re-encode sample_state() as a version-1 blob by hand: identical
+        // layout minus the cohort fields.
+        let state = sample_state();
+        let v2 = encode_run_state(&state);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v2[..MAGIC.len()]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        // seed(8) + method(1) + mode(1) + rounds(4) + participants(4).
+        let fp_start = MAGIC.len() + 4;
+        let fp_end = fp_start + 18;
+        v1.extend_from_slice(&v2[fp_start..fp_end]);
+        // Skip cohort tag+value (5 bytes for Some) and edges (4 bytes).
+        v1.extend_from_slice(&v2[fp_end + 9..]);
+        let decoded = decode_run_state(&v1).expect("v1 blob decodes");
+        assert_eq!(decoded.cohort_size, None);
+        assert_eq!(decoded.aggregation_edges, 1);
+        assert_eq!(decoded.seed, state.seed);
+        assert_eq!(decoded.next_round, state.next_round);
     }
 }

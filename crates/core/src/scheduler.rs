@@ -15,9 +15,12 @@
 //! schedule at its arrival tick while earlier jobs are mid-flight.
 //!
 //! Per-run knobs ride the [`FederatedRun`]'s `RunConfig` — including the
-//! upload-compression mode and link profile — so a scheduled job compresses
-//! and prices communication exactly like its standalone twin
-//! (`tests/integration_compression.rs` pins this).
+//! upload-compression mode, link profile, per-round cohort sampling
+//! (`RunConfig::with_cohort`) and aggregation-tree width
+//! (`RunConfig::with_aggregation_edges`) — so a scheduled job compresses,
+//! prices communication, and samples its cohorts exactly like its
+//! standalone twin (`tests/integration_compression.rs` and the test below
+//! pin this).
 //!
 //! # Determinism
 //!
@@ -350,6 +353,33 @@ mod tests {
         // Finished jobs deregistered their tenants: a long-lived server
         // does not accumulate completed jobs' models.
         assert_eq!(server.num_tenants(), 0);
+    }
+
+    #[test]
+    fn sampled_cohort_jobs_match_their_standalone_twin() {
+        // A job registering 10 clients and sampling 3 per round, reduced
+        // through 2 edge aggregators, scheduled next to an ordinary job on
+        // one shared server: trace bit-identical to running it alone.
+        let sampled = |seed| {
+            FederatedRun::new(
+                RunConfig::quick_demo(MoeConfig::tiny(), DatasetKind::Gsm8k)
+                    .with_participants(10)
+                    .with_cohort(3)
+                    .with_aggregation_edges(2),
+                seed,
+            )
+        };
+        let solo = sampled(13).run(Method::Flux);
+        let scheduler = Scheduler::on_pool(ThreadPool::new(2), SchedulePolicy::Concurrent);
+        let results = scheduler.run_all(vec![
+            JobSpec::new("sampled", sampled(13), Method::Flux),
+            JobSpec::new("full", quick(14), Method::Fmes),
+        ]);
+        assert_eq!(results[0].result.rounds, solo.rounds);
+        assert_eq!(
+            results[0].result.final_model.param_checksum(),
+            solo.final_model.param_checksum()
+        );
     }
 
     #[test]

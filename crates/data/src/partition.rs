@@ -41,33 +41,49 @@ impl PartitionConfig {
     }
 }
 
+/// Computes the IID split (round-robin after shuffling) as index shards.
+///
+/// This is the lazy half of [`partition_iid`]: it consumes the RNG exactly
+/// as the materializing form does but returns only row indices, so a fleet
+/// registry can hold shards without cloning any samples.
+pub fn partition_indices_iid(
+    num_samples: usize,
+    num_participants: usize,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
+    assert!(num_participants > 0, "need at least one participant");
+    let mut indices: Vec<usize> = (0..num_samples).collect();
+    rng.shuffle(&mut indices);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_participants];
+    for (i, idx) in indices.into_iter().enumerate() {
+        shards[i % num_participants].push(idx);
+    }
+    shards
+}
+
 /// Splits a dataset IID (round-robin after shuffling) across participants.
 pub fn partition_iid(
     dataset: &Dataset,
     num_participants: usize,
     rng: &mut SeededRng,
 ) -> Vec<Dataset> {
-    assert!(num_participants > 0, "need at least one participant");
-    let mut indices: Vec<usize> = (0..dataset.len()).collect();
-    rng.shuffle(&mut indices);
-    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_participants];
-    for (i, idx) in indices.into_iter().enumerate() {
-        shards[i % num_participants].push(idx);
-    }
-    shards.iter().map(|s| dataset.subset(s)).collect()
+    partition_indices_iid(dataset.len(), num_participants, rng)
+        .iter()
+        .map(|s| dataset.subset(s))
+        .collect()
 }
 
-/// Splits a dataset non-IID by topic with Dirichlet skew.
+/// Computes the non-IID Dirichlet split as index shards.
 ///
-/// For every topic, the samples of that topic are distributed to
-/// participants according to a fresh `Dirichlet(alpha)` draw. Afterwards a
-/// rebalancing pass moves samples from the largest shards to any shard below
-/// `min_samples_per_participant`, so no participant starves.
-pub fn partition_non_iid(
+/// The lazy half of [`partition_non_iid`]: identical RNG consumption and
+/// identical assignments, but no sample is cloned — shard `p` lists the
+/// dataset rows participant `p` would own. Materializing shard `p` with
+/// [`Dataset::subset`] reproduces the eager partition bit-for-bit.
+pub fn partition_indices_non_iid(
     dataset: &Dataset,
     config: &PartitionConfig,
     rng: &mut SeededRng,
-) -> Vec<Dataset> {
+) -> Vec<Vec<usize>> {
     assert!(config.num_participants > 0, "need at least one participant");
     let n = config.num_participants;
     let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -112,7 +128,24 @@ pub fn partition_non_iid(
     }
 
     rebalance(&mut shards, config.min_samples_per_participant);
-    shards.iter().map(|s| dataset.subset(s)).collect()
+    shards
+}
+
+/// Splits a dataset non-IID by topic with Dirichlet skew.
+///
+/// For every topic, the samples of that topic are distributed to
+/// participants according to a fresh `Dirichlet(alpha)` draw. Afterwards a
+/// rebalancing pass moves samples from the largest shards to any shard below
+/// `min_samples_per_participant`, so no participant starves.
+pub fn partition_non_iid(
+    dataset: &Dataset,
+    config: &PartitionConfig,
+    rng: &mut SeededRng,
+) -> Vec<Dataset> {
+    partition_indices_non_iid(dataset, config, rng)
+        .iter()
+        .map(|s| dataset.subset(s))
+        .collect()
 }
 
 /// Moves samples from the largest shards into shards below the minimum.
@@ -222,6 +255,26 @@ mod tests {
         let b = partition_non_iid(&ds, &cfg, &mut SeededRng::new(10));
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn index_split_matches_materialized_split() {
+        // The lazy index form must consume the RNG identically to the eager
+        // form, so the same seed yields the same assignment either way.
+        let ds = dataset(13);
+        let cfg = PartitionConfig::new(7).with_alpha(0.2);
+        let indices = partition_indices_non_iid(&ds, &cfg, &mut SeededRng::new(14));
+        let eager = partition_non_iid(&ds, &cfg, &mut SeededRng::new(14));
+        assert_eq!(indices.len(), eager.len());
+        for (shard, materialized) in indices.iter().zip(eager.iter()) {
+            assert_eq!(ds.subset(shard).samples, materialized.samples);
+        }
+
+        let iid_indices = partition_indices_iid(ds.len(), 7, &mut SeededRng::new(15));
+        let iid_eager = partition_iid(&ds, 7, &mut SeededRng::new(15));
+        for (shard, materialized) in iid_indices.iter().zip(iid_eager.iter()) {
+            assert_eq!(ds.subset(shard).samples, materialized.samples);
         }
     }
 

@@ -287,6 +287,222 @@ impl ShardedAggregator {
     }
 }
 
+/// Two-level aggregation tree: edge aggregators pre-reduce their cohort
+/// slice before it reaches the root [`ShardedAggregator`].
+///
+/// Each edge performs the *structural* half of the reduction the moment an
+/// upload arrives — routing every expert update to its key shard, decoding
+/// and checksum-validating compressed payloads, rejecting duplicate pids —
+/// so the root only concatenates pre-bucketed shard slices and runs the
+/// pid-ordered FedAvg kernels. Edges deliberately do **not** pre-sum
+/// parameters: f32 addition is non-associative, so an arithmetic partial
+/// reduce per edge would make the result depend on the edge topology. By
+/// forwarding `(pid, update)` pairs instead, the root's pid-sorted
+/// [`ShardedAggregator::finalize_shard`] restores exactly the flat
+/// reduction order, which pins the tree **bit-identical** to flat FedAvg
+/// for every edge count, cohort partition and arrival order.
+///
+/// With zero edges the tree is the flat aggregator: submissions go straight
+/// to the root.
+#[derive(Debug)]
+pub struct AggregationTree {
+    root: ShardedAggregator,
+    edges: Vec<ShardedAggregator>,
+}
+
+impl AggregationTree {
+    /// Wraps `root` with `num_edges` edge aggregators (0 or 1 = flat: one
+    /// level, no pre-reduction stage).
+    pub fn new(root: ShardedAggregator, num_edges: usize) -> Self {
+        let shards = root.num_shards();
+        let edges = if num_edges <= 1 {
+            Vec::new()
+        } else {
+            (0..num_edges)
+                .map(|_| ShardedAggregator::new(shards))
+                .collect()
+        };
+        Self { root, edges }
+    }
+
+    /// A flat (single-level) tree around `root`.
+    pub fn flat(root: ShardedAggregator) -> Self {
+        Self::new(root, 0)
+    }
+
+    /// Number of edge aggregators (0 = flat).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The root aggregator. Staged edge uploads are only visible here after
+    /// [`AggregationTree::collapse`].
+    pub fn root(&self) -> &ShardedAggregator {
+        &self.root
+    }
+
+    /// The edge that owns `pid`'s uploads (`None` when flat): a stable
+    /// function of the participant id, so a client reports to the same edge
+    /// on every round, thread count and replay.
+    pub fn edge_of(&self, pid: usize) -> Option<usize> {
+        if self.edges.is_empty() {
+            None
+        } else {
+            Some(pid % self.edges.len())
+        }
+    }
+
+    /// Stages one participant's upload at its edge (or the root when flat).
+    /// Duplicate pids are rejected exactly as in the flat aggregator.
+    pub fn submit(
+        &self,
+        participant_id: usize,
+        expert_updates: Vec<ExpertUpdate>,
+        head_update: Option<(Matrix, f32)>,
+    ) -> bool {
+        match self.edge_of(participant_id) {
+            None => self
+                .root
+                .submit(participant_id, expert_updates, head_update),
+            Some(edge) => self.submit_to_edge(edge, participant_id, expert_updates, head_update),
+        }
+    }
+
+    /// Stages an upload at an explicit edge — the hook for arbitrary
+    /// (ragged) cohort partitions. A pid already accepted at the root
+    /// (e.g. restored from a mid-round checkpoint) or at any edge is
+    /// rejected, preserving the flat duplicate discipline across levels.
+    pub fn submit_to_edge(
+        &self,
+        edge: usize,
+        participant_id: usize,
+        expert_updates: Vec<ExpertUpdate>,
+        head_update: Option<(Matrix, f32)>,
+    ) -> bool {
+        if self.edges.is_empty() {
+            return self
+                .root
+                .submit(participant_id, expert_updates, head_update);
+        }
+        if self.has_submitted(participant_id) {
+            return false;
+        }
+        self.edges[edge].submit(participant_id, expert_updates, head_update)
+    }
+
+    /// Stages an *encoded* upload: the payload decodes (and checksum-
+    /// validates) at the participant's edge, which is exactly the
+    /// pre-reduction work the two-level topology exists to offload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the edge's [`DecodeError`] for damaged payloads; nothing
+    /// is staged and the pid may retransmit.
+    pub fn submit_encoded(
+        &self,
+        participant_id: usize,
+        upload: &EncodedUpload,
+        base: &MoeModel,
+    ) -> Result<bool, DecodeError> {
+        match self.edge_of(participant_id) {
+            None => self.root.submit_encoded(participant_id, upload, base),
+            Some(edge) => {
+                if self.has_submitted(participant_id) {
+                    return Ok(false);
+                }
+                self.edges[edge].submit_encoded(participant_id, upload, base)
+            }
+        }
+    }
+
+    /// Whether `pid` has been accepted anywhere in the tree this round.
+    pub fn has_submitted(&self, participant_id: usize) -> bool {
+        self.root.has_submitted(participant_id)
+            || self.edges.iter().any(|e| e.has_submitted(participant_id))
+    }
+
+    /// Participants accepted across the whole tree this round.
+    pub fn submitted_participants(&self) -> usize {
+        self.root.submitted_participants()
+            + self
+                .edges
+                .iter()
+                .map(ShardedAggregator::submitted_participants)
+                .sum::<usize>()
+    }
+
+    /// Drains every edge's pre-bucketed slices into the root, in edge
+    /// order, and returns the root ready to finalize. Pids the root has
+    /// already accepted are filtered (first acceptance wins), so a restored
+    /// checkpoint's uploads are never double-counted. Safe to call more
+    /// than once — drained edges contribute nothing the second time.
+    pub fn collapse(&self) -> &ShardedAggregator {
+        for edge in &self.edges {
+            Self::transfer(edge, &self.root, true);
+        }
+        &self.root
+    }
+
+    /// A non-draining snapshot of the whole tree's staged state as one flat
+    /// aggregator — what mid-round checkpoints persist. Collapsing edges is
+    /// result-transparent (the root re-sorts by pid), so restoring this
+    /// snapshot replays bit-identically regardless of the original edge
+    /// topology.
+    pub fn merged_snapshot(&self) -> ShardedAggregator {
+        let merged = ShardedAggregator::from_staged(self.root.staged_state());
+        for edge in &self.edges {
+            Self::transfer(edge, &merged, false);
+        }
+        merged
+    }
+
+    /// Moves (or copies, when `drain` is false) one edge's staged entries
+    /// into `target`, admitting only pids `target` has not yet accepted.
+    fn transfer(edge: &ShardedAggregator, target: &ShardedAggregator, drain: bool) {
+        debug_assert_eq!(edge.num_shards(), target.num_shards());
+        let staged = if drain {
+            StagedRound {
+                shards: edge
+                    .shards
+                    .iter()
+                    .map(|s| std::mem::take(&mut *lock(s)))
+                    .collect(),
+                heads: std::mem::take(&mut *lock(&edge.heads)),
+                submitted: std::mem::take(&mut *lock(&edge.submitted))
+                    .into_iter()
+                    .collect(),
+            }
+        } else {
+            edge.staged_state()
+        };
+        let accepted: BTreeSet<usize> = {
+            let mut submitted = lock(&target.submitted);
+            staged
+                .submitted
+                .iter()
+                .copied()
+                .filter(|&pid| submitted.insert(pid))
+                .collect()
+        };
+        for (shard_idx, entries) in staged.shards.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            lock(&target.shards[shard_idx]).extend(
+                entries
+                    .into_iter()
+                    .filter(|(pid, _)| accepted.contains(pid)),
+            );
+        }
+        lock(&target.heads).extend(
+            staged
+                .heads
+                .into_iter()
+                .filter(|(pid, _, _)| accepted.contains(pid)),
+        );
+    }
+}
+
 /// The staged state of an in-flight aggregation round in canonical
 /// (participant-id-sorted) form, as captured by
 /// [`ShardedAggregator::staged_state`] for mid-round checkpoints.
@@ -699,6 +915,110 @@ mod tests {
         let (experts, head) = restored.finalize(&pool);
         assert_expert_maps_identical(&experts, &reference.0);
         assert_eq!(head, reference.1);
+    }
+
+    #[test]
+    fn tree_reduce_is_bit_identical_to_flat_for_every_edge_count() {
+        let pool = ThreadPool::new(2);
+        let pids = [0usize, 1, 2, 3, 4, 5, 6];
+        let reference = one_shot(&pids);
+        for num_edges in [0usize, 1, 2, 3, 7] {
+            let tree = AggregationTree::new(ShardedAggregator::new(4), num_edges);
+            assert_eq!(tree.num_edges(), if num_edges <= 1 { 0 } else { num_edges });
+            // Reverse arrival order, routed by pid.
+            for &pid in pids.iter().rev() {
+                let (u, h) = upload(pid);
+                assert!(tree.submit(pid, u, h));
+            }
+            assert_eq!(tree.submitted_participants(), pids.len());
+            let (experts, head) = tree.collapse().finalize(&pool);
+            assert_expert_maps_identical(&experts, &reference.0);
+            assert_eq!(head, reference.1, "head diverged at {num_edges} edges");
+        }
+    }
+
+    #[test]
+    fn tree_rejects_duplicates_across_levels() {
+        let tree = AggregationTree::new(ShardedAggregator::new(4), 3);
+        let (u, h) = upload(5);
+        assert!(tree.submit(5, u, h));
+        // Same pid at its own edge, a different edge, and the root path.
+        let (u, h) = upload(5);
+        assert!(!tree.submit(5, u, h));
+        let (u, h) = upload(5);
+        assert!(!tree.submit_to_edge(0, 5, u, h));
+        assert_eq!(tree.submitted_participants(), 1);
+        // Collapse keeps exactly one copy.
+        tree.collapse();
+        assert_eq!(tree.root().submitted_participants(), 1);
+        assert!(tree.has_submitted(5));
+    }
+
+    #[test]
+    fn tree_filters_pids_already_accepted_at_the_root() {
+        // A mid-round restore leaves accepted pids at the root; an edge
+        // replaying the same pid must not double-count it at collapse.
+        let pool = ThreadPool::new(1);
+        let root = ShardedAggregator::new(4);
+        let (u, h) = upload(2);
+        assert!(root.submit(2, u, h));
+        let tree = AggregationTree::new(root, 2);
+        let (u, h) = upload(2);
+        // The edge itself cannot know, so the staging may succeed...
+        let _ = tree.edges[0].submit(2, u, h);
+        let (u, h) = upload(3);
+        assert!(tree.submit(3, u, h));
+        // ...but the collapse admits pid 2 only once.
+        let (experts, head) = tree.collapse().finalize(&pool);
+        let reference = one_shot(&[2, 3]);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
+    }
+
+    #[test]
+    fn merged_snapshot_restores_bit_identically_without_draining() {
+        let pool = ThreadPool::new(1);
+        let pids = [4usize, 1, 6, 0];
+        let reference = one_shot(&pids);
+        let tree = AggregationTree::new(ShardedAggregator::new(4), 3);
+        for &pid in &pids {
+            let (u, h) = upload(pid);
+            assert!(tree.submit(pid, u, h));
+        }
+        // Checkpoint: flatten the tree without disturbing it.
+        let snapshot = ShardedAggregator::from_staged(tree.merged_snapshot().staged_state());
+        let (experts, head) = snapshot.finalize(&pool);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
+        // The live tree still collapses to the same answer.
+        let (experts, head) = tree.collapse().finalize(&pool);
+        assert_expert_maps_identical(&experts, &reference.0);
+        assert_eq!(head, reference.1);
+    }
+
+    #[test]
+    fn tree_decodes_encoded_uploads_at_the_edge() {
+        use crate::compress::{CompressionConfig, EncodedUpload};
+        let pool = ThreadPool::new(1);
+        let (model, updates, head) = model_and_upload(0);
+        let (_, updates1, head1) = model_and_upload(1);
+
+        let flat = ShardedAggregator::new(4);
+        assert!(flat.submit(0, updates.clone(), head.clone()));
+        assert!(flat.submit(1, updates1.clone(), head1.clone()));
+        let (experts_flat, head_flat) = flat.finalize(&pool);
+
+        let tree = AggregationTree::new(ShardedAggregator::new(4), 2);
+        for (pid, (u, h)) in [(0usize, (&updates, &head)), (1, (&updates1, &head1))] {
+            let enc =
+                EncodedUpload::encode(u, h.as_ref(), &model, CompressionConfig::LosslessDelta);
+            assert!(tree.submit_encoded(pid, &enc, &model).unwrap());
+            // Duplicate retransmissions are rejected before decode.
+            assert!(matches!(tree.submit_encoded(pid, &enc, &model), Ok(false)));
+        }
+        let (experts_tree, head_tree) = tree.collapse().finalize(&pool);
+        assert_expert_maps_identical(&experts_flat, &experts_tree);
+        assert_eq!(head_flat, head_tree);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 
-pub use aggregate::{fedavg_experts, fedavg_matrices, ExpertUpdate, ShardedAggregator};
+pub use aggregate::{
+    fedavg_experts, fedavg_matrices, AggregationTree, ExpertUpdate, ShardedAggregator,
+};
 pub use clock::{PhaseTimes, SimClock};
 pub use compress::{
     dense_upload_payload_bytes, CompressionConfig, DecodeError, EncodedExpertUpdate, EncodedTensor,
@@ -43,7 +45,7 @@ pub use compress::{
 pub use cost::{CostModel, RoundCostBreakdown};
 pub use device::{DeviceClass, DeviceProfile, LinkProfile};
 pub use fault::{FaultKind, FaultPlan, FaultToleranceConfig};
-pub use participant::{build_fleet, Participant, ParticipantBehavior};
+pub use participant::{build_fleet, ClientSpec, FleetSpec, Participant, ParticipantBehavior};
 pub use server::{ParameterServer, DEFAULT_SHARDS};
 pub use snapshot::{
     decode_staged_aggregator, encode_staged_aggregator, load_store, CheckpointStats,

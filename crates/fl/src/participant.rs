@@ -1,13 +1,15 @@
 //! Federated participants and fleet construction.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use flux_data::{partition_non_iid, Dataset, PartitionConfig};
+use flux_data::{partition_indices_non_iid, Dataset, PartitionConfig, PartitionView};
 use flux_moe::MoeConfig;
 use flux_quant::BitWidth;
 use flux_tensor::SeededRng;
 
-use crate::device::{sample_fleet, DeviceProfile};
+use crate::device::{sample_fleet, DeviceProfile, LinkProfile};
 use crate::fault::FaultKind;
 
 /// One federated participant: a device plus its local (private) data shard.
@@ -139,45 +141,175 @@ impl ParticipantBehavior {
     }
 }
 
+/// Profiling bit width a device can afford: 8 GB cards use INT2, mid-range
+/// cards INT4, larger cards INT8 (§4.1 "each participant flexibly chooses
+/// the appropriate quantization level").
+fn profile_width_for(device: &DeviceProfile) -> BitWidth {
+    if device.gpu_memory_gb <= 8.0 {
+        BitWidth::Int2
+    } else if device.gpu_memory_gb <= 16.0 {
+        BitWidth::Int4
+    } else {
+        BitWidth::Int8
+    }
+}
+
+/// One registered client: everything needed to materialize a
+/// [`Participant`] on demand, without holding its data shard.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Stable client id (also the participant id once materialized).
+    pub id: usize,
+    /// Hardware profile.
+    pub device: DeviceProfile,
+    /// Profiling bit width this client's device affords.
+    pub profile_width: BitWidth,
+    /// Rows of the shared corpus forming this client's shard.
+    indices: Arc<Vec<usize>>,
+}
+
+impl ClientSpec {
+    /// The corpus rows of this client's shard.
+    pub fn shard_indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+/// Lightweight registry of N federated clients over one shared corpus.
+///
+/// Registration stores per client only a device profile and a shard index
+/// list against an `Arc`-shared corpus, so a 10k-client fleet costs O(total
+/// indices) instead of N cloned [`Dataset`] shards. Participants are
+/// materialized lazily — typically just the K clients sampled into a
+/// round's cohort — via [`FleetSpec::materialize`], which reproduces the
+/// eager [`build_fleet`] shard for that id bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    corpus: Arc<Dataset>,
+    clients: Vec<ClientSpec>,
+}
+
+impl FleetSpec {
+    /// Registers `num_clients` clients over `corpus`.
+    ///
+    /// When the fleet is no larger than the corpus, shards come from the
+    /// non-IID Dirichlet partitioner with RNG consumption identical to the
+    /// eager [`build_fleet`] (so legacy runs replay bit-identically).
+    /// Larger fleets — the 10k-cohort regime, where a Dirichlet split
+    /// cannot give every client its minimum shard — tile the corpus
+    /// cyclically instead: client `i` owns rows `{2i, 2i+1} mod len`,
+    /// deterministically and without consuming partition draws.
+    pub fn build(
+        corpus: Arc<Dataset>,
+        num_clients: usize,
+        alpha: f32,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(num_clients > 0, "need at least one client");
+        let shards: Vec<Vec<usize>> = if corpus.is_empty() {
+            // The eager partitioner hands out empty shards (and consumes no
+            // draws) for an empty corpus; mirror that.
+            vec![Vec::new(); num_clients]
+        } else if num_clients <= corpus.len() {
+            partition_indices_non_iid(
+                &corpus,
+                &PartitionConfig::new(num_clients).with_alpha(alpha),
+                rng,
+            )
+        } else {
+            let len = corpus.len();
+            (0..num_clients)
+                .map(|i| vec![(2 * i) % len, (2 * i + 1) % len])
+                .collect()
+        };
+        let devices = sample_fleet(num_clients, rng);
+        let clients = shards
+            .into_iter()
+            .zip(devices)
+            .enumerate()
+            .map(|(id, (shard, device))| ClientSpec {
+                id,
+                profile_width: profile_width_for(&device),
+                device,
+                indices: Arc::new(shard),
+            })
+            .collect();
+        Self { corpus, clients }
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// The registration record of client `id`.
+    pub fn client(&self, id: usize) -> &ClientSpec {
+        &self.clients[id]
+    }
+
+    /// All registration records, in id order.
+    pub fn clients(&self) -> &[ClientSpec] {
+        &self.clients
+    }
+
+    /// The shared corpus behind every shard.
+    pub fn corpus(&self) -> &Arc<Dataset> {
+        &self.corpus
+    }
+
+    /// A lazy stream over client `id`'s shard (no samples cloned until
+    /// consumed).
+    pub fn view(&self, id: usize) -> PartitionView {
+        let c = &self.clients[id];
+        PartitionView::new(Arc::clone(&self.corpus), Arc::clone(&c.indices))
+    }
+
+    /// Materializes client `id` into a full [`Participant`] (clones its
+    /// shard out of the corpus).
+    pub fn materialize(&self, id: usize) -> Participant {
+        let c = &self.clients[id];
+        Participant {
+            id: c.id,
+            device: c.device.clone(),
+            train_data: self.corpus.subset(&c.indices),
+            profile_width: c.profile_width,
+        }
+    }
+
+    /// Materializes every client — the legacy full-participation fleet.
+    pub fn materialize_all(&self) -> Vec<Participant> {
+        (0..self.clients.len())
+            .map(|id| self.materialize(id))
+            .collect()
+    }
+
+    /// Overrides every client's uplink (the `RunConfig::with_link` knob),
+    /// so lazily materialized participants inherit it.
+    pub fn override_link(&mut self, link: LinkProfile) {
+        for c in &mut self.clients {
+            c.device.link = link;
+        }
+    }
+}
+
 /// Builds a heterogeneous fleet of participants from a dataset.
 ///
 /// The dataset is split non-IID across participants (Dirichlet topic skew)
-/// and each participant is paired with a sampled consumer-GPU profile. The
-/// profiling bit width is chosen per device: 8 GB cards use INT2, mid-range
-/// cards INT4, larger cards INT8.
+/// and each participant is paired with a sampled consumer-GPU profile.
+/// This is the eager form of [`FleetSpec::build`]: every client is
+/// materialized immediately.
 pub fn build_fleet(
     dataset: &Dataset,
     num_participants: usize,
     alpha: f32,
     rng: &mut SeededRng,
 ) -> Vec<Participant> {
-    assert!(num_participants > 0, "need at least one participant");
-    let shards = partition_non_iid(
-        dataset,
-        &PartitionConfig::new(num_participants).with_alpha(alpha),
-        rng,
-    );
-    let devices = sample_fleet(num_participants, rng);
-    shards
-        .into_iter()
-        .zip(devices)
-        .enumerate()
-        .map(|(id, (train_data, device))| {
-            let profile_width = if device.gpu_memory_gb <= 8.0 {
-                BitWidth::Int2
-            } else if device.gpu_memory_gb <= 16.0 {
-                BitWidth::Int4
-            } else {
-                BitWidth::Int8
-            };
-            Participant {
-                id,
-                device,
-                train_data,
-                profile_width,
-            }
-        })
-        .collect()
+    FleetSpec::build(Arc::new(dataset.clone()), num_participants, alpha, rng).materialize_all()
 }
 
 #[cfg(test)]
@@ -274,6 +406,67 @@ mod tests {
         assert_eq!(stall.fault_at(0, 0), FaultKind::Stall);
         assert_eq!(stall.fault_at(0, 1), FaultKind::None);
         assert_eq!(ParticipantBehavior::Healthy.fault_at(0, 0), FaultKind::None);
+    }
+
+    #[test]
+    fn lazy_registry_matches_eager_fleet_bit_for_bit() {
+        // FleetSpec::build must consume the RNG exactly like build_fleet,
+        // and lazy materialization must reproduce the eager shards.
+        let ds = dataset();
+        let eager = build_fleet(&ds, 9, 0.4, &mut SeededRng::new(21));
+        let spec = FleetSpec::build(Arc::new(ds.clone()), 9, 0.4, &mut SeededRng::new(21));
+        assert_eq!(spec.len(), eager.len());
+        for p in &eager {
+            let lazy = spec.materialize(p.id);
+            assert_eq!(lazy.id, p.id);
+            assert_eq!(lazy.device, p.device);
+            assert_eq!(lazy.profile_width, p.profile_width);
+            assert_eq!(lazy.train_data.samples, p.train_data.samples);
+        }
+    }
+
+    #[test]
+    fn registry_views_stream_the_same_shard_it_materializes() {
+        use flux_data::SampleStream;
+        let ds = dataset();
+        let spec = FleetSpec::build(Arc::new(ds), 6, 0.5, &mut SeededRng::new(22));
+        for id in 0..spec.len() {
+            let mut view = spec.view(id);
+            assert_eq!(
+                view.materialize().samples,
+                spec.materialize(id).train_data.samples
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_registry_tiles_the_corpus() {
+        // More clients than samples: the Dirichlet split cannot give every
+        // client its minimum, so the registry tiles cyclically — every
+        // client still gets a non-empty deterministic shard and only the
+        // sampled cohort is ever materialized.
+        let ds = dataset();
+        let n = ds.len() * 3 + 7;
+        let a = FleetSpec::build(Arc::new(ds.clone()), n, 0.5, &mut SeededRng::new(23));
+        let b = FleetSpec::build(Arc::new(ds.clone()), n, 0.5, &mut SeededRng::new(23));
+        assert_eq!(a.len(), n);
+        for id in [0, 1, ds.len(), n - 1] {
+            assert_eq!(a.client(id).shard_indices(), b.client(id).shard_indices());
+            let p = a.materialize(id);
+            assert_eq!(p.id, id);
+            assert_eq!(p.num_samples(), 2);
+        }
+    }
+
+    #[test]
+    fn link_override_applies_to_lazy_materialization() {
+        let ds = dataset();
+        let mut spec = FleetSpec::build(Arc::new(ds), 4, 0.5, &mut SeededRng::new(24));
+        let link = LinkProfile::three_g();
+        spec.override_link(link);
+        for id in 0..spec.len() {
+            assert_eq!(spec.materialize(id).device.link, link);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use flux_moe::{ExpertKey, MoeModel};
 use flux_tensor::Matrix;
 use threadpool::ThreadPool;
 
-use crate::aggregate::{ExpertUpdate, ShardedAggregator};
+use crate::aggregate::{AggregationTree, ExpertUpdate, ShardedAggregator};
 use crate::store::ShardedStore;
 
 /// Default number of expert shards a server partitions each tenant's
@@ -179,6 +179,24 @@ impl ParameterServer {
         self.primary().apply_round(aggregator, pool);
     }
 
+    /// Opens a *two-level* round of the primary tenant: `num_edges` edge
+    /// aggregators pre-reduce their cohort slice (shard bucketing, payload
+    /// decode/validation, duplicate rejection) before the root reduces into
+    /// the store. `num_edges <= 1` degenerates to the flat
+    /// [`ParameterServer::begin_round`]; any edge count produces a
+    /// bit-identical global model, because edges forward `(pid, update)`
+    /// pairs and the root reduces in pid order either way.
+    pub fn begin_tree_round(&self, num_edges: usize) -> AggregationTree {
+        AggregationTree::new(self.begin_round(), num_edges)
+    }
+
+    /// Closes a two-level round of the primary tenant: collapses the edge
+    /// aggregators into the root and installs the reduced shards exactly
+    /// like [`ParameterServer::apply_round`].
+    pub fn apply_tree_round(&self, tree: &AggregationTree, pool: &ThreadPool) {
+        self.apply_round(tree.collapse(), pool);
+    }
+
     /// Applies one round of FedAvg aggregation to the primary tenant in a
     /// single call (the barriered path): the borrowed updates go straight
     /// through the one-shot kernels, copy-free.
@@ -232,6 +250,47 @@ mod tests {
         assert_eq!(after.expert(key), &new_expert);
         assert_eq!(after.expert(untouched), before.expert(untouched));
         assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn tree_round_installs_a_bit_identical_global_model() {
+        let pool = ThreadPool::new(2);
+        let mut rng = SeededRng::new(3);
+        let uploads: Vec<(usize, ExpertUpdate)> = (0..6)
+            .map(|pid| {
+                let key = ExpertKey::new(pid % 2, pid % 4);
+                let expert = flux_moe::Expert::new(16, 32, &mut rng);
+                (
+                    pid,
+                    ExpertUpdate {
+                        key,
+                        expert,
+                        weight: 1.0 + pid as f32,
+                    },
+                )
+            })
+            .collect();
+
+        let flat_server = server();
+        let flat = flat_server.begin_round();
+        for (pid, u) in &uploads {
+            assert!(flat.submit(*pid, vec![u.clone()], None));
+        }
+        flat_server.apply_round(&flat, &pool);
+
+        let tree_server = server();
+        let tree = tree_server.begin_tree_round(3);
+        for (pid, u) in uploads.iter().rev() {
+            assert!(tree.submit(*pid, vec![u.clone()], None));
+        }
+        tree_server.apply_tree_round(&tree, &pool);
+
+        let a = flat_server.global_model();
+        let b = tree_server.global_model();
+        for key in a.expert_keys() {
+            assert_eq!(a.expert(key), b.expert(key), "{key:?} diverged");
+        }
+        assert_eq!(a.lm_head, b.lm_head);
     }
 
     #[test]

@@ -9,14 +9,16 @@
 
 use proc_macro::TokenStream;
 
-/// Marker derive for [`serde::Serialize`]; expands to nothing.
-#[proc_macro_derive(Serialize)]
+/// Marker derive for [`serde::Serialize`]; expands to nothing. The
+/// `serde` helper attribute is registered so field annotations like
+/// `#[serde(default)]` parse (they are inert under the stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Marker derive for [`serde::Deserialize`]; expands to nothing.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
