@@ -1,28 +1,56 @@
-//! Thread-local reusable `f32` scratch buffers.
+//! Thread-local scratch memory: a bump arena for scoped buffers plus a
+//! small pool of owned reusable `Vec<f32>`s.
 //!
 //! The training hot path (matmul panel packing, gather/scatter of routed
 //! token batches, SPSA perturbation directions) needs short-lived buffers of
 //! a handful of recurring sizes every call. Allocating them fresh each time
-//! dominated small-model profiles, so this module keeps a small per-thread
-//! pool of retired buffers: steady-state training reuses the same
-//! allocations round after round. Buffers are per-thread, so the pool needs
-//! no locking and stays deterministic under any thread count.
+//! dominated small-model profiles, so this module serves them from two
+//! thread-local sources:
 //!
-//! Pool lifetime tracks thread lifetime: since `vendor/threadpool` keeps
-//! its workers **persistent** across fork-join regions, a worker's pool
-//! stays warm from one region to the next (per-participant rounds, batched
-//! expert forwards, pipelined evaluations all recycle the same
-//! allocations). The [`stats`] counters exist so tests can pin that reuse
-//! instead of assuming it.
+//! * **[`with`] — the bump arena.** Scoped buffers (the kernel pack panel,
+//!   the transpose staging buffer) live in strictly nested scopes, which is
+//!   exactly the discipline a bump arena wants: an allocation is a pointer
+//!   bump into a reserved chunk, a release is a pointer rewind, and when
+//!   the outermost scope exits the arena resets to empty — O(1), no search,
+//!   no per-size bookkeeping. Steady-state training touches the allocator
+//!   proper only while the arena is still growing toward its high-water
+//!   mark; after that every scope of every round reuses the same chunk.
+//!   [`reset_round`] trims an oversized arena back toward the recent
+//!   rounds' high water (the driver calls it at round boundaries).
+//! * **[`take`] / [`give`] — the owned-buffer pool.** Buffers that escape
+//!   scopes ([`Matrix::zeros_pooled`](crate::Matrix::zeros_pooled) results
+//!   travel as ordinary matrices) must own their allocation, so they come
+//!   from a small sorted best-fit pool instead. A fit-ratio cap keeps a
+//!   tiny request from pinning a huge pooled buffer, and a full pool evicts
+//!   its smallest entry for a larger incoming one (large buffers are the
+//!   expensive ones to reallocate).
+//!
+//! Both sources are per-thread, so no locking and bit-identical results
+//! under any thread count. Lifetime tracks thread lifetime: since
+//! `vendor/threadpool` keeps its workers **persistent** across fork-join
+//! regions, a worker's arena and pool stay warm from one region to the
+//! next. The [`stats`] counters exist so tests can pin that reuse instead
+//! of assuming it.
 
 use std::cell::{Cell, RefCell};
 
-/// Upper bound on pooled buffers per thread; beyond this, retired buffers
-/// are simply freed. Generous enough for the deepest forward/backward
-/// nesting the models here produce.
+/// Upper bound on pooled buffers per thread; beyond this, retiring a buffer
+/// evicts the smallest pooled entry (or drops the incoming buffer when it
+/// is itself the smallest). Generous enough for the deepest
+/// forward/backward nesting the models here produce.
 const MAX_POOLED: usize = 64;
 
+/// A pooled buffer serves a [`take`] only when its capacity is at most
+/// this multiple of the request: best-fit without a cap let a 16-element
+/// take consume (and pin) a megabyte buffer.
+const MAX_FIT_RATIO: usize = 4;
+
+/// Smallest chunk the arena reserves; avoids pathological regrowth for
+/// byte-sized scopes.
+const MIN_CHUNK: usize = 1024;
+
 thread_local! {
+    static ARENA: RefCell<Arena> = const { RefCell::new(Arena::new()) };
     // Kept sorted ascending by capacity so `take` is a best-fit binary
     // search: small requests never consume large buffers, and the pool
     // stays effective when hot paths retire buffers of many sizes.
@@ -32,37 +60,182 @@ thread_local! {
     static MISSES: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Per-thread scratch-pool counters since the last [`reset_stats`].
+/// The thread-local bump arena behind [`with`].
+///
+/// Chunks are boxed slices so growing the arena mid-scope (pushing a new
+/// chunk) never moves memory a live outer scope still borrows. Scopes
+/// release strictly LIFO (enforced by drop order of the guards in
+/// [`with`]), so frees are offset rewinds; when the last scope exits the
+/// arena is empty and a fragmented multi-chunk episode coalesces into one
+/// chunk sized to the observed high water.
+struct Arena {
+    chunks: Vec<Box<[f32]>>,
+    /// Chunk currently being bumped.
+    cur: usize,
+    /// Bump offset within `chunks[cur]`.
+    offset: usize,
+    /// LIFO scope records: (chunk, offset) to restore on release.
+    scopes: Vec<(usize, usize)>,
+    /// Total live elements across all scopes.
+    in_use: usize,
+    /// Max `in_use` observed since the last [`reset_round`].
+    high_water: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Arena {
+    const fn new() -> Self {
+        Self {
+            chunks: Vec::new(),
+            cur: 0,
+            offset: 0,
+            scopes: Vec::new(),
+            in_use: 0,
+            high_water: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Reserves `len` elements and returns a pointer to them. The range is
+    /// exclusively the caller's until the matching [`Arena::release`].
+    fn alloc(&mut self, len: usize) -> *mut f32 {
+        debug_assert!(len > 0, "zero-length scopes bypass the arena");
+        let fits = self
+            .chunks
+            .get(self.cur)
+            .is_some_and(|c| c.len() - self.offset >= len);
+        if fits {
+            self.hits += 1;
+        } else {
+            // Reserve a fresh chunk without touching existing ones (outer
+            // scopes may hold live borrows into them). Doubling the total
+            // keeps growth episodes logarithmic.
+            self.misses += 1;
+            let size = len.max(self.capacity()).max(MIN_CHUNK);
+            let next = self.cur + usize::from(!self.chunks.is_empty());
+            self.chunks.truncate(next);
+            self.chunks.push(vec![0.0; size].into_boxed_slice());
+            self.cur = next;
+            self.offset = 0;
+        }
+        self.scopes.push((self.cur, self.offset));
+        let ptr = unsafe { self.chunks[self.cur].as_mut_ptr().add(self.offset) };
+        self.offset += len;
+        self.in_use += len;
+        self.high_water = self.high_water.max(self.in_use);
+        ptr
+    }
+
+    /// Releases the most recent scope (strict LIFO).
+    fn release(&mut self, len: usize) {
+        let (chunk, offset) = self
+            .scopes
+            .pop()
+            .expect("arena release without a matching alloc");
+        self.cur = chunk;
+        self.offset = offset;
+        self.in_use -= len;
+        if self.scopes.is_empty() {
+            self.cur = 0;
+            self.offset = 0;
+            // A fragmented episode (more than one chunk) coalesces into a
+            // single chunk sized to the high water, so the next round's
+            // scopes nest without chunk hops.
+            if self.chunks.len() > 1 {
+                let size = self.high_water.max(MIN_CHUNK);
+                self.chunks.clear();
+                self.chunks.push(vec![0.0; size].into_boxed_slice());
+            }
+        }
+    }
+
+    /// Round-boundary housekeeping: with no live scopes, trims an arena
+    /// whose reserved chunk grew far past what recent rounds actually used
+    /// and starts a fresh high-water epoch.
+    fn reset_round(&mut self) {
+        if !self.scopes.is_empty() {
+            return; // mid-scope: self-resets at depth 0 instead
+        }
+        let keep = self.high_water.max(MIN_CHUNK);
+        if self.chunks.len() > 1 || self.capacity() > keep.saturating_mul(2) {
+            self.chunks.clear();
+            self.chunks.push(vec![0.0; keep].into_boxed_slice());
+        }
+        self.high_water = 0;
+    }
+}
+
+/// Per-thread scratch counters since the last [`reset_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScratchStats {
     /// `take` calls served from a pooled buffer (no allocation).
     pub hits: u64,
     /// `take` calls that had to allocate.
     pub misses: u64,
+    /// [`with`] scopes served by bumping into already-reserved arena
+    /// memory (no allocator traffic).
+    pub arena_hits: u64,
+    /// [`with`] scopes that had to reserve a new arena chunk.
+    pub arena_misses: u64,
+    /// Total elements currently reserved by the arena's chunks.
+    pub arena_capacity: usize,
+    /// Peak live arena elements since the last [`reset_round`].
+    pub arena_high_water: usize,
 }
 
-/// Reads the calling thread's pool counters.
+/// Reads the calling thread's scratch counters.
 pub fn stats() -> ScratchStats {
-    ScratchStats {
-        hits: HITS.with(Cell::get),
-        misses: MISSES.with(Cell::get),
-    }
+    ARENA.with(|arena| {
+        let arena = arena.borrow();
+        ScratchStats {
+            hits: HITS.with(Cell::get),
+            misses: MISSES.with(Cell::get),
+            arena_hits: arena.hits,
+            arena_misses: arena.misses,
+            arena_capacity: arena.capacity(),
+            arena_high_water: arena.high_water,
+        }
+    })
 }
 
-/// Zeroes the calling thread's pool counters (the pool itself is kept).
+/// Zeroes the calling thread's scratch counters (arena chunks and pooled
+/// buffers are kept).
 pub fn reset_stats() {
     HITS.with(|h| h.set(0));
     MISSES.with(|m| m.set(0));
+    ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        arena.hits = 0;
+        arena.misses = 0;
+    });
 }
 
-/// Takes a zero-filled buffer of exactly `len` elements from the pool,
-/// allocating only when no pooled buffer has enough capacity.
+/// Round-boundary arena reset for the calling thread: trims a chunk that
+/// grew far past the recent rounds' high water and starts a fresh
+/// high-water epoch. Safe (and a no-op) while scopes are live; worker
+/// threads' arenas self-reset whenever their outermost scope exits, so
+/// only long-lived driver threads need to call this.
+pub fn reset_round() {
+    ARENA.with(|arena| arena.borrow_mut().reset_round());
+}
+
+/// Takes a zero-filled **owned** buffer of exactly `len` elements,
+/// preferring a pooled buffer whose capacity is at least `len` and at most
+/// [`MAX_FIT_RATIO`]` * len` (so a tiny request never pins a huge buffer),
+/// and allocating otherwise.
 pub fn take(len: usize) -> Vec<f32> {
     POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
-        // Best fit: the smallest pooled buffer whose capacity suffices.
+        // Best fit: the smallest pooled buffer whose capacity suffices —
+        // accepted only within the fit-ratio cap.
         let i = pool.partition_point(|b| b.capacity() < len);
-        if i < pool.len() {
+        if i < pool.len() && pool[i].capacity() <= len.saturating_mul(MAX_FIT_RATIO) {
             HITS.with(|h| h.set(h.get() + 1));
             let mut buf = pool.remove(i);
             buf.clear();
@@ -75,32 +248,65 @@ pub fn take(len: usize) -> Vec<f32> {
     })
 }
 
-/// Returns a buffer to the pool for reuse by a later [`take`].
+/// Returns a buffer to the pool for reuse by a later [`take`]. A full pool
+/// evicts its smallest-capacity entry to admit a larger buffer; the
+/// incoming buffer is dropped only when it is itself the smallest.
 pub fn give(buf: Vec<f32>) {
     if buf.capacity() == 0 {
         return;
     }
     POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
-        if pool.len() < MAX_POOLED {
-            let at = pool.partition_point(|b| b.capacity() < buf.capacity());
-            pool.insert(at, buf);
+        if pool.len() >= MAX_POOLED {
+            if pool[0].capacity() >= buf.capacity() {
+                return;
+            }
+            pool.remove(0);
         }
+        let at = pool.partition_point(|b| b.capacity() < buf.capacity());
+        pool.insert(at, buf);
     });
 }
 
-/// Runs `f` with a zero-filled scratch slice of `len` elements, recycling
-/// the backing buffer afterwards.
+/// Runs `f` with a zero-filled scratch slice of `len` elements served from
+/// the thread-local bump arena. Scopes nest freely (a nested [`with`]
+/// bumps above its parent); the slice is valid exactly for the duration of
+/// `f`, and the arena rewinds when `f` returns — including on panic, so an
+/// unwinding scope cannot corrupt the arena for its parents.
 pub fn with<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
-    let mut buf = take(len);
-    let result = f(&mut buf);
-    give(buf);
-    result
+    if len == 0 {
+        return f(&mut []);
+    }
+    let ptr = ARENA.with(|arena| arena.borrow_mut().alloc(len));
+    // Rewind on every exit path (return or unwind). Guard order: created
+    // after alloc, dropped after `f`, so releases mirror allocations LIFO.
+    struct Rewind(usize);
+    impl Drop for Rewind {
+        fn drop(&mut self) {
+            ARENA.with(|arena| arena.borrow_mut().release(self.0));
+        }
+    }
+    let _rewind = Rewind(len);
+    // SAFETY: `alloc` reserved `len` elements exclusively for this scope;
+    // the backing chunk is a boxed slice that is neither moved nor freed
+    // while any scope is live (growth pushes new chunks, coalescing only
+    // happens with zero live scopes), and nested scopes get disjoint
+    // ranges. The RefCell borrow is released before `f` runs, so nested
+    // `with`/`take`/`give` calls inside `f` cannot double-borrow.
+    let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+    slice.fill(0.0);
+    f(slice)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Runs `f` on a dedicated thread: sibling tests share this thread's
+    /// arena, pool and counters otherwise.
+    fn on_fresh_thread<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+        std::thread::spawn(f).join().unwrap()
+    }
 
     #[test]
     fn take_returns_zeroed_buffer_of_requested_length() {
@@ -126,29 +332,205 @@ mod tests {
     }
 
     #[test]
-    fn with_recycles_after_use() {
-        let sum = with(8, |s| {
-            s.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32);
-            s.iter().sum::<f32>()
+    fn take_respects_fit_ratio_cap() {
+        // Regression: best-fit without a waste cap let a tiny take consume
+        // a huge pooled buffer, pinning the large allocation behind a small
+        // use. A 16-element take must NOT steal a 1 MB (262144-element)
+        // buffer.
+        on_fresh_thread(|| {
+            let big = take(262_144);
+            let big_ptr = big.as_ptr();
+            give(big);
+            let small = take(16);
+            assert_ne!(
+                small.as_ptr(),
+                big_ptr,
+                "a 16-element take must not consume a 262144-capacity buffer"
+            );
+            give(small);
+            // The big buffer is still pooled and still serves big requests.
+            let big_again = take(262_144);
+            assert_eq!(big_again.as_ptr(), big_ptr);
+            give(big_again);
         });
-        assert_eq!(sum, 28.0);
     }
 
     #[test]
-    fn zero_length_take_is_fine() {
+    fn give_to_full_pool_evicts_smallest_not_incoming() {
+        // Regression: a full pool silently dropped the incoming buffer even
+        // when it was larger than the smallest pooled entry. The smallest
+        // entry must be evicted instead, so the pool keeps the buffers that
+        // are expensive to reallocate.
+        on_fresh_thread(|| {
+            for _ in 0..MAX_POOLED {
+                give(Vec::with_capacity(8));
+            }
+            let big = Vec::with_capacity(4096);
+            let big_ptr = big.as_ptr();
+            give(big);
+            // The big buffer must be retrievable (it displaced a tiny one).
+            let back = take(4096);
+            assert_eq!(
+                back.as_ptr(),
+                big_ptr,
+                "full pool must evict its smallest entry for a larger incoming buffer"
+            );
+            // And an incoming buffer smaller than every pooled entry is the
+            // one dropped.
+            give(back);
+            give(Vec::with_capacity(2));
+            let tiny = take(2);
+            assert!(tiny.capacity() >= 2);
+        });
+    }
+
+    #[test]
+    fn with_provides_zeroed_scratch_and_reuses_arena() {
+        on_fresh_thread(|| {
+            reset_stats();
+            let sum = with(8, |s| {
+                s.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32);
+                s.iter().sum::<f32>()
+            });
+            assert_eq!(sum, 28.0);
+            // Same-size scope again: arena memory is already reserved.
+            with(8, |s| assert!(s.iter().all(|&x| x == 0.0)));
+            let s = stats();
+            assert_eq!(s.arena_misses, 1, "first scope reserves the chunk");
+            assert!(s.arena_hits >= 1, "second scope bumps into it");
+        });
+    }
+
+    #[test]
+    fn nested_scopes_bump_disjoint_ranges() {
+        on_fresh_thread(|| {
+            with(64, |outer| {
+                outer.fill(1.0);
+                let inner_sum = with(32, |inner| {
+                    assert!(inner.iter().all(|&x| x == 0.0), "nested scope is zeroed");
+                    inner.fill(2.0);
+                    inner.iter().sum::<f32>()
+                });
+                assert_eq!(inner_sum, 64.0);
+                // The outer scope's data survived the nested scope.
+                assert!(outer.iter().all(|&x| x == 1.0));
+            });
+        });
+    }
+
+    #[test]
+    fn nested_scope_stats_hit_after_warmup() {
+        // Hit/miss accounting across nested regions: after one warm-up
+        // round the same nesting pattern is all hits.
+        on_fresh_thread(|| {
+            let pattern = || {
+                with(100, |_| {
+                    with(50, |_| with(25, |_| {}));
+                    with(40, |_| {});
+                })
+            };
+            pattern();
+            reset_stats();
+            pattern();
+            pattern();
+            let s = stats();
+            assert_eq!(s.arena_misses, 0, "warm arena serves every nested scope");
+            assert_eq!(s.arena_hits, 8, "4 scopes per pattern, 2 patterns");
+        });
+    }
+
+    #[test]
+    fn arena_coalesces_after_fragmented_episode() {
+        // Growth mid-scope pushes extra chunks (live outer borrows must not
+        // move); once the outermost scope exits, the arena coalesces to one
+        // chunk covering the high water.
+        on_fresh_thread(|| {
+            with(MIN_CHUNK, |_| {
+                with(3 * MIN_CHUNK, |_| {
+                    with(5 * MIN_CHUNK, |_| {});
+                });
+            });
+            let s = stats();
+            assert!(
+                s.arena_capacity >= 9 * MIN_CHUNK,
+                "coalesced chunk covers the 9*MIN_CHUNK high water, got {}",
+                s.arena_capacity
+            );
+            // One single chunk now serves the same nesting without misses.
+            reset_stats();
+            with(MIN_CHUNK, |_| {
+                with(3 * MIN_CHUNK, |_| {
+                    with(5 * MIN_CHUNK, |_| {});
+                });
+            });
+            assert_eq!(stats().arena_misses, 0);
+        });
+    }
+
+    #[test]
+    fn reset_round_trims_oversized_arena() {
+        // Per-round reset semantics: a round that spiked leaves a big
+        // chunk; after a round whose high water is small, reset_round trims
+        // the reserved capacity back down.
+        on_fresh_thread(|| {
+            with(64 * MIN_CHUNK, |_| {}); // the spike round
+            reset_round(); // epoch ends; capacity kept (matches high water)
+            assert!(stats().arena_capacity >= 64 * MIN_CHUNK);
+            with(MIN_CHUNK / 2, |_| {}); // a small round
+            reset_round();
+            let s = stats();
+            assert!(
+                s.arena_capacity <= 2 * MIN_CHUNK,
+                "oversized arena must trim toward the recent high water, kept {}",
+                s.arena_capacity
+            );
+            assert_eq!(s.arena_high_water, 0, "reset_round starts a new epoch");
+        });
+    }
+
+    #[test]
+    fn reset_round_is_noop_with_live_scopes() {
+        on_fresh_thread(|| {
+            with(4 * MIN_CHUNK, |s| {
+                s.fill(3.0);
+                reset_round(); // must not free memory a live scope borrows
+                assert!(s.iter().all(|&x| x == 3.0));
+            });
+        });
+    }
+
+    #[test]
+    fn panicking_scope_rewinds_the_arena() {
+        on_fresh_thread(|| {
+            let _ = std::panic::catch_unwind(|| {
+                with(256, |_| panic!("scope panics"));
+            });
+            // The arena is consistent: fresh scopes nest and zero as usual.
+            with(256, |s| assert!(s.iter().all(|&x| x == 0.0)));
+            with(16, |outer| {
+                with(16, |inner| {
+                    assert!(inner.iter().all(|&x| x == 0.0));
+                });
+                assert!(outer.iter().all(|&x| x == 0.0));
+            });
+        });
+    }
+
+    #[test]
+    fn zero_length_take_and_with_are_fine() {
         let buf = take(0);
         assert!(buf.is_empty());
         give(buf);
+        assert_eq!(with(0, |s| s.len()), 0);
     }
 
     #[test]
     fn stats_count_hits_and_misses() {
-        // Run on a dedicated thread: sibling tests share this thread's
-        // pool and counters otherwise.
-        std::thread::spawn(|| {
+        on_fresh_thread(|| {
             reset_stats();
             let base = stats();
-            assert_eq!(base, ScratchStats::default());
+            assert_eq!(base.hits, 0);
+            assert_eq!(base.misses, 0);
             let buf = take(64);
             give(buf);
             let buf = take(32);
@@ -156,8 +538,6 @@ mod tests {
             let s = stats();
             assert_eq!(s.misses, 1, "first take allocates");
             assert_eq!(s.hits, 1, "second take reuses the pooled buffer");
-        })
-        .join()
-        .unwrap();
+        });
     }
 }

@@ -262,3 +262,43 @@ proptest! {
         }
     }
 }
+
+/// Determinism pin for the arena-backed scratch: the same matmul computed
+/// on a cold thread (fresh arena, fresh pool) and on a warm thread whose
+/// arena was fragmented, coalesced and round-reset by unrelated work must
+/// be bit-identical — scratch state can never leak into results. This is
+/// the unit-level twin of the golden-trace suites, which pin the same
+/// property end to end across `FLUX_THREADS` 1/4/8.
+#[test]
+fn warm_arena_matmul_is_bit_identical_to_cold() {
+    fn product() -> Vec<f32> {
+        let mut rng = SeededRng::new(99);
+        let a = Matrix::random_normal(17, 230, 0.4, &mut rng);
+        let b = Matrix::random_normal(230, 13, 0.4, &mut rng);
+        a.try_matmul(&b).unwrap().as_slice().to_vec()
+    }
+    let cold = std::thread::spawn(product).join().unwrap();
+    let warm = std::thread::spawn(|| {
+        // Dirty and fragment the arena and the owned-buffer pool.
+        for i in 1..6 {
+            flux_tensor::scratch::with(i * 10_000, |s| s.fill(7.0));
+            flux_tensor::scratch::give(vec![3.0; i * 1000]);
+        }
+        let first = product();
+        flux_tensor::scratch::reset_round();
+        let again = product();
+        assert_eq!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "reset_round changed matmul results"
+        );
+        first
+    })
+    .join()
+    .unwrap();
+    assert_eq!(
+        cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "arena warmth changed matmul results"
+    );
+}

@@ -6,26 +6,56 @@
 //! order, in the spirit of `rayon::scope`. Swapping this for `rayon` is a
 //! one-line change in the root `Cargo.toml`.
 //!
-//! # Persistent-worker lifecycle
+//! # Persistent workers, sharded queues, work-stealing
 //!
 //! Workers are **persistent**: the first fork-join region that needs `N`
 //! helpers lazily spawns detached worker threads (the calling thread always
 //! participates, so a region of width `N` spawns at most `N - 1` helpers),
 //! and those threads then survive for the life of the process, parked on a
 //! condition variable between regions. Each [`ThreadPool::run`] call
-//! publishes a *region* — a queue of lifetime-erased jobs plus a completion
-//! latch — to a process-global board, wakes the workers, drains the queue
-//! alongside them, and blocks until every job has finished before
-//! returning (which is what makes handing borrowed closures to the
-//! long-lived workers sound). Because workers are reused rather than
-//! respawned per region, their thread-local state stays warm across
-//! regions — in particular the tensor crate's scratch-buffer pool, which
-//! previously started cold (and was dropped) every region.
+//! publishes a *region* — its jobs distributed round-robin across one
+//! sharded deque per executor slot, plus a completion latch — to a
+//! process-global board, wakes the workers, drains its own shard alongside
+//! them, and blocks until every job has finished before returning (which is
+//! what makes handing borrowed closures to the long-lived workers sound).
 //!
-//! A worker that has drained the board parks again; a region whose caller
-//! finishes all jobs itself simply never hands work out. Workers never
-//! block on anything but the board, and the caller always drains its own
-//! queue, so no combination of nested or concurrent regions can deadlock.
+//! Execution is **job-granular and work-stealing**: every executor (the
+//! caller and each claimed helper) owns one shard of the region's queue,
+//! pops its own shard LIFO for locality, and when that runs dry *steals*
+//! the oldest job from a sibling shard. Parked workers scan the board from
+//! a rotating cursor, so when several regions are live — several tenants'
+//! fan-outs, or one tenant's nested fan-outs — idle capacity spreads across
+//! regions at job granularity instead of piling onto the first-published
+//! region and draining it to empty before touching the next.
+//!
+//! Crucially, a *nested* fork-join — a pool created inside a running task,
+//! including [`ThreadPool::from_env`] — publishes its region to the same
+//! shared worker set instead of collapsing to inline execution. The nested
+//! caller still drains its own shard (so no combination of nested or
+//! concurrent regions can deadlock, even with every worker busy), but any
+//! idle worker picks the nested jobs up. This is what lets one scheduled
+//! tenant's *inner* per-participant fan-out overlap another tenant's on a
+//! multi-core host: job-level parallelism flows to whatever region has
+//! runnable work. Oversubscription stays bounded because the persistent
+//! worker set itself is bounded — a region never claims more helpers than
+//! its pool width minus one, and threads are only ever created up to the
+//! widest pool seen.
+//!
+//! Because workers are reused rather than respawned per region, their
+//! thread-local state stays warm across regions — in particular the tensor
+//! crate's scratch arena, which previously started cold (and was dropped)
+//! every region.
+//!
+//! # Park/wake discipline
+//!
+//! Workers park on `work_cv` *holding the board mutex*, and every
+//! publication notifies under that same mutex, so a wakeup can never be
+//! lost between a worker's last scan and its wait. The other claimability
+//! edge — a helper slot freeing up — cannot strand a parked worker either:
+//! a helper only leaves a region once every job has been popped
+//! (`unstarted == 0`), at which point the region has nothing left to claim.
+//! `vendor/threadpool/tests/stress.rs` pins this with many short regions
+//! published concurrently from several OS threads under a hard deadline.
 //!
 //! Determinism: [`ThreadPool::run`] returns results indexed by submission
 //! order regardless of which worker executed which task, so callers that
@@ -33,6 +63,7 @@
 //! count (including 1, which runs inline with no threads at all).
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -46,8 +77,9 @@ pub const THREADS_ENV: &str = "FLUX_THREADS";
 const MAX_PERSISTENT_WORKERS: usize = 256;
 
 thread_local! {
-    // Set while a thread is executing tasks as a pool worker, so nested
-    // code can avoid fanning out a second level of threads.
+    // Set while a thread is a persistent pool worker; diagnostic only (the
+    // old inline-collapse of nested from_env pools keyed off this, but
+    // nested regions now share the worker set instead).
     static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
@@ -55,49 +87,88 @@ thread_local! {
 /// notes in [`ThreadPool::run`].
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// One published fork-join region: the job queue plus the completion latch
-/// the caller blocks on.
+/// One published fork-join region: sharded job deques (one per executor
+/// slot) plus the completion latch the caller blocks on.
 struct Region {
-    /// Jobs not yet started. Drained LIFO; result slots don't care.
-    jobs: Mutex<Vec<Job>>,
+    /// One deque per executor slot (caller = slot 0, helpers take tickets
+    /// from [`Region::take_ticket`]). Jobs are distributed round-robin at
+    /// construction; an executor pops its own shard from the back (LIFO,
+    /// cache-warm) and steals from siblings' fronts (oldest first) when its
+    /// shard runs dry. Shards only ever drain after publication, so an
+    /// empty scan of every shard is final.
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs not yet *popped*. Fast-path emptiness check so parked workers
+    /// and the board scan don't take shard locks; the authoritative check
+    /// is the full shard scan in [`Region::pop`].
+    unstarted: AtomicUsize,
     /// Jobs not yet *finished* (a popped job is still pending until its
     /// closure returns). The caller's `wait_done` latch.
     pending: Mutex<usize>,
     done_cv: Condvar,
-    /// How many persistent workers may serve this region, so a region from
+    /// Live persistent helpers serving this region, so a region from
     /// `ThreadPool::new(2)` never fans wider than one helper even when more
-    /// workers happen to be parked.
+    /// workers happen to be parked. Incremented under the board lock
+    /// (claim), decremented on leave — and a helper only leaves once every
+    /// job has been popped, so a decrement can never re-open claimability.
     helpers: AtomicUsize,
     helper_cap: usize,
+    /// Hands each claiming helper a distinct shard to own (the caller is
+    /// always slot 0).
+    tickets: AtomicUsize,
 }
 
 impl Region {
-    fn new(jobs: Vec<Job>, helper_cap: usize) -> Self {
+    fn new(jobs: Vec<Job>, executors: usize) -> Self {
+        let executors = executors.max(1);
+        let mut shards: Vec<VecDeque<Job>> = (0..executors).map(|_| VecDeque::new()).collect();
+        let total = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            shards[i % executors].push_back(job);
+        }
         Self {
-            pending: Mutex::new(jobs.len()),
-            jobs: Mutex::new(jobs),
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            unstarted: AtomicUsize::new(total),
+            pending: Mutex::new(total),
             done_cv: Condvar::new(),
             helpers: AtomicUsize::new(0),
-            helper_cap,
+            helper_cap: executors - 1,
+            tickets: AtomicUsize::new(1),
         }
     }
 
-    /// Pops and executes one job. Returns `false` when the queue is empty.
+    /// Pops one job: own shard back first, then steal siblings' fronts.
+    /// `None` means every job has been popped (shards only drain), so the
+    /// executor is done with this region.
+    fn pop(&self, own: usize) -> Option<Job> {
+        if self.unstarted.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if let Some(job) = lock_unpoisoned(&self.shards[own]).pop_back() {
+            self.unstarted.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        let n = self.shards.len();
+        for k in 1..n {
+            let victim = (own + k) % n;
+            if let Some(job) = lock_unpoisoned(&self.shards[victim]).pop_front() {
+                self.unstarted.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Executes jobs (own shard, then stolen) until none are left to pop.
     /// Jobs never unwind (their wrappers catch panics), so the pending
     /// count always reaches zero.
-    fn run_one(&self) -> bool {
-        let job = lock_unpoisoned(&self.jobs).pop();
-        match job {
-            Some(job) => {
-                job();
-                let mut pending = lock_unpoisoned(&self.pending);
-                *pending -= 1;
-                if *pending == 0 {
-                    self.done_cv.notify_all();
-                }
-                true
+    fn serve(&self, own: usize) {
+        while let Some(job) = self.pop(own) {
+            job();
+            let mut pending = lock_unpoisoned(&self.pending);
+            *pending -= 1;
+            if *pending == 0 {
+                self.done_cv.notify_all();
             }
-            None => false,
         }
     }
 
@@ -106,12 +177,25 @@ impl Region {
     /// claim.
     fn try_claim(&self) -> bool {
         if self.helpers.load(Ordering::Relaxed) >= self.helper_cap
-            || lock_unpoisoned(&self.jobs).is_empty()
+            || self.unstarted.load(Ordering::Acquire) == 0
         {
             return false;
         }
         self.helpers.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Assigns the claiming helper a shard to own. Tickets are only handed
+    /// out while unpopped jobs remain, and helpers leave only at
+    /// `unstarted == 0`, so at most `helper_cap` tickets are ever taken and
+    /// every executor owns a distinct shard.
+    fn take_ticket(&self) -> usize {
+        self.tickets.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Releases the helper slot taken by [`Region::try_claim`].
+    fn leave(&self) {
+        self.helpers.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Blocks until every job has finished executing (not merely been
@@ -132,6 +216,9 @@ impl Region {
 struct WorkerSet {
     board: Mutex<Board>,
     work_cv: Condvar,
+    /// Rotating scan start so successive claims spread across live regions
+    /// instead of piling every idle worker onto the first-published one.
+    cursor: AtomicUsize,
 }
 
 struct Board {
@@ -147,6 +234,7 @@ fn worker_set() -> &'static WorkerSet {
             spawned: 0,
         }),
         work_cv: Condvar::new(),
+        cursor: AtomicUsize::new(0),
     })
 }
 
@@ -177,6 +265,24 @@ fn retire(region: &Arc<Region>) {
     board.regions.retain(|r| !Arc::ptr_eq(r, region));
 }
 
+/// Scans the board from the rotating cursor and claims the first region
+/// with both unpopped jobs and a free helper slot. Called under the board
+/// lock.
+fn claim_from(set: &WorkerSet, board: &Board) -> Option<Arc<Region>> {
+    let n = board.regions.len();
+    if n == 0 {
+        return None;
+    }
+    let start = set.cursor.fetch_add(1, Ordering::Relaxed) % n;
+    for k in 0..n {
+        let region = &board.regions[(start + k) % n];
+        if region.try_claim() {
+            return Some(Arc::clone(region));
+        }
+    }
+    None
+}
+
 fn spawn_persistent_worker() {
     std::thread::Builder::new()
         .name("flux-pool-worker".to_string())
@@ -185,11 +291,12 @@ fn spawn_persistent_worker() {
             let set = worker_set();
             let mut board = lock_unpoisoned(&set.board);
             loop {
-                let claimed = board.regions.iter().find(|r| r.try_claim()).cloned();
-                match claimed {
+                match claim_from(set, &board) {
                     Some(region) => {
                         drop(board);
-                        while region.run_one() {}
+                        let shard = region.take_ticket();
+                        region.serve(shard);
+                        region.leave();
                         board = lock_unpoisoned(&set.board);
                     }
                     None => {
@@ -225,13 +332,15 @@ impl ThreadPool {
     /// Creates a pool sized from the `FLUX_THREADS` environment variable,
     /// falling back to the machine's available parallelism. The resolved
     /// count is cached after the first call (hot paths size a pool per
-    /// fork-join region, and the environment does not change mid-process),
-    /// and a thread that is itself a pool worker gets an inline pool so
-    /// nested fan-outs never oversubscribe the machine.
+    /// fork-join region, and the environment does not change mid-process).
+    ///
+    /// A nested `from_env` pool — one created inside a running task — gets
+    /// the *full* resolved width: its region publishes to the shared
+    /// worker set, where idle workers steal its jobs. This replaces the
+    /// old collapse-to-inline behavior, which serialized every nested
+    /// fan-out on its own worker and left the rest of the machine idle
+    /// whenever job-level parallelism was coarser than the pool.
     pub fn from_env() -> Self {
-        if Self::current_is_worker() {
-            return Self::new(1);
-        }
         static RESOLVED: OnceLock<usize> = OnceLock::new();
         let threads = *RESOLVED.get_or_init(|| {
             std::env::var(THREADS_ENV)
@@ -247,7 +356,7 @@ impl ThreadPool {
         Self::new(threads)
     }
 
-    /// Whether the calling thread is currently executing as a pool worker.
+    /// Whether the calling thread is a persistent pool worker.
     pub fn current_is_worker() -> bool {
         IS_WORKER.with(|w| w.get())
     }
@@ -269,7 +378,8 @@ impl ThreadPool {
     /// With one worker (or one task) the tasks run inline on the calling
     /// thread. Otherwise the tasks are published as a region on the
     /// persistent worker set: the calling thread and up to `threads - 1`
-    /// parked workers drain a shared queue; each result lands in the slot
+    /// parked workers each own one shard of the job queue and steal from
+    /// each other's when theirs runs dry; each result lands in the slot
     /// of its task's index, so the returned `Vec` is independent of
     /// scheduling. The call returns only after every task has finished.
     ///
@@ -344,17 +454,18 @@ impl ThreadPool {
             })
             .collect();
 
-        let region = Arc::new(Region::new(jobs, workers - 1));
-        publish(Arc::clone(&region), workers - 1);
+        // Spawn up to the pool's *full* width even when this region is
+        // narrower (fewer tasks than threads): the spare workers are what
+        // nested regions published from inside these tasks steal from.
+        let region = Arc::new(Region::new(jobs, workers));
+        publish(Arc::clone(&region), self.threads - 1);
 
-        // The caller drains its own queue too: it is one of the region's
-        // `workers`, it keeps the region deadlock-free even when every
-        // persistent worker is busy elsewhere, and it marks itself as a
-        // worker meanwhile so nested `from_env` pools collapse to inline
-        // instead of fanning out a second level.
-        let was_worker = IS_WORKER.with(|w| w.replace(true));
-        while region.run_one() {}
-        IS_WORKER.with(|w| w.set(was_worker));
+        // The caller serves shard 0 (and steals): it is one of the
+        // region's `workers`, and it keeps the region deadlock-free even
+        // when every persistent worker is busy elsewhere — nested and
+        // concurrent regions always have at least their own caller
+        // draining them.
+        region.serve(0);
 
         region.wait_done();
         retire(&region);
@@ -668,7 +779,12 @@ mod tests {
     }
 
     #[test]
-    fn nested_from_env_inside_worker_is_inline() {
+    fn nested_from_env_keeps_full_width() {
+        // A nested from_env pool publishes to the shared worker set at the
+        // full resolved width instead of collapsing to inline — idle
+        // workers steal nested jobs, which is what lets a scheduled
+        // tenant's inner fan-out overlap another tenant's.
+        let outer_width = ThreadPool::from_env().threads();
         let pool = ThreadPool::new(4);
         let nested_sizes = pool.run(vec![
             || ThreadPool::from_env().threads(),
@@ -676,18 +792,55 @@ mod tests {
             || ThreadPool::from_env().threads(),
             || ThreadPool::from_env().threads(),
         ]);
-        // Every task ran either on a persistent worker or on the caller
-        // while it was draining its own region — both count as workers, so
-        // a nested from_env pool must collapse to inline execution.
-        assert!(nested_sizes.iter().all(|&n| n == 1), "{nested_sizes:?}");
+        assert!(
+            nested_sizes.iter().all(|&n| n == outer_width),
+            "nested from_env must keep the resolved width {outer_width}, got {nested_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn idle_workers_steal_nested_region_jobs() {
+        // The tentpole contract: an explicitly nested region's jobs are
+        // picked up by idle workers. Two outer tasks each publish a nested
+        // 2-job region; all four nested jobs must be live simultaneously,
+        // which needs the two idle workers (of new(4)'s three helpers +
+        // caller) to steal from the nested regions' shards.
+        let pool = ThreadPool::new(4);
+        let live = AtomicUsize::new(0);
+        let live_ref = &live;
+        let outer: Vec<_> = (0..2)
+            .map(|_| {
+                move || {
+                    let inner = ThreadPool::new(2);
+                    inner.run(
+                        (0..2)
+                            .map(|_| {
+                                move || {
+                                    live_ref.fetch_add(1, Ordering::SeqCst);
+                                    let deadline = Instant::now() + Duration::from_secs(20);
+                                    while live_ref.load(Ordering::SeqCst) < 4 {
+                                        assert!(
+                                            Instant::now() < deadline,
+                                            "nested jobs never overlapped 4-wide"
+                                        );
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                }
+            })
+            .collect();
+        pool.run(outer);
     }
 
     #[test]
     fn explicitly_nested_pools_complete_without_deadlock() {
-        // A task may construct its own explicit pool (bypassing the
-        // from_env inlining). The nested region publishes to the same
-        // board while every worker may be busy — the nested caller drains
-        // its own queue, so this must terminate with correct results.
+        // A task may construct its own explicit pool. The nested region
+        // publishes to the same board while every worker may be busy — the
+        // nested caller drains its own shard (and steals the rest), so
+        // this must terminate with correct results.
         let pool = ThreadPool::new(3);
         let tasks: Vec<_> = (0..6)
             .map(|i| {
@@ -710,5 +863,28 @@ mod tests {
         assert!(!ThreadPool::current_is_worker());
         // from_env on the caller is full-width again after the region.
         assert!(ThreadPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn many_regions_from_many_threads_interleave_at_job_granularity() {
+        // Several OS threads publishing regions concurrently: every region
+        // completes (ordered results) and nothing wedges. The rotating
+        // board cursor spreads workers across live regions.
+        let publishers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let pool = ThreadPool::new(3);
+                    for r in 0..20 {
+                        let results =
+                            pool.run((0..6).map(|i| move || t * 1000 + r * 10 + i).collect());
+                        let expected: Vec<usize> = (0..6).map(|i| t * 1000 + r * 10 + i).collect();
+                        assert_eq!(results, expected);
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().expect("publisher thread panicked");
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! Stress tests for the work-stealing persistent pool's park/wake path.
+//!
+//! The failure mode these hunt is a *lost wakeup*: a parked worker that
+//! stays parked although a claimable region is on the board, stalling a
+//! caller in `wait_done` forever. Every scenario therefore carries a hard
+//! deadline — publication storms from several OS threads, long regions
+//! squatting on workers while short regions flow past them, and nested
+//! regions needing idle workers to steal. These run in their own process
+//! (pool widths here exceed what the unit tests' spawn-count bound
+//! allows).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use threadpool::ThreadPool;
+
+/// Publication storm: several OS threads each publish many short regions
+/// concurrently. Any lost wakeup (or a worker wedged on a stale claim)
+/// turns into a missed deadline instead of a silent hang.
+#[test]
+fn many_short_regions_from_many_os_threads_complete_before_deadline() {
+    const PUBLISHERS: usize = 6;
+    const REGIONS_PER_PUBLISHER: usize = 80;
+    const JOBS_PER_REGION: usize = 8;
+    let (done_tx, done_rx) = mpsc::channel();
+    let handles: Vec<_> = (0..PUBLISHERS)
+        .map(|t| {
+            let done_tx = done_tx.clone();
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(1 + (t % 4)); // widths 1..=4 mixed
+                for r in 0..REGIONS_PER_PUBLISHER {
+                    let results = pool.run(
+                        (0..JOBS_PER_REGION)
+                            .map(|i| move || t * 100_000 + r * 100 + i)
+                            .collect::<Vec<_>>(),
+                    );
+                    let expected: Vec<usize> = (0..JOBS_PER_REGION)
+                        .map(|i| t * 100_000 + r * 100 + i)
+                        .collect();
+                    assert_eq!(results, expected, "publisher {t} region {r} misordered");
+                }
+                done_tx.send(t).unwrap();
+            })
+        })
+        .collect();
+    // The deadline is deliberately generous for slow shared runners; a
+    // lost wakeup hangs forever, so any finite bound catches it.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for _ in 0..PUBLISHERS {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        done_rx
+            .recv_timeout(remaining)
+            .expect("a publisher stalled: worker never woke for its regions");
+    }
+    for h in handles {
+        h.join().expect("publisher thread panicked");
+    }
+}
+
+/// A long region squatting on part of the worker set must not starve
+/// short regions published by another OS thread: the short publisher's
+/// caller always drains its own shards, and remaining workers rotate onto
+/// the short regions. The long jobs only release once every short region
+/// has finished — if shorts were starved, this deadlocks into the
+/// deadline.
+#[test]
+fn short_regions_flow_past_a_long_occupying_region() {
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+    let long_publisher = std::thread::spawn(|| {
+        let pool = ThreadPool::new(3);
+        pool.run(
+            (0..2)
+                .map(|_| {
+                    || {
+                        let deadline = Instant::now() + Duration::from_secs(60);
+                        while !RELEASE.load(Ordering::SeqCst) {
+                            assert!(
+                                Instant::now() < deadline,
+                                "short regions never completed while the long region ran"
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+    });
+    let short_publisher = std::thread::spawn(|| {
+        let pool = ThreadPool::new(3);
+        for r in 0..40 {
+            let results = pool.run((0..4).map(|i| move || r * 10 + i).collect::<Vec<_>>());
+            assert_eq!(results, (0..4).map(|i| r * 10 + i).collect::<Vec<_>>());
+        }
+    });
+    short_publisher
+        .join()
+        .expect("short publisher stalled or panicked");
+    RELEASE.store(true, Ordering::SeqCst);
+    long_publisher.join().expect("long publisher panicked");
+}
+
+/// Two concurrent tenants' regions must hold live workers *simultaneously*
+/// (cross-tenant overlap, the `multi_run_2x` shape): each tenant's two
+/// jobs spin until all four jobs — two per tenant — are running at once.
+#[test]
+fn two_tenants_regions_overlap_on_the_shared_worker_set() {
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    let tenant = |_t: usize| {
+        std::thread::spawn(move || {
+            let pool = ThreadPool::new(3);
+            pool.run(
+                (0..2)
+                    .map(|_| {
+                        || {
+                            LIVE.fetch_add(1, Ordering::SeqCst);
+                            let deadline = Instant::now() + Duration::from_secs(60);
+                            while LIVE.load(Ordering::SeqCst) < 4 {
+                                assert!(
+                                    Instant::now() < deadline,
+                                    "tenants' fan-outs never overlapped 4-wide"
+                                );
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        })
+    };
+    let a = tenant(0);
+    let b = tenant(1);
+    a.join().expect("tenant a stalled");
+    b.join().expect("tenant b stalled");
+}
+
+/// Nested fan-outs inside a wide outer region: every nested region is
+/// drained by its own caller even when every worker is busy, and idle
+/// workers steal nested jobs when they exist. Mixed depths and widths,
+/// repeated enough to shake out claim/leave races.
+#[test]
+fn nested_regions_under_load_always_terminate() {
+    let pool = ThreadPool::new(8);
+    for round in 0..10 {
+        let tasks: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    let inner = ThreadPool::new(1 + (i % 3));
+                    let inner_sum: usize = inner
+                        .run(
+                            (0..6)
+                                .map(|j| move || round + i * 10 + j)
+                                .collect::<Vec<_>>(),
+                        )
+                        .into_iter()
+                        .sum();
+                    inner_sum
+                }
+            })
+            .collect();
+        let results = pool.run(tasks);
+        let expected: Vec<usize> = (0..16)
+            .map(|i| (0..6).map(|j| round + i * 10 + j).sum())
+            .collect();
+        assert_eq!(results, expected, "round {round} nested results diverged");
+    }
+}
