@@ -37,6 +37,11 @@
 //!   the shared work-stealing pool (unset: no gate). Skipped with a note
 //!   when the host has fewer than 2 cores or `FLUX_THREADS < 2`, where
 //!   overlap cannot physically exist.
+//! * `FLUX_PERF_MIN_KERNEL_SPEEDUP` — minimum GEMM speedup the best SIMD
+//!   level must show over the scalar reference kernel at every measured
+//!   training shape (unset: no gate). Skipped with a note on hosts
+//!   without AVX2, where the dispatched SSE2 kernel is deliberately
+//!   bit-identical to scalar rather than faster.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -45,8 +50,11 @@ use flux_core::driver::{ExecutionMode, FederatedRun, Method, RunConfig, RunResul
 use flux_core::scheduler::{JobSpec, SchedulePolicy, Scheduler};
 use flux_data::DatasetKind;
 use flux_fl::{CompressionConfig, LinkProfile};
+use flux_moe::attention::Attention;
 use flux_moe::MoeConfig;
 use flux_quant::BitWidth;
+use flux_tensor::simd::{self, SimdLevel};
+use flux_tensor::{Matrix, SeededRng};
 
 /// Pre-PR baseline, measured at commit `e54d52e` (naive ikj matmul, fully
 /// sequential rounds) on a 1-core container: minimum of 3 repetitions of the
@@ -320,6 +328,116 @@ fn measure_checkpoint(reps: usize) -> CheckpointReport {
     }
 }
 
+/// One GEMM shape timed under the scalar reference and the best SIMD level.
+struct GemmKernelBench {
+    m: usize,
+    k: usize,
+    n: usize,
+    scalar_gflops: f64,
+    simd_gflops: f64,
+    speedup: f64,
+}
+
+/// The kernel microbench scenario: the dispatched GEMM at the quick-demo
+/// model's hot training shapes, scalar vs the best SIMD level the host
+/// supports, plus the fused block-diagonal batched attention against the
+/// per-sample reference loop.
+struct KernelReport {
+    simd_level: &'static str,
+    gemm: Vec<GemmKernelBench>,
+    attention_per_sample_ms: f64,
+    attention_batched_ms: f64,
+    attention_speedup: f64,
+}
+
+fn measure_kernels(reps: usize) -> KernelReport {
+    let best = simd::detect_best();
+    let mut rng = SeededRng::new(7);
+    // Hot GEMM shapes of the tiny quick-demo model over a packed batch of
+    // 128 tokens: the fused QKV projection (d_model=16 → 3·16), the expert
+    // input projection (16 → d_ff=32), and the expert output projection.
+    let shapes = [(128usize, 16usize, 48usize), (128, 16, 32), (128, 32, 16)];
+    const GEMM_ITERS: usize = 200;
+    let mut gemm = Vec::new();
+    for &(m, k, n) in &shapes {
+        let a = Matrix::random_normal(m, k, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 1.0, &mut rng);
+        let time_at = |level: SimdLevel| -> f64 {
+            simd::with_level(level, || {
+                let mut best_s = f64::INFINITY;
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    for _ in 0..GEMM_ITERS {
+                        a.matmul(&b).recycle();
+                    }
+                    best_s = best_s.min(start.elapsed().as_secs_f64());
+                }
+                best_s
+            })
+        };
+        let scalar_s = time_at(SimdLevel::Scalar);
+        let simd_s = time_at(best);
+        let flops = (2 * m * k * n * GEMM_ITERS) as f64;
+        gemm.push(GemmKernelBench {
+            m,
+            k,
+            n,
+            scalar_gflops: flops / scalar_s / 1e9,
+            simd_gflops: flops / simd_s / 1e9,
+            speedup: scalar_s / simd_s,
+        });
+    }
+
+    // Fused block-diagonal batched attention vs the per-sample loop, at the
+    // quick-demo width over a ragged 16-sample batch. Both sides run under
+    // the default (best) dispatch level and compute the received-attention
+    // statistics the profiling path needs, with every intermediate recycled.
+    let attn = Attention::new(16, &mut rng);
+    let lens = [9usize, 5, 12, 7, 9, 3, 11, 8, 6, 10, 9, 4, 13, 7, 8, 9];
+    let samples: Vec<Matrix> = lens
+        .iter()
+        .map(|&l| Matrix::random_normal(l, 16, 1.0, &mut rng))
+        .collect();
+    let sample_refs: Vec<&Matrix> = samples.iter().collect();
+    let packed = Matrix::vstack(&sample_refs).expect("same width");
+    let mut bounds = Vec::new();
+    let mut at = 0;
+    for &l in &lens {
+        bounds.push((at, at + l));
+        at += l;
+    }
+    const ATTN_ITERS: usize = 50;
+    let mut per_sample_s = f64::INFINITY;
+    let mut batched_s = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..ATTN_ITERS {
+            for s in &samples {
+                let (out, received) = attn.forward_no_cache(s);
+                out.recycle();
+                std::hint::black_box(received);
+            }
+        }
+        per_sample_s = per_sample_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for _ in 0..ATTN_ITERS {
+            let (out, cache) = attn.forward_batch(&packed, &bounds);
+            out.recycle();
+            std::hint::black_box(cache.received_attention());
+            cache.recycle();
+        }
+        batched_s = batched_s.min(start.elapsed().as_secs_f64());
+    }
+    KernelReport {
+        simd_level: best.label(),
+        gemm,
+        attention_per_sample_ms: per_sample_s * 1e3,
+        attention_batched_ms: batched_s * 1e3,
+        attention_speedup: per_sample_s / batched_s,
+    }
+}
+
 fn main() {
     let reps: usize = std::env::var("FLUX_PERF_REPS")
         .ok()
@@ -355,6 +473,7 @@ fn main() {
     let compression = measure_compression();
     let checkpoint = measure_checkpoint(reps);
     let cohorts = measure_cohort(reps);
+    let kernels = measure_kernels(reps);
 
     let total_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
     let barriered_total_ms: f64 = reports.iter().map(|r| r.barriered_wall_ms).sum();
@@ -401,6 +520,16 @@ fn main() {
             c.registered, c.cohort, c.setup_ms, c.round_ms
         );
     }
+    for g in &kernels.gemm {
+        println!(
+            "  KERNELS gemm {}x{}x{}  scalar={:.2} GFLOP/s  {}={:.2} GFLOP/s  ({:.2}x)",
+            g.m, g.k, g.n, g.scalar_gflops, kernels.simd_level, g.simd_gflops, g.speedup
+        );
+    }
+    println!(
+        "  KERNELS attention per_sample={:.2}ms batched={:.2}ms  ({:.2}x)",
+        kernels.attention_per_sample_ms, kernels.attention_batched_ms, kernels.attention_speedup
+    );
     println!(
         "  CHECKPOINT full={:.2}ms/{}B  noop={:.2}ms/{}B  incr={:.2}ms/{}B ({} shards)  \
          restore={:.2}ms  overhead={:.1}% of a {:.1}ms round",
@@ -421,6 +550,7 @@ fn main() {
         &compression,
         &checkpoint,
         &cohorts,
+        &kernels,
         Totals {
             total_ms,
             barriered_total_ms,
@@ -563,6 +693,43 @@ fn main() {
         }
     }
 
+    // Kernel gate: armed only when FLUX_PERF_MIN_KERNEL_SPEEDUP is set.
+    // Every measured GEMM training shape must clear the threshold under the
+    // best SIMD level. On hosts without AVX2 the dispatched SSE2 kernel is
+    // deliberately bit-identical to the scalar reference (no FMA, same
+    // association), so no speedup is promised there — the scenario is
+    // recorded but the gate is skipped with a note.
+    if let Some(min_kernel) = std::env::var("FLUX_PERF_MIN_KERNEL_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if !simd::is_supported(SimdLevel::Avx2) {
+            println!(
+                "kernel gate: SKIPPED (no AVX2 on this host; best level is \
+                 {}) — measured speedups recorded ungated",
+                kernels.simd_level
+            );
+        } else {
+            let worst = kernels
+                .gemm
+                .iter()
+                .map(|g| g.speedup)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "kernel gate: worst GEMM speedup {worst:.2}x at level {} \
+                 (min {min_kernel:.2}x)",
+                kernels.simd_level
+            );
+            if worst < min_kernel {
+                eprintln!(
+                    "kernel gate FAILED: a training-shape GEMM ran only {worst:.2}x vs the \
+                     scalar kernel, below the required {min_kernel:.2}x"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
     // CI regression gate: compare against a committed report when asked.
     if let Ok(baseline_path) = std::env::var("FLUX_PERF_BASELINE_PATH") {
         let max_regression: f64 = std::env::var("FLUX_PERF_MAX_REGRESSION")
@@ -640,6 +807,7 @@ fn render_json(
     compression: &CompressionReport,
     checkpoint: &CheckpointReport,
     cohorts: &[CohortScaleReport],
+    kernels: &KernelReport,
     totals: Totals,
     threads: usize,
     host_parallelism: usize,
@@ -649,7 +817,7 @@ fn render_json(
     // enough to render by hand.
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v6\",");
+    let _ = writeln!(s, "  \"schema\": \"flux-bench-round/v7\",");
     let _ = writeln!(s, "  \"config\": \"quick_demo(tiny, gsm8k) seed=42\",");
     let _ = writeln!(s, "  \"flux_threads\": {threads},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
@@ -832,6 +1000,44 @@ fn render_json(
         let comma = if i + 1 < cohorts.len() { "," } else { "" };
         let _ = writeln!(s, "    }}{comma}");
     }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"kernels\": {{");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"SIMD microkernel scenario: the dispatched GEMM at the quick-demo \
+         model's hot training shapes (min time over the repetitions, GFLOP/s) under the \
+         scalar reference kernel vs the best level this host supports, plus the fused \
+         block-diagonal batched attention vs the per-sample loop (ragged 16-sample batch, \
+         received-attention included); gated by FLUX_PERF_MIN_KERNEL_SPEEDUP on AVX2 \
+         hosts, recorded ungated elsewhere\","
+    );
+    let _ = writeln!(s, "    \"simd_level\": \"{}\",", kernels.simd_level);
+    let _ = writeln!(s, "    \"gemm\": [");
+    for (i, g) in kernels.gemm.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"m\": {}, \"k\": {}, \"n\": {},", g.m, g.k, g.n);
+        let _ = writeln!(s, "        \"scalar_gflops\": {:.3},", g.scalar_gflops);
+        let _ = writeln!(s, "        \"simd_gflops\": {:.3},", g.simd_gflops);
+        let _ = writeln!(s, "        \"speedup\": {:.3}", g.speedup);
+        let comma = if i + 1 < kernels.gemm.len() { "," } else { "" };
+        let _ = writeln!(s, "      }}{comma}");
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"attention_per_sample_ms\": {:.3},",
+        kernels.attention_per_sample_ms
+    );
+    let _ = writeln!(
+        s,
+        "    \"attention_batched_ms\": {:.3},",
+        kernels.attention_batched_ms
+    );
+    let _ = writeln!(
+        s,
+        "    \"attention_speedup\": {:.3}",
+        kernels.attention_speedup
+    );
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"pr2_baseline\": {{");
     let _ = writeln!(s, "    \"commit\": \"{PR2_COMMIT}\",");

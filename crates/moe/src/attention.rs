@@ -84,16 +84,20 @@ pub struct AttentionCache {
 }
 
 /// Forward-pass cache of [`Attention::forward_batch`]: packed projections
-/// plus one per-sample attention matrix (attention never crosses sample
-/// boundaries, so the packed scores are block-diagonal and only the blocks
-/// are materialized).
+/// plus the padded block-diagonal attention matrix (attention never crosses
+/// sample boundaries, so sample `i`'s `(seqᵢ, seqᵢ)` block occupies the
+/// leading `seqᵢ` columns of its row range and the padding columns are
+/// zero). The sample bounds are stored alongside so tracker paths can read
+/// per-sample statistics without re-deriving the partition.
 #[derive(Debug, Clone)]
 pub struct AttentionBatchCache {
     q: Matrix,
     k: Matrix,
     v: Matrix,
-    /// Row-softmaxed `(seq_i, seq_i)` attention per sample, in batch order.
-    probs: Vec<Matrix>,
+    /// Row-softmaxed attention, padded to `(total_tokens, max_seq)`.
+    probs: Matrix,
+    /// Per-sample row ranges of the packed batch.
+    bounds: Vec<(usize, usize)>,
 }
 
 impl AttentionBatchCache {
@@ -101,16 +105,17 @@ impl AttentionBatchCache {
     /// batch (per-sample column means, like
     /// [`AttentionCache::received_attention`]).
     pub fn received_attention(&self) -> Vec<f32> {
-        let total: usize = self.probs.iter().map(|p| p.rows()).sum();
+        let total: usize = self.bounds.iter().map(|&(s, e)| e - s).sum();
         let mut received = Vec::with_capacity(total);
-        for probs in &self.probs {
-            let seq = probs.rows();
+        for &(start, end) in &self.bounds {
+            let seq = end - start;
             let offset = received.len();
             received.resize(offset + seq, 0.0);
             let segment = &mut received[offset..];
             for r in 0..seq {
-                for (c, x) in segment.iter_mut().enumerate() {
-                    *x += probs.get(r, c);
+                let row = &self.probs.row(start + r)[..seq];
+                for (x, &p) in segment.iter_mut().zip(row) {
+                    *x += p;
                 }
             }
             for x in segment {
@@ -126,9 +131,7 @@ impl AttentionBatchCache {
         self.q.recycle();
         self.k.recycle();
         self.v.recycle();
-        for p in self.probs {
-            p.recycle();
-        }
+        self.probs.recycle();
     }
 }
 
@@ -246,12 +249,17 @@ impl Attention {
     /// Batched forward pass over a packed `(total_tokens, d_model)` input.
     ///
     /// The Q/K/V/output projections run as single wide GEMMs over the whole
-    /// batch; only the attention scores are computed per sample (`bounds`
-    /// gives each sample's row range), since tokens must never attend
-    /// across sample boundaries. Because the matmul kernel's per-row
-    /// accumulation order is independent of the operand's row count, every
-    /// token's output is bit-identical to running [`Attention::forward`] on
-    /// that sample alone.
+    /// batch, and the per-sample score/softmax/context stages are fused
+    /// into **block-diagonal GEMMs over the packed batch**: sample `i`'s
+    /// `(seqᵢ, seqᵢ)` score block lands in the leading columns of its row
+    /// range of one padded `(total_tokens, max_seq)` matrix (cross-sample
+    /// blocks are never touched and stay zero — tokens must never attend
+    /// across sample boundaries), the softmax runs in place on each block
+    /// row, and the context GEMM writes straight into the packed mixed
+    /// buffer. No per-sample `copy_rows`/`paste_rows` staging remains.
+    /// Because the strided kernels perform the same per-element operations
+    /// as the dense ones, every token's output is bit-identical to running
+    /// [`Attention::forward`] on that sample alone.
     pub fn forward_batch(
         &self,
         input: &Matrix,
@@ -259,24 +267,16 @@ impl Attention {
     ) -> (Matrix, AttentionBatchCache) {
         let d = self.d_model() as f32;
         let (q, k, v) = self.project_qkv(input);
-        let mut mixed = Matrix::zeros_pooled(input.rows(), self.d_model());
-        let mut probs_all = Vec::with_capacity(bounds.len());
+        let max_seq = bounds.iter().map(|&(s, e)| e - s).max().unwrap_or(0);
+        let mut probs = q.block_diag_matmul_transb(&k, bounds, max_seq);
+        probs.scale_in_place(1.0 / d.sqrt());
         for &(start, end) in bounds {
-            let qs = q.copy_rows(start, end);
-            let ks = k.copy_rows(start, end);
-            let mut scores = qs.matmul_transb(&ks).expect("q/k widths match");
-            qs.recycle();
-            ks.recycle();
-            scores.scale_in_place(1.0 / d.sqrt());
-            let probs = ops::softmax_rows(&scores);
-            scores.recycle();
-            let vs = v.copy_rows(start, end);
-            let mixed_block = probs.matmul(&vs);
-            vs.recycle();
-            mixed.paste_rows(start, &mixed_block);
-            mixed_block.recycle();
-            probs_all.push(probs);
+            let len = end - start;
+            for r in start..end {
+                ops::softmax_row_in_place(&mut probs.row_mut(r)[..len]);
+            }
         }
+        let mixed = probs.block_diag_matmul(&v, bounds);
         let output = mixed.matmul(&self.wo);
         mixed.recycle();
         (
@@ -285,15 +285,17 @@ impl Attention {
                 q,
                 k,
                 v,
-                probs: probs_all,
+                probs,
+                bounds: bounds.to_vec(),
             },
         )
     }
 
     /// Batched backward pass mirroring [`Attention::forward_batch`]: the
-    /// projection backward GEMMs run packed, the softmax/score backward runs
-    /// per sample block. Per-token gradients are bit-identical to
-    /// [`Attention::backward`] over each sample alone.
+    /// projection backward GEMMs run packed and the score/softmax backward
+    /// stages run as block-diagonal GEMMs over the padded probs matrix — no
+    /// per-sample `copy_rows`/`paste_rows` staging. Per-token gradients are
+    /// bit-identical to [`Attention::backward`] over each sample alone.
     pub fn backward_batch(
         &self,
         cache: &AttentionBatchCache,
@@ -302,46 +304,33 @@ impl Attention {
     ) -> Matrix {
         let d = self.d_model() as f32;
         let scale = 1.0 / d.sqrt();
+        let max_seq = bounds.iter().map(|&(s, e)| e - s).max().unwrap_or(0);
         // output = mixed · Wo.
         let grad_mixed = grad_output.matmul_transb(&self.wo).expect("widths match");
-        let mut grad_q = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
-        let mut grad_k = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
-        let mut grad_v = Matrix::zeros_pooled(grad_output.rows(), self.d_model());
-        for (&(start, end), probs) in bounds.iter().zip(&cache.probs) {
-            let grad_mixed_s = grad_mixed.copy_rows(start, end);
-            let vs = cache.v.copy_rows(start, end);
-            // mixed = probs · V (per sample block).
-            let grad_probs = grad_mixed_s.matmul_transb(&vs).expect("widths match");
-            vs.recycle();
-            let grad_v_s = probs.matmul_transa(&grad_mixed_s).expect("rows match");
-            grad_mixed_s.recycle();
-            // probs = softmax(scores) row-wise.
-            let mut grad_scores = Matrix::zeros_pooled(probs.rows(), probs.cols());
-            for r in 0..probs.rows() {
+        // mixed = probs · V (block-diagonal).
+        let grad_probs = grad_mixed.block_diag_matmul_transb(&cache.v, bounds, max_seq);
+        let grad_v = cache.probs.block_diag_matmul_transa(&grad_mixed, bounds);
+        grad_mixed.recycle();
+        // probs = softmax(scores) row-wise inside each sample block; the
+        // padding columns of `grad_scores` stay zero so the block-diagonal
+        // GEMMs below never mix samples.
+        let mut grad_scores = Matrix::zeros_pooled(cache.probs.rows(), cache.probs.cols());
+        for &(start, end) in bounds {
+            let len = end - start;
+            for r in start..end {
                 ops::softmax_backward_row_into(
-                    probs.row(r),
-                    grad_probs.row(r),
-                    grad_scores.row_mut(r),
+                    &cache.probs.row(r)[..len],
+                    &grad_probs.row(r)[..len],
+                    &mut grad_scores.row_mut(r)[..len],
                 );
             }
-            grad_probs.recycle();
-            grad_scores.scale_in_place(scale);
-            // scores = Q · Kᵀ (scaled).
-            let ks = cache.k.copy_rows(start, end);
-            let grad_q_s = grad_scores.matmul(&ks);
-            ks.recycle();
-            let qs = cache.q.copy_rows(start, end);
-            let grad_k_s = grad_scores.matmul_transa(&qs).expect("rows match");
-            qs.recycle();
-            grad_scores.recycle();
-            grad_q.paste_rows(start, &grad_q_s);
-            grad_k.paste_rows(start, &grad_k_s);
-            grad_v.paste_rows(start, &grad_v_s);
-            grad_q_s.recycle();
-            grad_k_s.recycle();
-            grad_v_s.recycle();
         }
-        grad_mixed.recycle();
+        grad_probs.recycle();
+        grad_scores.scale_in_place(scale);
+        // scores = Q · Kᵀ (scaled), block-diagonal.
+        let grad_q = grad_scores.block_diag_matmul(&cache.k, bounds);
+        let grad_k = grad_scores.block_diag_matmul_transa(&cache.q, bounds);
+        grad_scores.recycle();
         // Q = X·Wq, K = X·Wk, V = X·Wv (packed GEMMs).
         let mut grad_input = grad_q.matmul_transb(&self.wq).expect("widths match");
         let from_k = grad_k.matmul_transb(&self.wk).expect("widths match");

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use flux_tensor::{init, ops, Matrix, SeededRng};
+use flux_tensor::{init, ops, simd, Matrix, SeededRng};
 
 /// One expert: a two-layer feed-forward network with GELU activation.
 ///
@@ -155,12 +155,9 @@ impl Expert {
         self.w2
             .add_scaled(&grad.w2, -learning_rate)
             .expect("w2 gradient shape");
-        for (b, g) in self.b1.iter_mut().zip(grad.b1.iter()) {
-            *b -= learning_rate * g;
-        }
-        for (b, g) in self.b2.iter_mut().zip(grad.b2.iter()) {
-            *b -= learning_rate * g;
-        }
+        let axpy = simd::active().axpy;
+        axpy(&mut self.b1, &grad.b1, -learning_rate);
+        axpy(&mut self.b2, &grad.b2, -learning_rate);
     }
 
     /// Overwrites this expert's parameters with `base`'s (no allocation;
@@ -184,33 +181,27 @@ impl Expert {
     /// perturbation, and restoring is a [`Expert::copy_from`] of the base.
     pub fn assign_perturbed(&mut self, base: &Expert, direction: &[f32], scale: f32) {
         debug_assert_eq!(direction.len(), base.num_params());
+        let perturb = simd::active().perturb;
         let mut cursor = 0;
-        for (x, &b) in self
-            .w1
-            .as_mut_slice()
-            .iter_mut()
-            .zip(base.w1.as_slice().iter())
-        {
-            *x = b + scale * direction[cursor];
-            cursor += 1;
-        }
-        for (x, &b) in self.b1.iter_mut().zip(base.b1.iter()) {
-            *x = b + scale * direction[cursor];
-            cursor += 1;
-        }
-        for (x, &b) in self
-            .w2
-            .as_mut_slice()
-            .iter_mut()
-            .zip(base.w2.as_slice().iter())
-        {
-            *x = b + scale * direction[cursor];
-            cursor += 1;
-        }
-        for (x, &b) in self.b2.iter_mut().zip(base.b2.iter()) {
-            *x = b + scale * direction[cursor];
-            cursor += 1;
-        }
+        let mut segment = |len: usize| {
+            let s = &direction[cursor..cursor + len];
+            cursor += len;
+            s
+        };
+        perturb(
+            self.w1.as_mut_slice(),
+            base.w1.as_slice(),
+            segment(base.w1.len()),
+            scale,
+        );
+        perturb(&mut self.b1, &base.b1, segment(base.b1.len()), scale);
+        perturb(
+            self.w2.as_mut_slice(),
+            base.w2.as_slice(),
+            segment(base.w2.len()),
+            scale,
+        );
+        perturb(&mut self.b2, &base.b2, segment(base.b2.len()), scale);
     }
 
     /// Flattens all parameters into a single feature vector (used by the
@@ -252,12 +243,9 @@ impl Expert {
             let alpha = w.max(0.0) / total;
             merged.w1.add_scaled(&expert.w1, alpha).expect("same shape");
             merged.w2.add_scaled(&expert.w2, alpha).expect("same shape");
-            for (m, &b) in merged.b1.iter_mut().zip(expert.b1.iter()) {
-                *m += alpha * b;
-            }
-            for (m, &b) in merged.b2.iter_mut().zip(expert.b2.iter()) {
-                *m += alpha * b;
-            }
+            let axpy = simd::active().axpy;
+            axpy(&mut merged.b1, &expert.b1, alpha);
+            axpy(&mut merged.b2, &expert.b2, alpha);
         }
         merged
     }
@@ -279,12 +267,9 @@ impl ExpertGrad {
     pub fn accumulate(&mut self, other: &ExpertGrad) {
         self.w1.add_scaled(&other.w1, 1.0).expect("same shape");
         self.w2.add_scaled(&other.w2, 1.0).expect("same shape");
-        for (a, b) in self.b1.iter_mut().zip(other.b1.iter()) {
-            *a += b;
-        }
-        for (a, b) in self.b2.iter_mut().zip(other.b2.iter()) {
-            *a += b;
-        }
+        let axpy = simd::active().axpy;
+        axpy(&mut self.b1, &other.b1, 1.0);
+        axpy(&mut self.b2, &other.b2, 1.0);
         self.token_count += other.token_count;
     }
 

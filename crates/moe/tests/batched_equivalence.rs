@@ -11,7 +11,9 @@
 use std::collections::HashSet;
 
 use flux_data::{DatasetConfig, DatasetGenerator, DatasetKind, Sample};
+use flux_moe::attention::Attention;
 use flux_moe::{ExpertKey, GradientSet, MoeConfig, MoeModel};
+use flux_tensor::simd::{self, SimdLevel};
 use flux_tensor::{Matrix, SeededRng};
 
 /// Documented tolerance of the batched path: accumulated f32 gradients may
@@ -149,6 +151,56 @@ fn batched_forward_is_bit_identical_to_per_sample() {
             single.final_hidden.as_slice(),
             "packed final hidden must match the per-sample forward bitwise"
         );
+    }
+}
+
+/// The fused block-diagonal attention (one padded GEMM per stage over the
+/// packed batch) must be bit-identical to running each sample through the
+/// per-sample [`Attention::forward`]/[`Attention::backward`] alone — at every
+/// SIMD dispatch level, over ragged bounds including length-1 samples.
+#[test]
+fn block_diag_attention_matches_per_sample_at_every_level() {
+    let levels: Vec<SimdLevel> = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| simd::is_supported(l))
+        .collect();
+    for level in levels {
+        simd::with_level(level, || {
+            let mut rng = SeededRng::new(17);
+            let attn = Attention::new(8, &mut rng);
+            // Ragged sample lengths, including the degenerate length-1 block.
+            let lens = [4usize, 1, 7, 2];
+            let samples: Vec<Matrix> = lens
+                .iter()
+                .map(|&l| Matrix::random_normal(l, 8, 1.0, &mut rng))
+                .collect();
+            let sample_refs: Vec<&Matrix> = samples.iter().collect();
+            let packed = Matrix::vstack(&sample_refs).unwrap();
+            let mut bounds = Vec::new();
+            let mut at = 0;
+            for &l in &lens {
+                bounds.push((at, at + l));
+                at += l;
+            }
+            let grad = Matrix::random_normal(at, 8, 1.0, &mut rng);
+
+            let (out, cache) = attn.forward_batch(&packed, &bounds);
+            let grad_in = attn.backward_batch(&cache, &bounds, &grad);
+            for (sample, &(start, end)) in samples.iter().zip(&bounds) {
+                let (out_s, cache_s) = attn.forward(sample);
+                assert_eq!(
+                    out.copy_rows(start, end).as_slice(),
+                    out_s.as_slice(),
+                    "forward diverged at {level:?} bounds {start}..{end}"
+                );
+                let grad_s = attn.backward(&cache_s, &grad.copy_rows(start, end));
+                assert_eq!(
+                    grad_in.copy_rows(start, end).as_slice(),
+                    grad_s.as_slice(),
+                    "backward diverged at {level:?} bounds {start}..{end}"
+                );
+            }
+        });
     }
 }
 

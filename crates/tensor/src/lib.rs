@@ -33,6 +33,7 @@ pub mod optim;
 pub mod pca;
 pub mod rng;
 pub mod scratch;
+pub mod simd;
 pub mod stats;
 
 pub use error::TensorError;

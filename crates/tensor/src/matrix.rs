@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
 use crate::rng::SeededRng;
+use crate::simd;
 use crate::{scratch, Result};
 
 /// Depth (k) blocking factor of the matmul kernel. Panels of `A` spanning
@@ -25,10 +26,6 @@ use crate::{scratch, Result};
 /// the blocked kernel rely on that to produce bit-identical results.
 const KC: usize = 128;
 
-/// Row register-tile of the matmul micro-kernel: four output rows are
-/// accumulated simultaneously, quartering the traffic on `B`.
-const MR: usize = 4;
-
 /// Accumulates `out += a · b` where `a` is `(m, k)`, `b` is `(k, n)` and
 /// `out` is `(m, n)`, all row-major. The caller provides `out` already
 /// initialized (zeros for a plain matmul, broadcast bias rows for the fused
@@ -37,91 +34,77 @@ fn gemm_accumulate(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    gemm_strided(m, k, n, a, k, b, n, out, n);
+}
+
+/// The strided general form of the blocked GEMM: `a` rows are `lda` apart,
+/// `b` rows `ldb` apart, `out` rows `ldc` apart (all row-major views; the
+/// depth runs along `a`'s rows, so each packed panel row is contiguous).
+/// The fused block-diagonal attention path drives this directly on row
+/// slices of packed activations, with the padded scores matrix as `out` —
+/// no `copy_rows`/`paste_rows` staging, and **bit-identical** results to
+/// the dense entry points because the leading dimensions never enter the
+/// arithmetic.
+///
+/// The inner microkernels come from the runtime dispatch table
+/// ([`crate::simd::active`]): the scalar reference, SSE2 (bit-identical to
+/// scalar) or AVX2+FMA. Each variant's per-element accumulation order is
+/// fixed and independent of `m`/`n`/blocking, which is what keeps every
+/// variant individually deterministic across thread counts and batch
+/// shapes.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldc: usize,
+) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    scratch::with(MR * KC.min(k), |pack| {
+    debug_assert!(a.len() >= (m - 1) * lda + k);
+    debug_assert!(b.len() >= (k - 1) * ldb + n);
+    debug_assert!(out.len() >= (m - 1) * ldc + n);
+    let kern = simd::active();
+    let mr = kern.mr;
+    scratch::with(mr * KC.min(k), |pack| {
         let mut kk0 = 0;
         while kk0 < k {
             let kc = KC.min(k - kk0);
+            let b_panel = &b[kk0 * ldb..];
             let mut i0 = 0;
-            while i0 + MR <= m {
-                // Pack the MR×kc panel of `a` depth-major: the micro-kernel
+            while i0 + mr <= m {
+                // Pack the mr×kc panel of `a` depth-major: the micro-kernel
                 // then reads it strictly linearly.
                 for p in 0..kc {
-                    let dst = &mut pack[p * MR..p * MR + MR];
+                    let dst = &mut pack[p * mr..p * mr + mr];
                     for (r, slot) in dst.iter_mut().enumerate() {
-                        *slot = a[(i0 + r) * k + kk0 + p];
+                        *slot = a[(i0 + r) * lda + kk0 + p];
                     }
                 }
-                let rows = &mut out[i0 * n..(i0 + MR) * n];
-                let (o0, rest) = rows.split_at_mut(n);
-                let (o1, rest) = rest.split_at_mut(n);
-                let (o2, o3) = rest.split_at_mut(n);
-                let mut p = 0;
-                while p + 4 <= kc {
-                    let ap = &pack[p * MR..(p + 4) * MR];
-                    let b0 = &b[(kk0 + p) * n..][..n];
-                    let b1 = &b[(kk0 + p + 1) * n..][..n];
-                    let b2 = &b[(kk0 + p + 2) * n..][..n];
-                    let b3 = &b[(kk0 + p + 3) * n..][..n];
-                    for j in 0..n {
-                        let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
-                        o0[j] += ap[0] * v0 + ap[4] * v1 + ap[8] * v2 + ap[12] * v3;
-                        o1[j] += ap[1] * v0 + ap[5] * v1 + ap[9] * v2 + ap[13] * v3;
-                        o2[j] += ap[2] * v0 + ap[6] * v1 + ap[10] * v2 + ap[14] * v3;
-                        o3[j] += ap[3] * v0 + ap[7] * v1 + ap[11] * v2 + ap[15] * v3;
-                    }
-                    p += 4;
-                }
-                while p < kc {
-                    let ap = &pack[p * MR..p * MR + MR];
-                    let brow = &b[(kk0 + p) * n..][..n];
-                    for j in 0..n {
-                        let v = brow[j];
-                        o0[j] += ap[0] * v;
-                        o1[j] += ap[1] * v;
-                        o2[j] += ap[2] * v;
-                        o3[j] += ap[3] * v;
-                    }
-                    p += 1;
-                }
-                i0 += MR;
+                (kern.tile)(
+                    &pack[..kc * mr],
+                    kc,
+                    b_panel,
+                    ldb,
+                    n,
+                    &mut out[i0 * ldc..],
+                    ldc,
+                );
+                i0 += mr;
             }
             for i in i0..m {
-                let out_row = &mut out[i * n..][..n];
-                let a_row = &a[i * k + kk0..][..kc];
-                gemm_row(a_row, &b[kk0 * n..], n, out_row);
+                let a_row = &a[i * lda + kk0..][..kc];
+                (kern.row)(a_row, b_panel, ldb, n, &mut out[i * ldc..][..n]);
             }
             kk0 += KC;
         }
     });
-}
-
-/// One-row kernel: `out_row += a_row · b_panel`, unrolled 4-way over the
-/// depth. Shared by the row remainder of [`gemm_accumulate`] and by
-/// [`Matrix::vecmat`] so both produce bit-identical accumulation order.
-fn gemm_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
-    let kc = a_row.len();
-    let mut p = 0;
-    while p + 4 <= kc {
-        let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-        let b0 = &b[p * n..][..n];
-        let b1 = &b[(p + 1) * n..][..n];
-        let b2 = &b[(p + 2) * n..][..n];
-        let b3 = &b[(p + 3) * n..][..n];
-        for j in 0..n {
-            out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-        p += 4;
-    }
-    while p < kc {
-        let a0 = a_row[p];
-        for (o, &v) in out_row.iter_mut().zip(&b[p * n..][..n]) {
-            *o += a0 * v;
-        }
-        p += 1;
-    }
 }
 
 /// Dot product with four independent accumulators (instruction-level
@@ -560,40 +543,22 @@ impl Matrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros_pooled(m, n);
-        if m == 0 || n == 0 {
+        if m == 0 || n == 0 || k == 0 {
             return Ok(out);
         }
-        // Rank-1 updates in depth order, unrolled 4-way to quarter the
-        // write traffic on `out`.
-        let mut p = 0;
-        while p + 4 <= k {
-            let a0 = self.row(p);
-            let a1 = self.row(p + 1);
-            let a2 = self.row(p + 2);
-            let a3 = self.row(p + 3);
-            let b0 = &other.data[p * n..][..n];
-            let b1 = &other.data[(p + 1) * n..][..n];
-            let b2 = &other.data[(p + 2) * n..][..n];
-            let b3 = &other.data[(p + 3) * n..][..n];
-            for c in 0..m {
-                let (c0, c1, c2, c3) = (a0[c], a1[c], a2[c], a3[c]);
-                let out_row = &mut out.data[c * n..][..n];
-                for j in 0..n {
-                    out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
+        // Transpose `self` once into scratch — one cheap pass — and reuse
+        // the dispatched blocked kernel, exactly like `matmul_transb`. This
+        // replaced a hand-unrolled rank-1-update loop nest that duplicated
+        // the kernel's tail handling and could not vectorize through the
+        // dispatch layer.
+        scratch::with(k * m, |at| {
+            for p in 0..k {
+                for (c, &v) in self.row(p).iter().enumerate() {
+                    at[c * k + p] = v;
                 }
             }
-            p += 4;
-        }
-        while p < k {
-            let a_row = self.row(p);
-            let b_row = &other.data[p * n..][..n];
-            for (c, &coeff) in a_row.iter().enumerate() {
-                for (o, &v) in out.data[c * n..][..n].iter_mut().zip(b_row) {
-                    *o += coeff * v;
-                }
-            }
-            p += 1;
-        }
+            gemm_strided(m, k, n, at, k, &other.data, n, &mut out.data, n);
+        });
         Ok(out)
     }
 
@@ -631,7 +596,7 @@ impl Matrix {
                     bt[kk * n + j] = v;
                 }
             }
-            gemm_accumulate(m, k, n, &self.data, bt, &mut out.data);
+            gemm_strided(m, k, n, &self.data, k, bt, n, &mut out.data, n);
         });
         Ok(out)
     }
@@ -669,21 +634,163 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
+        let row_kernel = simd::active().row;
         let mut p = 0;
         // Mirror the KC blocking of the matmul kernel exactly (KC is a
         // multiple of the unroll factor, so the grouping already matches;
-        // the explicit blocks keep that true if KC ever changes).
+        // the explicit blocks keep that true if KC ever changes). Using the
+        // same dispatched row kernel as the blocked GEMM's row remainder
+        // keeps vecmat bit-identical to a `(1, k)` matmul at every level.
         while p < self.rows {
             let kc = KC.min(self.rows - p);
-            gemm_row(
+            (row_kernel)(
                 &x[p..p + kc],
                 &self.data[p * self.cols..],
+                self.cols,
                 self.cols,
                 &mut out,
             );
             p += kc;
         }
         Ok(out)
+    }
+
+    /// Block-diagonal `selfᵢ · otherᵢᵀ` over per-sample row blocks.
+    ///
+    /// `self` and `other` are packed `(total_rows, d)` matrices sharing the
+    /// same `bounds` partition; for each block `[start, end)` of length
+    /// `len` the `(len, len)` product `self[start..end) · other[start..end)ᵀ`
+    /// is written into rows `[start, end)`, columns `[0, len)` of the padded
+    /// `(total_rows, pad_cols)` result (remaining columns stay zero). This
+    /// is the attention-scores shape: one fused pass over the packed batch
+    /// instead of per-sample `copy_rows` + `matmul_transb` + `paste_rows`,
+    /// **bit-identical** per element because the same dispatched kernels run
+    /// over the same values (leading dimensions never enter the arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ, a bound overruns the rows, or a block is
+    /// longer than `pad_cols`.
+    pub fn block_diag_matmul_transb(
+        &self,
+        other: &Matrix,
+        bounds: &[(usize, usize)],
+        pad_cols: usize,
+    ) -> Matrix {
+        assert_eq!(self.cols, other.cols, "block_diag_matmul_transb widths");
+        let d = self.cols;
+        let mut out = Matrix::zeros_pooled(self.rows, pad_cols);
+        for &(start, end) in bounds {
+            assert!(start <= end && end <= self.rows && end <= other.rows);
+            let len = end - start;
+            assert!(len <= pad_cols, "block longer than pad_cols");
+            if len == 0 || d == 0 {
+                continue;
+            }
+            // Transpose the B block once into scratch (as matmul_transb
+            // does), then run the strided kernel straight on the row slices.
+            scratch::with(d * len, |bt| {
+                for (j, row) in (start..end).enumerate() {
+                    for (kk, &v) in other.row(row).iter().enumerate() {
+                        bt[kk * len + j] = v;
+                    }
+                }
+                gemm_strided(
+                    len,
+                    d,
+                    len,
+                    &self.data[start * d..],
+                    d,
+                    bt,
+                    len,
+                    &mut out.data[start * pad_cols..],
+                    pad_cols,
+                );
+            });
+        }
+        out
+    }
+
+    /// Block-diagonal `selfᵢ · otherᵢ` where `self` is a padded
+    /// `(total_rows, pad_cols)` block matrix (square `(len, len)` blocks in
+    /// the leading columns, as produced by
+    /// [`Matrix::block_diag_matmul_transb`]) and `other` is a packed
+    /// `(total_rows, d)` matrix. Returns the packed `(total_rows, d)`
+    /// result — the attention `probs · V` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound overruns the rows or a block is wider than the
+    /// padding.
+    pub fn block_diag_matmul(&self, other: &Matrix, bounds: &[(usize, usize)]) -> Matrix {
+        let pad = self.cols;
+        let d = other.cols;
+        let mut out = Matrix::zeros_pooled(self.rows, d);
+        for &(start, end) in bounds {
+            assert!(start <= end && end <= self.rows && end <= other.rows);
+            let len = end - start;
+            assert!(len <= pad, "block wider than padding");
+            if len == 0 || d == 0 {
+                continue;
+            }
+            gemm_strided(
+                len,
+                len,
+                d,
+                &self.data[start * pad..],
+                pad,
+                &other.data[start * d..],
+                d,
+                &mut out.data[start * d..],
+                d,
+            );
+        }
+        out
+    }
+
+    /// Block-diagonal `selfᵢᵀ · otherᵢ` where `self` is a padded
+    /// `(total_rows, pad_cols)` block matrix with square blocks and `other`
+    /// is packed `(total_rows, d)`. Returns the packed `(total_rows, d)`
+    /// result — the attention `probsᵀ · grad` shape of the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound overruns the rows or a block is wider than the
+    /// padding.
+    pub fn block_diag_matmul_transa(&self, other: &Matrix, bounds: &[(usize, usize)]) -> Matrix {
+        let pad = self.cols;
+        let d = other.cols;
+        let mut out = Matrix::zeros_pooled(self.rows, d);
+        for &(start, end) in bounds {
+            assert!(start <= end && end <= self.rows && end <= other.rows);
+            let len = end - start;
+            assert!(len <= pad, "block wider than padding");
+            if len == 0 || d == 0 {
+                continue;
+            }
+            // Transpose the (len, len) block out of the padded storage (as
+            // matmul_transa does) and reuse the dispatched kernel.
+            scratch::with(len * len, |at| {
+                for (p, row) in (start..end).enumerate() {
+                    let src = &self.data[row * pad..][..len];
+                    for (c, &v) in src.iter().enumerate() {
+                        at[c * len + p] = v;
+                    }
+                }
+                gemm_strided(
+                    len,
+                    len,
+                    d,
+                    at,
+                    len,
+                    &other.data[start * d..],
+                    d,
+                    &mut out.data[start * d..],
+                    d,
+                );
+            });
+        }
+        out
     }
 
     /// Element-wise addition.
@@ -726,9 +833,9 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
-        }
+        // Dispatched AXPY kernel (bit-identical across SIMD levels): this is
+        // the FedAvg reduce / gradient-accumulation hot loop.
+        (simd::active().axpy)(&mut self.data, &other.data, scale);
         Ok(())
     }
 
@@ -1100,6 +1207,65 @@ mod tests {
         for r in 0..a.rows() {
             let single = a.copy_rows(r, r + 1).matmul(&b);
             assert_eq!(single.as_slice(), full.row(r), "row {r} diverged");
+        }
+    }
+
+    #[test]
+    fn block_diag_ops_match_per_block_reference() {
+        // Ragged blocks, including a length-1 and an empty block; the fused
+        // block-diagonal entry points must be bitwise equal to slicing each
+        // block out and using the dense kernels.
+        let mut rng = SeededRng::new(23);
+        let bounds = [(0usize, 3usize), (3, 3), (3, 4), (4, 9)];
+        let total = 9;
+        let d = 6;
+        let a = Matrix::random_normal(total, d, 1.0, &mut rng);
+        let b = Matrix::random_normal(total, d, 1.0, &mut rng);
+        let pad = bounds.iter().map(|&(s, e)| e - s).max().unwrap();
+        let scores = a.block_diag_matmul_transb(&b, &bounds, pad);
+        assert_eq!(scores.shape(), (total, pad));
+        for &(start, end) in &bounds {
+            let len = end - start;
+            let reference = a
+                .copy_rows(start, end)
+                .matmul_transb(&b.copy_rows(start, end))
+                .unwrap();
+            for r in 0..len {
+                assert_eq!(&scores.row(start + r)[..len], reference.row(r));
+                // Padding stays zero.
+                assert!(scores.row(start + r)[len..].iter().all(|&x| x == 0.0));
+            }
+        }
+        let mixed = scores.block_diag_matmul(&b, &bounds);
+        let folded = scores.block_diag_matmul_transa(&b, &bounds);
+        for &(start, end) in &bounds {
+            let len = end - start;
+            if len == 0 {
+                continue;
+            }
+            let mut block = Matrix::zeros(len, len);
+            for r in 0..len {
+                block
+                    .row_mut(r)
+                    .copy_from_slice(&scores.row(start + r)[..len]);
+            }
+            let bs = b.copy_rows(start, end);
+            let expect_mixed = block.matmul(&bs);
+            let expect_folded = block.matmul_transa(&bs).unwrap();
+            assert_eq!(mixed.copy_rows(start, end), expect_mixed);
+            assert_eq!(folded.copy_rows(start, end), expect_folded);
+        }
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(29);
+        for &(k, m, n) in &[(7usize, 5usize, 9usize), (1, 3, 2), (130, 4, 4)] {
+            let a = Matrix::random_normal(k, m, 1.0, &mut rng);
+            let b = Matrix::random_normal(k, n, 1.0, &mut rng);
+            let fused = a.matmul_transa(&b).unwrap();
+            let reference = a.transpose().matmul(&b);
+            assert_eq!(fused, reference, "({k},{m},{n})");
         }
     }
 

@@ -6,6 +6,7 @@
 //! the same layout as their forward inputs.
 
 use crate::matrix::Matrix;
+use crate::simd;
 use crate::Result;
 
 /// Numerically stable softmax over a single row.
@@ -23,6 +24,32 @@ pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
         return vec![1.0 / logits.len() as f32; logits.len()];
     }
     exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Allocation-free softmax over a row slice, bit-identical to
+/// [`softmax_row`] (same max-shift, same `exp`, same division, same uniform
+/// fallback on a non-finite or non-positive sum). The fused block-diagonal
+/// attention applies this to the leading `len` columns of each padded
+/// scores row.
+pub fn softmax_row_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    let sum: f32 = row.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        let uniform = 1.0 / row.len() as f32;
+        for x in row.iter_mut() {
+            *x = uniform;
+        }
+        return;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
 }
 
 /// Softmax applied independently to every row of a matrix.
@@ -57,16 +84,18 @@ pub fn softmax_backward_row_into(probs: &[f32], grad: &[f32], out: &mut [f32]) {
     }
 }
 
-/// GELU activation (tanh approximation), applied element-wise.
+/// GELU activation (tanh approximation), applied element-wise through the
+/// dispatched SIMD kernel (bit-identical across kernel levels — the vector
+/// implementation replicates [`gelu_scalar`]'s operation order exactly).
 pub fn gelu(x: &Matrix) -> Matrix {
-    x.map(gelu_scalar)
+    let mut out = x.clone();
+    gelu_in_place(&mut out);
+    out
 }
 
 /// GELU applied in place (no allocation).
 pub fn gelu_in_place(x: &mut Matrix) {
-    for v in x.as_mut_slice() {
-        *v = gelu_scalar(*v);
-    }
+    (simd::active().gelu)(x.as_mut_slice());
 }
 
 /// Fused `GELU(x · w + bias)`: one kernel pass, bias folded into the output
@@ -88,13 +117,7 @@ pub fn matmul_bias_gelu(x: &Matrix, w: &Matrix, bias: &[f32]) -> Result<Matrix> 
 pub fn gelu_backward(x: &Matrix, grad: &Matrix) -> Matrix {
     debug_assert_eq!(x.shape(), grad.shape());
     let mut out = Matrix::zeros(x.rows(), x.cols());
-    for (o, (xi, gi)) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(x.as_slice().iter().zip(grad.as_slice().iter()))
-    {
-        *o = gelu_grad_scalar(*xi) * gi;
-    }
+    (simd::active().gelu_grad)(x.as_slice(), grad.as_slice(), out.as_mut_slice());
     out
 }
 
@@ -112,23 +135,13 @@ pub fn gelu_backward(x: &Matrix, grad: &Matrix) -> Matrix {
 pub fn gelu_backward_cached(x: &Matrix, y: &Matrix, grad: &Matrix) -> Matrix {
     debug_assert_eq!(x.shape(), y.shape());
     debug_assert_eq!(x.shape(), grad.shape());
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     let mut out = Matrix::zeros_pooled(x.rows(), x.cols());
-    for (o, ((&xi, &yi), &gi)) in out.as_mut_slice().iter_mut().zip(
-        x.as_slice()
-            .iter()
-            .zip(y.as_slice().iter())
-            .zip(grad.as_slice().iter()),
-    ) {
-        let d = if xi.abs() > 1e-3 {
-            let t = (2.0 * yi / xi - 1.0).clamp(-1.0, 1.0);
-            let sech2 = 1.0 - t * t;
-            0.5 * (1.0 + t) + 0.5 * xi * sech2 * C * (1.0 + 3.0 * 0.044715 * xi * xi)
-        } else {
-            gelu_grad_scalar(xi)
-        };
-        *o = d * gi;
-    }
+    (simd::active().gelu_grad_cached)(
+        x.as_slice(),
+        y.as_slice(),
+        grad.as_slice(),
+        out.as_mut_slice(),
+    );
     out
 }
 
@@ -158,11 +171,14 @@ pub fn gelu_scalar(x: f32) -> f32 {
 /// Derivative of [`gelu_scalar`].
 pub fn gelu_grad_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
+    // Pre-folded `3 · 0.044715` so the SIMD kernels can splat the exact
+    // same f32 constant the compiler folds here.
+    const THREE_A: f32 = 3.0 * 0.044715;
     let x3 = x * x * x;
     let inner = C * (x + 0.044715 * x3);
     let t = fast_tanh(inner);
     let sech2 = 1.0 - t * t;
-    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + THREE_A * x * x)
 }
 
 /// ReLU activation applied element-wise.
@@ -309,6 +325,23 @@ mod tests {
     #[test]
     fn softmax_empty() {
         assert!(softmax_row(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_row_in_place_is_bit_identical_to_allocating() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1000.0, 1000.0],
+            vec![-0.3],
+            vec![f32::NEG_INFINITY, f32::NEG_INFINITY], // uniform fallback
+            vec![],
+        ];
+        for case in cases {
+            let reference = softmax_row(&case);
+            let mut inplace = case.clone();
+            softmax_row_in_place(&mut inplace);
+            assert_eq!(inplace, reference, "input {case:?}");
+        }
     }
 
     #[test]

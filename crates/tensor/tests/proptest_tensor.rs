@@ -1,7 +1,20 @@
 //! Property-based tests for the tensor substrate.
 
-use flux_tensor::{kmeans::KMeans, ops, stats, Matrix, SeededRng};
+use flux_tensor::{
+    kmeans::KMeans,
+    ops,
+    simd::{self, SimdLevel},
+    stats, Matrix, SeededRng,
+};
 use proptest::prelude::*;
+
+/// Every SIMD dispatch level this host can execute (scalar always included).
+fn supported_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| simd::is_supported(l))
+        .collect()
+}
 
 /// Strategy producing a small matrix with bounded finite values.
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -248,6 +261,55 @@ proptest! {
     }
 
     #[test]
+    fn simd_levels_agree_with_scalar_within_tolerance(pair in matmul_pair_strategy()) {
+        // The pinned contract of the dispatch layer: the scalar kernel is the
+        // reference; SSE2 reproduces it bit-for-bit (same association, no
+        // FMA); AVX2+FMA may contract but stays within 1e-5 relative. The
+        // element-wise kernels are bitwise at every level.
+        let (a, b) = pair;
+        let scalar = simd::with_level(SimdLevel::Scalar, || a.try_matmul(&b).unwrap());
+        let scalar_tb =
+            simd::with_level(SimdLevel::Scalar, || a.matmul_transb(&b.transpose()).unwrap());
+        let scalar_gelu = simd::with_level(SimdLevel::Scalar, || ops::gelu(&scalar));
+        for level in supported_levels() {
+            let out = simd::with_level(level, || a.try_matmul(&b).unwrap());
+            assert_close(&out, &scalar, 1e-5);
+            let tb = simd::with_level(level, || a.matmul_transb(&b.transpose()).unwrap());
+            assert_close(&tb, &scalar_tb, 1e-5);
+            if level == SimdLevel::Sse2 {
+                prop_assert_eq!(out.as_slice(), scalar.as_slice());
+            }
+            // GELU (and the other element-wise kernels) never use FMA, so
+            // they are bit-identical to the scalar reference at every level.
+            let g = simd::with_level(level, || ops::gelu(&scalar));
+            prop_assert_eq!(g.as_slice(), scalar_gelu.as_slice());
+        }
+    }
+
+    #[test]
+    fn each_simd_level_is_individually_deterministic(pair in matmul_pair_strategy()) {
+        // For a fixed level, repeated runs (including across the thread-local
+        // override round trip) must be bit-identical — the determinism half
+        // of the kernel contract, the unit-level twin of the golden-trace
+        // `FLUX_SIMD=0/1` CI legs.
+        let (a, b) = pair;
+        for level in supported_levels() {
+            let first = simd::with_level(level, || {
+                let m = a.try_matmul(&b).unwrap();
+                let g = ops::gelu(&m);
+                (m, g)
+            });
+            let again = simd::with_level(level, || {
+                let m = a.try_matmul(&b).unwrap();
+                let g = ops::gelu(&m);
+                (m, g)
+            });
+            prop_assert_eq!(first.0.as_slice(), again.0.as_slice());
+            prop_assert_eq!(first.1.as_slice(), again.1.as_slice());
+        }
+    }
+
+    #[test]
     fn cross_entropy_loss_nonnegative(seed in 0u64..500) {
         let mut rng = SeededRng::new(seed);
         let logits = Matrix::random_normal(4, 6, 2.0, &mut rng);
@@ -260,6 +322,52 @@ proptest! {
             let s: f32 = grad.row(r).iter().sum();
             prop_assert!(s.abs() < 1e-4);
         }
+    }
+}
+
+/// Regression pin for the consolidated tail handling: every tiny/odd shape
+/// `m, k, n ∈ 1..9` exercises some mix of the 4-row register tile, the row
+/// remainder, and sub-width column tails, at every dispatch level. Before
+/// the kernels were unified behind the dispatch table, `gemm_row` and
+/// `gemm_accumulate` each carried their own copy of the 4-way-unroll tail
+/// logic; this sweep would have caught a divergence between them.
+#[test]
+fn tiny_odd_shapes_match_f64_reference_at_every_level() {
+    for level in supported_levels() {
+        simd::with_level(level, || {
+            for m in 1..9usize {
+                for k in 1..9usize {
+                    for n in 1..9usize {
+                        let a = Matrix::from_vec(
+                            m,
+                            k,
+                            (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(),
+                        )
+                        .unwrap();
+                        let b = Matrix::from_vec(
+                            k,
+                            n,
+                            (0..k * n).map(|i| (i as f32 * 0.53).cos()).collect(),
+                        )
+                        .unwrap();
+                        let reference = matmul_reference(&a, &b);
+                        assert_close(&a.try_matmul(&b).unwrap(), &reference, 1e-5);
+                        assert_close(&a.matmul_transb(&b.transpose()).unwrap(), &reference, 1e-5);
+                        assert_close(&a.transpose().matmul_transa(&b).unwrap(), &reference, 1e-5);
+                        // The vecmat fast path stays bit-identical to a 1×k
+                        // matmul at every level (both share the dispatched
+                        // row kernel).
+                        let x: Vec<f32> = (0..k).map(|i| (i as f32 * 0.71).sin()).collect();
+                        let row = Matrix::from_vec(1, k, x.clone()).unwrap();
+                        assert_eq!(
+                            b.vecmat(&x).unwrap().as_slice(),
+                            row.matmul(&b).as_slice(),
+                            "vecmat diverged at {level:?} k={k} n={n}"
+                        );
+                    }
+                }
+            }
+        });
     }
 }
 
